@@ -1,0 +1,66 @@
+// Ablation A1 (§4.4's heap discussion): eager neighbor-of-neighbor key
+// updates (the paper's Algorithm 2) vs the classical lazy-greedy heap, as
+// the pair count grows. Both return equally good summaries; the question
+// is which bookkeeping is cheaper on these graphs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/distance.h"
+#include "coverage/coverage_graph.h"
+#include "ontology/snomed_like.h"
+#include "solver/greedy.h"
+
+namespace {
+
+const osrs::Ontology& SharedOntology() {
+  static const osrs::Ontology* onto = [] {
+    osrs::SnomedLikeOptions options;
+    options.num_concepts = 2000;
+    return new osrs::Ontology(osrs::BuildSnomedLikeOntology(options));
+  }();
+  return *onto;
+}
+
+osrs::CoverageGraph BuildGraph(int num_pairs) {
+  const osrs::Ontology& onto = SharedOntology();
+  osrs::Rng rng(static_cast<uint64_t>(num_pairs));
+  std::vector<osrs::ConceptSentimentPair> pairs;
+  pairs.reserve(static_cast<size_t>(num_pairs));
+  for (int i = 0; i < num_pairs; ++i) {
+    auto c = static_cast<osrs::ConceptId>(
+        1 + rng.NextZipf(onto.num_concepts() - 1, 1.05));
+    pairs.push_back({c, rng.NextDouble(-1, 1)});
+  }
+  osrs::PairDistance distance(&onto, 0.5);
+  return osrs::CoverageGraph::BuildForPairs(distance, pairs);
+}
+
+void BM_GreedyEager(benchmark::State& state) {
+  osrs::CoverageGraph graph = BuildGraph(static_cast<int>(state.range(0)));
+  osrs::GreedySummarizer greedy;
+  for (auto _ : state) {
+    auto result = greedy.Summarize(graph, 10);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+
+void BM_GreedyLazy(benchmark::State& state) {
+  osrs::CoverageGraph graph = BuildGraph(static_cast<int>(state.range(0)));
+  osrs::GreedyOptions options;
+  options.heap = osrs::GreedyOptions::Heap::kLazy;
+  osrs::GreedySummarizer greedy(options);
+  for (auto _ : state) {
+    auto result = greedy.Summarize(graph, 10);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+
+}  // namespace
+
+BENCHMARK(BM_GreedyEager)->Arg(200)->Arg(400)->Arg(800)->Arg(1600);
+BENCHMARK(BM_GreedyLazy)->Arg(200)->Arg(400)->Arg(800)->Arg(1600);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Ablation A2 (§4.1's claim): the initialization phase — building the
+// bipartite coverage graph — takes time roughly linear in |P| because the
+// average ancestor count of the DAG is small. The ns-per-pair figure
+// should stay nearly flat as |P| doubles (edge counts grow faster since
+// concept buckets collide, which the edges counter makes visible).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/distance.h"
+#include "coverage/coverage_graph.h"
+#include "ontology/snomed_like.h"
+
+namespace {
+
+const osrs::Ontology& SharedOntology() {
+  static const osrs::Ontology* onto = [] {
+    osrs::SnomedLikeOptions options;
+    options.num_concepts = 5000;
+    return new osrs::Ontology(osrs::BuildSnomedLikeOntology(options));
+  }();
+  return *onto;
+}
+
+std::vector<osrs::ConceptSentimentPair> MakePairs(int num_pairs) {
+  const osrs::Ontology& onto = SharedOntology();
+  osrs::Rng rng(static_cast<uint64_t>(num_pairs) * 13 + 1);
+  std::vector<osrs::ConceptSentimentPair> pairs;
+  pairs.reserve(static_cast<size_t>(num_pairs));
+  for (int i = 0; i < num_pairs; ++i) {
+    auto c = static_cast<osrs::ConceptId>(
+        1 + rng.NextZipf(onto.num_concepts() - 1, 1.05));
+    pairs.push_back({c, rng.NextDouble(-1, 1)});
+  }
+  return pairs;
+}
+
+void BM_BuildCoverageGraph(benchmark::State& state) {
+  auto pairs = MakePairs(static_cast<int>(state.range(0)));
+  osrs::PairDistance distance(&SharedOntology(), 0.5);
+  size_t edges = 0;
+  for (auto _ : state) {
+    osrs::CoverageGraph graph =
+        osrs::CoverageGraph::BuildForPairs(distance, pairs);
+    edges = graph.num_edges();
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["ns_per_pair"] = benchmark::Counter(
+      static_cast<double>(state.range(0)) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_AncestorWalk(benchmark::State& state) {
+  // The inner loop of the initialization: ancestor BFS per concept.
+  const osrs::Ontology& onto = SharedOntology();
+  osrs::Rng rng(7);
+  std::vector<osrs::ConceptId> concepts;
+  for (int i = 0; i < 1024; ++i) {
+    concepts.push_back(static_cast<osrs::ConceptId>(
+        1 + rng.NextUint64(onto.num_concepts() - 1)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ancestors = onto.AncestorsWithDistance(concepts[i++ & 1023]);
+    benchmark::DoNotOptimize(ancestors);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_BuildCoverageGraph)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000);
+BENCHMARK(BM_AncestorWalk);
+
+BENCHMARK_MAIN();

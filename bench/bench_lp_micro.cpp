@@ -1,0 +1,76 @@
+// Micro-benchmarks of the LP substrate (the Gurobi stand-in): revised
+// simplex on §4.2 k-median relaxations of growing size, and the full
+// branch-and-bound ILP. Iteration counts surface as counters so solver
+// regressions are visible beyond wall-clock noise.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/distance.h"
+#include "coverage/coverage_graph.h"
+#include "lp/mip.h"
+#include "lp/simplex.h"
+#include "ontology/snomed_like.h"
+#include "solver/kmedian_model.h"
+
+namespace {
+
+const osrs::Ontology& SharedOntology() {
+  static const osrs::Ontology* onto = [] {
+    osrs::SnomedLikeOptions options;
+    options.num_concepts = 1500;
+    return new osrs::Ontology(osrs::BuildSnomedLikeOntology(options));
+  }();
+  return *onto;
+}
+
+osrs::CoverageGraph BuildGraph(int num_pairs) {
+  osrs::Rng rng(static_cast<uint64_t>(num_pairs) * 7 + 3);
+  std::vector<osrs::ConceptSentimentPair> pairs;
+  for (int i = 0; i < num_pairs; ++i) {
+    auto c = static_cast<osrs::ConceptId>(
+        1 + rng.NextZipf(SharedOntology().num_concepts() - 1, 1.05));
+    pairs.push_back({c, rng.NextDouble(-1, 1)});
+  }
+  osrs::PairDistance distance(&SharedOntology(), 0.5);
+  return osrs::CoverageGraph::BuildForPairs(distance, pairs);
+}
+
+void BM_KMedianLpRelaxation(benchmark::State& state) {
+  osrs::CoverageGraph graph = BuildGraph(static_cast<int>(state.range(0)));
+  osrs::KMedianModel model =
+      osrs::BuildKMedianModel(graph, /*k=*/5, /*integral_x=*/false);
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    osrs::RevisedSimplex simplex;
+    osrs::LpSolution solution = simplex.Solve(model.problem);
+    iterations = solution.iterations;
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["rows"] = static_cast<double>(model.problem.num_constraints());
+  state.counters["cols"] = static_cast<double>(model.problem.num_variables());
+  state.counters["simplex_iters"] = static_cast<double>(iterations);
+}
+
+void BM_KMedianIlp(benchmark::State& state) {
+  osrs::CoverageGraph graph = BuildGraph(static_cast<int>(state.range(0)));
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    osrs::KMedianModel model =
+        osrs::BuildKMedianModel(graph, /*k=*/5, /*integral_x=*/true);
+    osrs::MipOptions options;
+    options.objective_is_integral = model.integral_costs;
+    osrs::MipSolver solver(options);
+    osrs::MipSolution solution = solver.Solve(std::move(model.problem));
+    nodes = solution.nodes;
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["bnb_nodes"] = static_cast<double>(nodes);
+}
+
+}  // namespace
+
+BENCHMARK(BM_KMedianLpRelaxation)->Arg(50)->Arg(100)->Arg(200)->Arg(300);
+BENCHMARK(BM_KMedianIlp)->Arg(50)->Arg(100)->Arg(200);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+#ifndef OSRS_BENCH_BENCH_UTIL_H_
+#define OSRS_BENCH_BENCH_UTIL_H_
+
+// Shared driver of the quantitative experiment binaries (Figs. 4 and 5):
+// run ILP / RR / Greedy over a sample of doctor items at every granularity
+// and k, and aggregate average cost and time. Instance sizes are capped so
+// the bundled simplex (the Gurobi stand-in, see DESIGN.md) stays fast; the
+// caps are printed so runs are self-describing.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/distance.h"
+#include "core/model.h"
+#include "coverage/item_graph.h"
+#include "datagen/corpus.h"
+#include "solver/greedy.h"
+#include "solver/ilp_summarizer.h"
+#include "solver/randomized_rounding.h"
+#include "solver/summarizer.h"
+
+namespace osrs::bench {
+
+struct QuantitativeConfig {
+  double epsilon = 0.5;  // the paper's elbow-selected threshold (§5.3)
+  std::vector<int> k_values = {2, 4, 6, 8, 10};
+  /// Whole reviews are kept per item until this many pairs are reached.
+  size_t pair_budget = 250;
+};
+
+/// Average metric value per (granularity, algorithm, k).
+struct QuantitativeResults {
+  std::vector<int> k_values;
+  /// [granularity][algorithm name] -> one value per k.
+  std::map<SummaryGranularity,
+           std::map<std::string, std::vector<double>>> avg_cost;
+  std::map<SummaryGranularity,
+           std::map<std::string, std::vector<double>>> avg_time_ms;
+};
+
+inline QuantitativeResults RunQuantitative(
+    const Corpus& corpus, const std::vector<const Item*>& items,
+    const QuantitativeConfig& config) {
+  QuantitativeResults results;
+  results.k_values = config.k_values;
+  PairDistance distance(&corpus.ontology, config.epsilon);
+
+  IlpSummarizer ilp;
+  RandomizedRoundingSummarizer rr;
+  GreedySummarizer greedy;
+  std::vector<Summarizer*> algorithms{&ilp, &rr, &greedy};
+
+  for (SummaryGranularity granularity :
+       {SummaryGranularity::kPairs, SummaryGranularity::kSentences,
+        SummaryGranularity::kReviews}) {
+    auto& cost_table = results.avg_cost[granularity];
+    auto& time_table = results.avg_time_ms[granularity];
+    for (Summarizer* algorithm : algorithms) {
+      cost_table[algorithm->name()].assign(config.k_values.size(), 0.0);
+      time_table[algorithm->name()].assign(config.k_values.size(), 0.0);
+    }
+    for (const Item* item : items) {
+      Item capped = TruncateToPairBudget(*item, config.pair_budget);
+      ItemGraph item_graph = BuildItemGraph(distance, capped, granularity);
+      for (size_t ki = 0; ki < config.k_values.size(); ++ki) {
+        int k = std::min(config.k_values[ki],
+                         item_graph.graph.num_candidates());
+        for (Summarizer* algorithm : algorithms) {
+          auto result = algorithm->Summarize(item_graph.graph, k);
+          OSRS_CHECK_MSG(result.ok(), algorithm->name()
+                                          << ": "
+                                          << result.status().ToString());
+          cost_table[algorithm->name()][ki] +=
+              result->cost / static_cast<double>(items.size());
+          time_table[algorithm->name()][ki] +=
+              result->seconds * 1e3 / static_cast<double>(items.size());
+        }
+      }
+    }
+  }
+  return results;
+}
+
+/// Pointers to the first `limit` items of a corpus.
+inline std::vector<const Item*> SampleItems(const Corpus& corpus,
+                                            size_t limit) {
+  std::vector<const Item*> items;
+  for (const Item& item : corpus.items) {
+    if (items.size() >= limit) break;
+    items.push_back(&item);
+  }
+  return items;
+}
+
+}  // namespace osrs::bench
+
+#endif  // OSRS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,111 @@
+// Summarizes reviews read from a TSV file — the "bring your own data"
+// entry point. Each line is "<rating>\t<review text>"; "@item <id>" lines
+// start a new item; '#' lines are comments. With no argument the bundled
+// examples/data/sample_reviews.tsv content is used.
+//
+// Usage: summarize_file [reviews.tsv [k]]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/annotator.h"
+#include "api/review_summarizer.h"
+#include "common/strings.h"
+#include "ontology/cellphone_hierarchy.h"
+
+namespace {
+
+constexpr const char* kBuiltinSample = R"(@item aurora-x2
+0.9	Absolutely love this phone. The screen is gorgeous and very bright. Battery life is excellent, lasts two days.
+0.6	The camera is amazing in daylight but struggles in low light. Speaker is decent.
+-0.2	Battery life was great at first but terrible after the update. The fingerprint sensor is unreliable.
+0.7	Great value for the price. Shipping was fast and the seller was helpful.
+-0.6	The touchscreen is laggy and the apps crash constantly. Support was unhelpful.
+0.4	Screen resolution is sharp. The case feels cheap though.
+@item pebble-mini
+-0.4	The battery drains fast and charging is slow. Otherwise a decent little phone.
+0.5	Nice compact size and the weight is perfect for one-handed use.
+-0.7	Terrible signal and the wifi keeps dropping. The bluetooth is unreliable too.
+0.2	The camera is fine for the price. Photo quality is grainy at night.
+0.8	Excellent screen for such a cheap phone. Very responsive touchscreen.
+)";
+
+struct RawItem {
+  std::string id;
+  std::vector<std::string> texts;
+  std::vector<double> ratings;
+};
+
+std::vector<RawItem> ParseReviews(const std::string& contents) {
+  std::vector<RawItem> items;
+  for (const std::string& line : osrs::Split(contents, '\n')) {
+    std::string_view trimmed = osrs::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (osrs::StartsWith(trimmed, "@item")) {
+      items.emplace_back();
+      items.back().id = std::string(osrs::Trim(trimmed.substr(5)));
+      continue;
+    }
+    if (items.empty()) items.push_back({"item-1", {}, {}});
+    std::vector<std::string> fields = osrs::Split(trimmed, '\t');
+    if (fields.size() < 2) {
+      std::fprintf(stderr, "skipping malformed line: %s\n", line.c_str());
+      continue;
+    }
+    items.back().ratings.push_back(std::atof(fields[0].c_str()));
+    items.back().texts.push_back(fields[1]);
+  }
+  return items;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string contents = kBuiltinSample;
+  if (argc >= 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  } else {
+    std::printf("(no file given — using the built-in sample; pass a TSV "
+                "path to summarize your own reviews)\n");
+  }
+  int k = argc >= 3 ? std::atoi(argv[2]) : 3;
+
+  osrs::Ontology phones = osrs::BuildCellPhoneHierarchy();
+  osrs::ReviewAnnotator annotator(&phones,
+                                  osrs::SentimentEstimator::LexiconOnly());
+  osrs::ReviewSummarizer summarizer(&phones, {});
+
+  for (const RawItem& raw : ParseReviews(contents)) {
+    auto item = annotator.AnnotateTexts(raw.id, raw.texts, raw.ratings);
+    if (!item.ok()) {
+      std::fprintf(stderr, "%s: %s\n", raw.id.c_str(),
+                   item.status().ToString().c_str());
+      continue;
+    }
+    auto summary = summarizer.Summarize(*item, k);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "%s: %s\n", raw.id.c_str(),
+                   summary.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\n%s — %zu reviews, %zu opinion pairs, top %zu sentences "
+                "(cost %.1f):\n",
+                raw.id.c_str(), raw.texts.size(), summary->num_pairs,
+                summary->entries.size(), summary->cost);
+    for (const auto& entry : summary->entries) {
+      std::printf("  - %s\n", entry.display.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "api/annotator.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace osrs {
+
+ReviewAnnotator::ReviewAnnotator(const Ontology* ontology,
+                                 SentimentEstimator estimator)
+    : extractor_(ontology), estimator_(std::move(estimator)) {}
+
+void ReviewAnnotator::AnnotateSentence(Sentence& sentence) const {
+  sentence.pairs.clear();
+  std::vector<std::string> tokens = Tokenize(sentence.text);
+  std::vector<ConceptId> concepts = extractor_.ExtractConcepts(tokens);
+  if (concepts.empty()) return;
+  double sentiment = estimator_.ScoreSentence(tokens);
+  sentence.pairs.reserve(concepts.size());
+  for (ConceptId concept_id : concepts) {
+    sentence.pairs.push_back({concept_id, sentiment});
+  }
+}
+
+void ReviewAnnotator::Annotate(Item& item) const {
+  for (Review& review : item.reviews) {
+    for (Sentence& sentence : review.sentences) {
+      AnnotateSentence(sentence);
+    }
+  }
+}
+
+Result<Item> ReviewAnnotator::AnnotateTexts(
+    const std::string& item_id, const std::vector<std::string>& review_texts,
+    const std::vector<double>& ratings) const {
+  if (!ratings.empty() && ratings.size() != review_texts.size()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu ratings for %zu reviews", ratings.size(),
+                  review_texts.size()));
+  }
+  Item item;
+  item.id = item_id;
+  item.reviews.reserve(review_texts.size());
+  for (size_t r = 0; r < review_texts.size(); ++r) {
+    Review review;
+    review.rating = ratings.empty() ? 0.0 : ratings[r];
+    for (std::string& text : SplitSentences(review_texts[r])) {
+      Sentence sentence;
+      sentence.text = std::move(text);
+      AnnotateSentence(sentence);
+      review.sentences.push_back(std::move(sentence));
+    }
+    item.reviews.push_back(std::move(review));
+  }
+  return item;
+}
+
+}  // namespace osrs

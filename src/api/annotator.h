@@ -1,0 +1,46 @@
+#ifndef OSRS_API_ANNOTATOR_H_
+#define OSRS_API_ANNOTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "extraction/dictionary_extractor.h"
+#include "ontology/ontology.h"
+#include "sentiment/estimator.h"
+
+namespace osrs {
+
+/// The §5.1 annotation pipeline: sentence text → tokenization → concept
+/// extraction (dictionary matcher over the ontology lexicon) → sentence
+/// sentiment (estimator) → concept-sentiment pairs. The sentence's
+/// sentiment is assigned to every concept it mentions, exactly as the
+/// paper does ("we compute the sentiment of the containing sentence and
+/// assign this sentiment to the concept").
+class ReviewAnnotator {
+ public:
+  /// `ontology` must outlive the annotator.
+  ReviewAnnotator(const Ontology* ontology, SentimentEstimator estimator);
+
+  /// Recomputes every sentence's pairs in place from its text.
+  void Annotate(Item& item) const;
+
+  /// Builds an annotated Item from raw review texts (sentence splitting
+  /// included). `ratings` are per-review normalized star ratings in
+  /// [-1, 1]; pass an empty vector when unknown (ratings default to 0).
+  Result<Item> AnnotateTexts(const std::string& item_id,
+                             const std::vector<std::string>& review_texts,
+                             const std::vector<double>& ratings) const;
+
+  const Ontology& ontology() const { return extractor_.ontology(); }
+
+ private:
+  void AnnotateSentence(Sentence& sentence) const;
+
+  DictionaryExtractor extractor_;
+  SentimentEstimator estimator_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_API_ANNOTATOR_H_

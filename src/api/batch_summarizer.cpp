@@ -1,0 +1,59 @@
+#include "api/batch_summarizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace osrs {
+
+BatchSummarizer::BatchSummarizer(const Ontology* ontology,
+                                 BatchSummarizerOptions options)
+    : ontology_(ontology), options_(options) {
+  OSRS_CHECK(ontology != nullptr);
+  OSRS_CHECK(ontology->finalized());
+}
+
+std::vector<BatchEntry> BatchSummarizer::SummarizeAll(
+    const std::vector<Item>& items, int k) const {
+  std::vector<BatchEntry> entries(items.size());
+  if (items.empty()) return entries;
+
+  unsigned hardware = std::thread::hardware_concurrency();
+  int num_threads = options_.num_threads > 0
+                        ? options_.num_threads
+                        : static_cast<int>(std::max(1u, hardware));
+  num_threads = std::min<int>(num_threads, static_cast<int>(items.size()));
+
+  // Work stealing via a shared atomic cursor; each worker owns its own
+  // ReviewSummarizer (they are stateless but this keeps options private).
+  std::atomic<size_t> cursor{0};
+  auto worker = [&]() {
+    ReviewSummarizer summarizer(ontology_, options_.summarizer);
+    while (true) {
+      size_t index = cursor.fetch_add(1);
+      if (index >= items.size()) break;
+      auto result = summarizer.Summarize(items[index], k);
+      if (result.ok()) {
+        entries[index].summary = std::move(result).value();
+      } else {
+        entries[index].status = result.status();
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+    return entries;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  return entries;
+}
+
+}  // namespace osrs

@@ -1,0 +1,44 @@
+#ifndef OSRS_API_BATCH_SUMMARIZER_H_
+#define OSRS_API_BATCH_SUMMARIZER_H_
+
+#include <vector>
+
+#include "api/review_summarizer.h"
+
+namespace osrs {
+
+/// Options of the multi-item driver.
+struct BatchSummarizerOptions {
+  ReviewSummarizerOptions summarizer;
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). Items are
+  /// independent, so results are identical to a serial run regardless of
+  /// thread count (verified by tests).
+  int num_threads = 0;
+};
+
+/// One item's outcome in a batch.
+struct BatchEntry {
+  Status status;        // OK when `summary` is valid
+  ItemSummary summary;  // default-constructed on error
+};
+
+/// Summarizes every item of a corpus (e.g. all 1000 doctors) in parallel —
+/// the workload of the paper's §5.2 evaluation, packaged as a library
+/// call.
+class BatchSummarizer {
+ public:
+  /// `ontology` must outlive the batch summarizer.
+  BatchSummarizer(const Ontology* ontology, BatchSummarizerOptions options);
+
+  /// One entry per item, in item order.
+  std::vector<BatchEntry> SummarizeAll(const std::vector<Item>& items,
+                                       int k) const;
+
+ private:
+  const Ontology* ontology_;
+  BatchSummarizerOptions options_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_API_BATCH_SUMMARIZER_H_

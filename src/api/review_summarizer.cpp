@@ -1,0 +1,193 @@
+#include "api/review_summarizer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/distance.h"
+#include "coverage/item_graph.h"
+#include "eval/elbow.h"
+#include "solver/greedy.h"
+#include "solver/ilp_summarizer.h"
+#include "solver/local_search.h"
+#include "solver/randomized_rounding.h"
+#include "solver/summarizer.h"
+
+namespace osrs {
+
+const char* SummaryAlgorithmToString(SummaryAlgorithm algorithm) {
+  switch (algorithm) {
+    case SummaryAlgorithm::kGreedy:
+      return "Greedy";
+    case SummaryAlgorithm::kGreedyLazy:
+      return "Greedy(lazy)";
+    case SummaryAlgorithm::kIlp:
+      return "ILP";
+    case SummaryAlgorithm::kRandomizedRounding:
+      return "RR";
+    case SummaryAlgorithm::kLocalSearch:
+      return "Greedy+swap";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ItemSummary::ToJson() const {
+  std::string out = "{";
+  out += StrFormat(
+      "\"cost\":%.6g,\"epsilon\":%.6g,\"solver_seconds\":%.6g,"
+      "\"num_pairs\":%zu,\"num_candidates\":%zu,\"num_edges\":%zu,"
+      "\"entries\":[",
+      cost, epsilon, solver_seconds, num_pairs, num_candidates, num_edges);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"display\":\"%s\",\"review\":%d,\"sentence\":%d,"
+        "\"concept\":%d,\"sentiment\":%.6g}",
+        JsonEscape(entries[i].display).c_str(), entries[i].review_index,
+        entries[i].sentence_index, entries[i].pair.concept_id,
+        entries[i].pair.sentiment);
+  }
+  out += "]}";
+  return out;
+}
+
+ReviewSummarizer::ReviewSummarizer(const Ontology* ontology,
+                                   ReviewSummarizerOptions options)
+    : ontology_(ontology), options_(options) {
+  OSRS_CHECK(ontology != nullptr);
+  OSRS_CHECK(ontology->finalized());
+  OSRS_CHECK_GT(options.epsilon, 0.0);
+}
+
+Result<ItemSummary> ReviewSummarizer::Summarize(const Item& item,
+                                                int k) const {
+  if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+
+  double epsilon = options_.epsilon;
+  if (options_.auto_epsilon) {
+    auto pairs = PairsOf(CollectPairs(item));
+    if (!pairs.empty()) {
+      ElbowResult elbow = SelectEpsilonByElbow(
+          *ontology_, pairs, std::max(1, k),
+          {0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.2, 1.6, 2.0});
+      epsilon = elbow.chosen_epsilon;
+    }
+  }
+
+  PairDistance distance(ontology_, epsilon);
+  ItemGraph item_graph =
+      BuildItemGraph(distance, item, options_.granularity);
+
+  std::unique_ptr<Summarizer> solver;
+  switch (options_.algorithm) {
+    case SummaryAlgorithm::kGreedy:
+      solver = std::make_unique<GreedySummarizer>();
+      break;
+    case SummaryAlgorithm::kGreedyLazy: {
+      GreedyOptions greedy_options;
+      greedy_options.heap = GreedyOptions::Heap::kLazy;
+      solver = std::make_unique<GreedySummarizer>(greedy_options);
+      break;
+    }
+    case SummaryAlgorithm::kIlp:
+      solver = std::make_unique<IlpSummarizer>();
+      break;
+    case SummaryAlgorithm::kRandomizedRounding: {
+      RandomizedRoundingOptions rr_options;
+      rr_options.seed = options_.seed;
+      solver = std::make_unique<RandomizedRoundingSummarizer>(rr_options);
+      break;
+    }
+    case SummaryAlgorithm::kLocalSearch:
+      solver = std::make_unique<LocalSearchSummarizer>();
+      break;
+  }
+
+  int effective_k = std::min<int>(k, item_graph.graph.num_candidates());
+  auto result = solver->Summarize(item_graph.graph, effective_k);
+  OSRS_RETURN_IF_ERROR(result.status());
+
+  ItemSummary summary;
+  summary.cost = result->cost;
+  summary.solver_seconds = result->seconds;
+  summary.epsilon = epsilon;
+  summary.num_pairs = item_graph.occurrences.size();
+  summary.num_candidates =
+      static_cast<size_t>(item_graph.graph.num_candidates());
+  summary.num_edges = item_graph.graph.num_edges();
+
+  for (int candidate : result->selected) {
+    SummaryEntry entry;
+    if (options_.granularity == SummaryGranularity::kPairs) {
+      const PairOccurrence& occ =
+          item_graph.occurrences[static_cast<size_t>(candidate)];
+      entry.pair = occ.pair;
+      entry.review_index = occ.review_index;
+      entry.sentence_index = occ.sentence_index;
+      entry.display =
+          StrFormat("%s = %+.2f", ontology_->name(occ.pair.concept_id).c_str(),
+                    occ.pair.sentiment);
+    } else {
+      auto [review_index, sentence_index] =
+          item_graph.group_origin[static_cast<size_t>(candidate)];
+      entry.review_index = review_index;
+      entry.sentence_index = sentence_index;
+      const Review& review =
+          item.reviews[static_cast<size_t>(review_index)];
+      const auto& members =
+          item_graph.groups[static_cast<size_t>(candidate)];
+      if (!members.empty()) {
+        entry.pair =
+            item_graph.occurrences[static_cast<size_t>(members.front())].pair;
+      }
+      if (options_.granularity == SummaryGranularity::kSentences) {
+        entry.display =
+            review.sentences[static_cast<size_t>(sentence_index)].text;
+      } else {
+        entry.display = StrFormat(
+            "review #%d: %s%s", review_index,
+            review.sentences.empty() ? ""
+                                     : review.sentences[0].text.c_str(),
+            review.sentences.size() > 1 ? " ..." : "");
+      }
+    }
+    summary.entries.push_back(std::move(entry));
+  }
+  return summary;
+}
+
+}  // namespace osrs

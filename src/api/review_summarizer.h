@@ -1,0 +1,101 @@
+#ifndef OSRS_API_REVIEW_SUMMARIZER_H_
+#define OSRS_API_REVIEW_SUMMARIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// Which §4 algorithm the facade runs.
+enum class SummaryAlgorithm {
+  kGreedy,              // Algorithm 2 (the paper's recommended default)
+  kGreedyLazy,          // lazy-heap variant, same guarantee
+  kIlp,                 // exact §4.2 (bundled branch-and-bound)
+  kRandomizedRounding,  // Algorithm 1 over the LP relaxation
+  kLocalSearch,         // greedy + swap polish (extension, see solver/)
+};
+
+const char* SummaryAlgorithmToString(SummaryAlgorithm algorithm);
+
+/// Facade configuration.
+struct ReviewSummarizerOptions {
+  /// Sentiment threshold ε of Definition 1 (0.5 = the elbow choice, §5.3).
+  double epsilon = 0.5;
+  /// When set, ε is chosen per item by the §5.3 elbow method over a
+  /// default grid instead of using `epsilon`. Costs one greedy run per
+  /// grid point before the real solve.
+  bool auto_epsilon = false;
+  SummaryAlgorithm algorithm = SummaryAlgorithm::kGreedy;
+  SummaryGranularity granularity = SummaryGranularity::kSentences;
+  /// Seed of the randomized-rounding draw (unused by other algorithms).
+  uint64_t seed = 7;
+};
+
+/// One representative in a summary.
+struct SummaryEntry {
+  /// Human-readable rendering: "concept = +0.65" for pair granularity, the
+  /// sentence text for sentences, the first sentence + review index for
+  /// reviews.
+  std::string display;
+  /// The underlying pair (pair granularity) or the first pair of the
+  /// selected sentence/review.
+  ConceptSentimentPair pair;
+  int review_index = -1;
+  int sentence_index = -1;  // -1 at pair/review granularity
+};
+
+/// A computed summary plus diagnostics.
+struct ItemSummary {
+  std::vector<SummaryEntry> entries;
+  /// Definition 2 coverage cost of the selection.
+  double cost = 0.0;
+  /// Solver wall-clock seconds (excludes graph construction).
+  double solver_seconds = 0.0;
+  /// The ε actually used (differs from the configured one under
+  /// auto_epsilon).
+  double epsilon = 0.0;
+  size_t num_pairs = 0;
+  size_t num_candidates = 0;
+  size_t num_edges = 0;
+
+  /// Compact JSON rendering (entries, cost, diagnostics) for tooling.
+  std::string ToJson() const;
+};
+
+/// The library's top-level entry point: reviews of one item in, the k most
+/// representative pairs / sentences / reviews out, using the ontology- and
+/// sentiment-aware coverage framework of §2 with the §4 algorithms.
+///
+/// Typical use:
+///
+///   Ontology phones = BuildCellPhoneHierarchy();
+///   ReviewSummarizer summarizer(&phones, {});
+///   auto summary = summarizer.Summarize(item, /*k=*/5);
+///   for (const auto& entry : summary->entries) std::puts(entry.display.c_str());
+///
+/// Items must carry concept-sentiment pairs; run ReviewAnnotator first for
+/// raw text. The ontology must outlive the summarizer.
+class ReviewSummarizer {
+ public:
+  ReviewSummarizer(const Ontology* ontology,
+                   ReviewSummarizerOptions options = {});
+
+  /// Summarizes `item` with (up to) k representatives. k larger than the
+  /// candidate count is truncated; k < 0 is an error.
+  Result<ItemSummary> Summarize(const Item& item, int k) const;
+
+  const ReviewSummarizerOptions& options() const { return options_; }
+
+ private:
+  const Ontology* ontology_;
+  ReviewSummarizerOptions options_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_API_REVIEW_SUMMARIZER_H_

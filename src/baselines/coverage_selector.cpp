@@ -1,0 +1,47 @@
+#include "baselines/coverage_selector.h"
+
+#include "common/logging.h"
+#include "core/distance.h"
+#include "coverage/coverage_graph.h"
+
+namespace osrs {
+
+CoverageGreedySelector::CoverageGreedySelector(const Ontology* ontology,
+                                               double epsilon)
+    : ontology_(ontology), epsilon_(epsilon) {
+  OSRS_CHECK(ontology != nullptr);
+  OSRS_CHECK(ontology->finalized());
+}
+
+Result<std::vector<int>> CoverageGreedySelector::Select(
+    const std::vector<CandidateSentence>& sentences, int k) {
+  // Flatten pairs; remember each non-empty sentence as a candidate group.
+  std::vector<ConceptSentimentPair> pairs;
+  std::vector<std::vector<int>> groups;
+  std::vector<int> group_to_sentence;
+  for (size_t s = 0; s < sentences.size(); ++s) {
+    if (sentences[s].pairs.empty()) continue;
+    std::vector<int> member_indices;
+    for (const auto& pair : sentences[s].pairs) {
+      member_indices.push_back(static_cast<int>(pairs.size()));
+      pairs.push_back(pair);
+    }
+    groups.push_back(std::move(member_indices));
+    group_to_sentence.push_back(static_cast<int>(s));
+  }
+
+  PairDistance distance(ontology_, epsilon_);
+  CoverageGraph graph = CoverageGraph::BuildForGroups(distance, pairs, groups);
+  int effective_k = std::min<int>(k, graph.num_candidates());
+  auto result = greedy_.Summarize(graph, effective_k);
+  OSRS_RETURN_IF_ERROR(result.status());
+
+  std::vector<int> selected;
+  selected.reserve(result->selected.size());
+  for (int group : result->selected) {
+    selected.push_back(group_to_sentence[static_cast<size_t>(group)]);
+  }
+  return selected;
+}
+
+}  // namespace osrs

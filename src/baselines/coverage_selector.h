@@ -1,0 +1,34 @@
+#ifndef OSRS_BASELINES_COVERAGE_SELECTOR_H_
+#define OSRS_BASELINES_COVERAGE_SELECTOR_H_
+
+#include <string>
+
+#include "baselines/sentence_selector.h"
+#include "ontology/ontology.h"
+#include "solver/greedy.h"
+
+namespace osrs {
+
+/// The paper's method packaged as a SentenceSelector for the §5.3
+/// head-to-head: greedy k-Sentences Coverage with the ontology-aware,
+/// sentiment-graded Definition 1 distance (ε defaults to the elbow-chosen
+/// 0.5). Sentences without pairs are never selected — they cover nothing.
+class CoverageGreedySelector : public SentenceSelector {
+ public:
+  /// `ontology` must outlive the selector.
+  CoverageGreedySelector(const Ontology* ontology, double epsilon = 0.5);
+
+  Result<std::vector<int>> Select(
+      const std::vector<CandidateSentence>& sentences, int k) override;
+
+  std::string name() const override { return "Ours (greedy)"; }
+
+ private:
+  const Ontology* ontology_;
+  double epsilon_;
+  GreedySummarizer greedy_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_BASELINES_COVERAGE_SELECTOR_H_

@@ -1,0 +1,104 @@
+#include "baselines/lexrank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "baselines/pagerank.h"
+#include "common/strings.h"
+#include "text/stopwords.h"
+#include "text/vocabulary.h"
+
+namespace osrs {
+namespace {
+
+/// Sparse TF-IDF vector as sorted (term id, weight), L2-normalized.
+std::vector<std::pair<int, double>> TfIdfVector(
+    const std::vector<std::string>& tokens, const Vocabulary& vocab) {
+  std::unordered_map<int, double> tf;
+  for (const std::string& token : tokens) {
+    if (IsStopword(token)) continue;
+    int id = vocab.IdOf(token);
+    if (id != kUnknownWord) tf[id] += 1.0;
+  }
+  std::vector<std::pair<int, double>> vec(tf.begin(), tf.end());
+  double norm_sq = 0.0;
+  for (auto& [id, weight] : vec) {
+    weight *= vocab.Idf(id);
+    norm_sq += weight * weight;
+  }
+  if (norm_sq > 0.0) {
+    double norm = std::sqrt(norm_sq);
+    for (auto& [id, weight] : vec) weight /= norm;
+  }
+  std::sort(vec.begin(), vec.end());
+  return vec;
+}
+
+double SparseCosine(const std::vector<std::pair<int, double>>& a,
+                    const std::vector<std::pair<int, double>>& b) {
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      sum += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<std::vector<int>> LexRankSelector::Select(
+    const std::vector<CandidateSentence>& sentences, int k) {
+  if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+  const size_t n = sentences.size();
+
+  Vocabulary vocab;
+  for (const auto& sentence : sentences) {
+    std::vector<std::string> content;
+    for (const std::string& token : sentence.tokens) {
+      if (!IsStopword(token)) content.push_back(token);
+    }
+    vocab.AddDocument(content);
+  }
+
+  std::vector<std::vector<std::pair<int, double>>> vectors;
+  vectors.reserve(n);
+  for (const auto& sentence : sentences) {
+    vectors.push_back(TfIdfVector(sentence.tokens, vocab));
+  }
+
+  std::vector<std::vector<std::pair<int, double>>> graph(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double cosine = SparseCosine(vectors[i], vectors[j]);
+      if (cosine >= cosine_threshold_) {
+        graph[i].emplace_back(static_cast<int>(j), cosine);
+        graph[j].emplace_back(static_cast<int>(i), cosine);
+      }
+    }
+  }
+
+  std::vector<double> scores = PageRank(graph);
+  std::vector<int> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&scores](int a, int b) {
+    if (scores[static_cast<size_t>(a)] != scores[static_cast<size_t>(b)]) {
+      return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+  if (order.size() > static_cast<size_t>(k)) {
+    order.resize(static_cast<size_t>(k));
+  }
+  return order;
+}
+
+}  // namespace osrs

@@ -1,0 +1,30 @@
+#ifndef OSRS_BASELINES_LEXRANK_H_
+#define OSRS_BASELINES_LEXRANK_H_
+
+#include <string>
+
+#include "baselines/sentence_selector.h"
+
+namespace osrs {
+
+/// LexRank [6]: sentences are TF-IDF vectors; edges are cosine
+/// similarities above a threshold; PageRank over the resulting graph ranks
+/// sentences (continuous LexRank). Sentiment-agnostic baseline of §5.3.
+class LexRankSelector : public SentenceSelector {
+ public:
+  /// `cosine_threshold` follows the original paper's 0.1 default.
+  explicit LexRankSelector(double cosine_threshold = 0.1)
+      : cosine_threshold_(cosine_threshold) {}
+
+  Result<std::vector<int>> Select(
+      const std::vector<CandidateSentence>& sentences, int k) override;
+
+  std::string name() const override { return "LexRank"; }
+
+ private:
+  double cosine_threshold_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_BASELINES_LEXRANK_H_

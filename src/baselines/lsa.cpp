@@ -1,0 +1,138 @@
+#include "baselines/lsa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "text/stopwords.h"
+#include "text/vocabulary.h"
+
+namespace osrs {
+
+Result<std::vector<int>> LsaSelector::Select(
+    const std::vector<CandidateSentence>& sentences, int k) {
+  if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+  if (topics_ <= 0) {
+    return Status::InvalidArgument("topics must be positive");
+  }
+  const size_t n = sentences.size();
+  if (n == 0) return std::vector<int>{};
+
+  // TF-IDF term-sentence columns.
+  Vocabulary vocab;
+  for (const auto& sentence : sentences) {
+    std::vector<std::string> content;
+    for (const std::string& token : sentence.tokens) {
+      if (!IsStopword(token)) content.push_back(token);
+    }
+    vocab.AddDocument(content);
+  }
+  std::vector<std::vector<std::pair<int, double>>> columns(n);
+  for (size_t s = 0; s < n; ++s) {
+    std::unordered_map<int, double> tf;
+    for (const std::string& token : sentences[s].tokens) {
+      if (IsStopword(token)) continue;
+      int id = vocab.IdOf(token);
+      if (id != kUnknownWord) tf[id] += 1.0;
+    }
+    for (auto& [id, weight] : tf) {
+      columns[s].emplace_back(id, weight * vocab.Idf(id));
+    }
+  }
+
+  // Sentence-side Gram matrix G = AᵀA (n×n, dense).
+  std::vector<double> gram(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double sum = 0.0;
+      size_t a = 0, b = 0;
+      const auto& ci = columns[i];
+      const auto& cj = columns[j];
+      while (a < ci.size() && b < cj.size()) {
+        if (ci[a].first < cj[b].first) {
+          ++a;
+        } else if (ci[a].first > cj[b].first) {
+          ++b;
+        } else {
+          sum += ci[a].second * cj[b].second;
+          ++a;
+          ++b;
+        }
+      }
+      gram[i * n + j] = sum;
+      gram[j * n + i] = sum;
+    }
+  }
+
+  // Orthogonal iteration for the top-r eigenpairs of G; eigenvalues of G
+  // are the squared singular values, eigenvectors the right singular
+  // vectors V of A.
+  const int r = std::min<int>(topics_, static_cast<int>(n));
+  Rng rng(4242);
+  std::vector<std::vector<double>> basis(
+      static_cast<size_t>(r), std::vector<double>(n));
+  for (auto& column : basis) {
+    for (double& value : column) value = rng.NextGaussian();
+  }
+  std::vector<double> scratch(n);
+  auto multiply = [&](const std::vector<double>& x, std::vector<double>& y) {
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (size_t j = 0; j < n; ++j) sum += gram[i * n + j] * x[j];
+      y[i] = sum;
+    }
+  };
+  auto orthonormalize = [&]() {
+    for (size_t c = 0; c < basis.size(); ++c) {
+      for (size_t prev = 0; prev < c; ++prev) {
+        double proj = Dot(basis[c], basis[prev]);
+        for (size_t i = 0; i < n; ++i) basis[c][i] -= proj * basis[prev][i];
+      }
+      double norm = Norm2(basis[c]);
+      if (norm < 1e-12) {
+        for (double& value : basis[c]) value = rng.NextGaussian();
+        norm = Norm2(basis[c]);
+      }
+      for (double& value : basis[c]) value /= norm;
+    }
+  };
+  orthonormalize();
+  for (int iter = 0; iter < 30; ++iter) {
+    for (auto& column : basis) {
+      multiply(column, scratch);
+      column.swap(scratch);
+    }
+    orthonormalize();
+  }
+
+  // Steinberger-Jezek sentence scores: sqrt(Σ_t λ_t v_{s,t}²).
+  std::vector<double> scores(n, 0.0);
+  for (int t = 0; t < r; ++t) {
+    multiply(basis[static_cast<size_t>(t)], scratch);
+    double lambda =
+        std::max(0.0, Dot(basis[static_cast<size_t>(t)], scratch));
+    for (size_t s = 0; s < n; ++s) {
+      double v = basis[static_cast<size_t>(t)][s];
+      scores[s] += lambda * v * v;
+    }
+  }
+  for (double& score : scores) score = std::sqrt(score);
+
+  std::vector<int> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&scores](int a, int b) {
+    if (scores[static_cast<size_t>(a)] != scores[static_cast<size_t>(b)]) {
+      return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+  if (order.size() > static_cast<size_t>(k)) {
+    order.resize(static_cast<size_t>(k));
+  }
+  return order;
+}
+
+}  // namespace osrs

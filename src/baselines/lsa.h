@@ -1,0 +1,32 @@
+#ifndef OSRS_BASELINES_LSA_H_
+#define OSRS_BASELINES_LSA_H_
+
+#include <string>
+
+#include "baselines/sentence_selector.h"
+
+namespace osrs {
+
+/// LSA-based summarizer (Steinberger & Jezek [24]): SVD of the TF-IDF
+/// term-sentence matrix; each sentence is scored by the length of its
+/// representation in the top-r latent topic space,
+/// score(s) = sqrt(Σ_t σ_t² v_{s,t}²), and the top k sentences win.
+/// The truncated SVD is computed by orthogonal (subspace) iteration on the
+/// sentence-side Gram matrix. Sentiment-agnostic baseline of §5.3.
+class LsaSelector : public SentenceSelector {
+ public:
+  /// `topics` is the truncation rank r.
+  explicit LsaSelector(int topics = 5) : topics_(topics) {}
+
+  Result<std::vector<int>> Select(
+      const std::vector<CandidateSentence>& sentences, int k) override;
+
+  std::string name() const override { return "LSA"; }
+
+ private:
+  int topics_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_BASELINES_LSA_H_

@@ -1,0 +1,64 @@
+#include "baselines/most_popular.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace osrs {
+namespace {
+
+/// Aspect-polarity key: (concept, is_positive).
+using PairKey = std::pair<ConceptId, bool>;
+
+}  // namespace
+
+Result<std::vector<int>> MostPopularSelector::Select(
+    const std::vector<CandidateSentence>& sentences, int k) {
+  if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+
+  // Count sentences mentioning each (aspect, polarity) pair.
+  std::map<PairKey, int64_t> counts;
+  for (const auto& sentence : sentences) {
+    for (const auto& pair : sentence.pairs) {
+      ++counts[{pair.concept_id, pair.sentiment >= 0.0}];
+    }
+  }
+  std::vector<std::pair<PairKey, int64_t>> ranked(counts.begin(),
+                                                  counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  std::vector<bool> used(sentences.size(), false);
+  std::vector<int> selected;
+  for (const auto& [key, count] : ranked) {
+    if (static_cast<int>(selected.size()) >= k) break;
+    // The containing sentence where this aspect is most polarized.
+    int best = -1;
+    double best_abs = -1.0;
+    for (size_t s = 0; s < sentences.size(); ++s) {
+      if (used[s]) continue;
+      for (const auto& pair : sentences[s].pairs) {
+        if (pair.concept_id != key.first ||
+            (pair.sentiment >= 0.0) != key.second) {
+          continue;
+        }
+        if (std::abs(pair.sentiment) > best_abs) {
+          best_abs = std::abs(pair.sentiment);
+          best = static_cast<int>(s);
+        }
+      }
+    }
+    if (best >= 0) {
+      used[static_cast<size_t>(best)] = true;
+      selected.push_back(best);
+    }
+  }
+  return selected;
+}
+
+}  // namespace osrs

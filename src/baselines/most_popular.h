@@ -1,0 +1,26 @@
+#ifndef OSRS_BASELINES_MOST_POPULAR_H_
+#define OSRS_BASELINES_MOST_POPULAR_H_
+
+#include <string>
+
+#include "baselines/sentence_selector.h"
+
+namespace osrs {
+
+/// "Most popular" baseline adapted from Hu & Liu [9] (§5.3): count
+/// (aspect, polarity) pairs over all sentences — polarity is the boolean
+/// sign of the sentiment, exactly the simplification the paper argues
+/// against — then take the k most popular pairs and return one containing
+/// sentence for each (the sentence where that aspect's sentiment is most
+/// polarized, skipping already-used sentences).
+class MostPopularSelector : public SentenceSelector {
+ public:
+  Result<std::vector<int>> Select(
+      const std::vector<CandidateSentence>& sentences, int k) override;
+
+  std::string name() const override { return "Most popular"; }
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_BASELINES_MOST_POPULAR_H_

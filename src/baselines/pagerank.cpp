@@ -1,0 +1,48 @@
+#include "baselines/pagerank.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace osrs {
+
+std::vector<double> PageRank(
+    const std::vector<std::vector<std::pair<int, double>>>& adjacency,
+    double damping, int max_iterations, double tolerance) {
+  const size_t n = adjacency.size();
+  if (n == 0) return {};
+  std::vector<double> out_weight(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [j, w] : adjacency[i]) {
+      OSRS_CHECK_GE(w, 0.0);
+      OSRS_CHECK_LT(static_cast<size_t>(j), n);
+      out_weight[i] += w;
+    }
+  }
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (out_weight[i] <= 0.0) dangling_mass += rank[i];
+    }
+    double base = (1.0 - damping) / static_cast<double>(n) +
+                  damping * dangling_mass / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (size_t i = 0; i < n; ++i) {
+      if (out_weight[i] <= 0.0) continue;
+      double share = damping * rank[i] / out_weight[i];
+      for (const auto& [j, w] : adjacency[i]) {
+        next[static_cast<size_t>(j)] += share * w;
+      }
+    }
+    double change = 0.0;
+    for (size_t i = 0; i < n; ++i) change += std::abs(next[i] - rank[i]);
+    rank.swap(next);
+    if (change < tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace osrs

@@ -1,0 +1,21 @@
+#ifndef OSRS_BASELINES_PAGERANK_H_
+#define OSRS_BASELINES_PAGERANK_H_
+
+#include <utility>
+#include <vector>
+
+namespace osrs {
+
+/// Weighted PageRank over an undirected similarity graph given as
+/// adjacency lists (neighbor, weight). Nodes with no outgoing weight
+/// distribute uniformly (dangling handling). Returns one score per node;
+/// scores sum to 1. `damping` is the usual 0.85; iterates until the L1
+/// change drops below `tolerance` or `max_iterations` is hit.
+std::vector<double> PageRank(
+    const std::vector<std::vector<std::pair<int, double>>>& adjacency,
+    double damping = 0.85, int max_iterations = 100,
+    double tolerance = 1e-9);
+
+}  // namespace osrs
+
+#endif  // OSRS_BASELINES_PAGERANK_H_

@@ -1,0 +1,92 @@
+#include "baselines/proportional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace osrs {
+namespace {
+
+using PairKey = std::pair<ConceptId, bool>;
+
+}  // namespace
+
+Result<std::vector<int>> ProportionalSelector::Select(
+    const std::vector<CandidateSentence>& sentences, int k) {
+  if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+
+  std::map<PairKey, int64_t> counts;
+  int64_t total = 0;
+  for (const auto& sentence : sentences) {
+    for (const auto& pair : sentence.pairs) {
+      ++counts[{pair.concept_id, pair.sentiment >= 0.0}];
+      ++total;
+    }
+  }
+  if (total == 0 || k == 0) return std::vector<int>{};
+
+  // Largest-remainder apportionment of the k slots.
+  struct Allocation {
+    PairKey key;
+    int64_t count;
+    int slots;
+    double remainder;
+  };
+  std::vector<Allocation> allocations;
+  int assigned = 0;
+  for (const auto& [key, count] : counts) {
+    double exact = static_cast<double>(k) * static_cast<double>(count) /
+                   static_cast<double>(total);
+    int slots = static_cast<int>(exact);
+    allocations.push_back({key, count, slots, exact - slots});
+    assigned += slots;
+  }
+  std::sort(allocations.begin(), allocations.end(),
+            [](const Allocation& a, const Allocation& b) {
+              if (a.remainder != b.remainder) return a.remainder > b.remainder;
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  for (size_t i = 0; assigned < k && i < allocations.size(); ++i) {
+    ++allocations[i].slots;
+    ++assigned;
+  }
+
+  // Fill each slot with the most polarized unused sentence for its pair.
+  std::vector<bool> used(sentences.size(), false);
+  std::vector<int> selected;
+  // Order pairs by popularity so big aspects pick first.
+  std::sort(allocations.begin(), allocations.end(),
+            [](const Allocation& a, const Allocation& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  for (const Allocation& alloc : allocations) {
+    for (int slot = 0; slot < alloc.slots; ++slot) {
+      if (static_cast<int>(selected.size()) >= k) break;
+      int best = -1;
+      double best_abs = -1.0;
+      for (size_t s = 0; s < sentences.size(); ++s) {
+        if (used[s]) continue;
+        for (const auto& pair : sentences[s].pairs) {
+          if (pair.concept_id != alloc.key.first ||
+              (pair.sentiment >= 0.0) != alloc.key.second) {
+            continue;
+          }
+          if (std::abs(pair.sentiment) > best_abs) {
+            best_abs = std::abs(pair.sentiment);
+            best = static_cast<int>(s);
+          }
+        }
+      }
+      if (best < 0) break;  // pair exhausted; leftover slots stay unfilled
+      used[static_cast<size_t>(best)] = true;
+      selected.push_back(best);
+    }
+  }
+  return selected;
+}
+
+}  // namespace osrs

@@ -1,0 +1,25 @@
+#ifndef OSRS_BASELINES_PROPORTIONAL_H_
+#define OSRS_BASELINES_PROPORTIONAL_H_
+
+#include <string>
+
+#include "baselines/sentence_selector.h"
+
+namespace osrs {
+
+/// "Proportional" baseline adapted from Blair-Goldensohn et al. [3] (§5.3):
+/// the k summary slots are allocated to (aspect, polarity) pairs
+/// proportionally to their frequency (largest-remainder apportionment,
+/// deterministic), and each slot is filled with the most extremely
+/// polarized unused sentence mentioning that pair.
+class ProportionalSelector : public SentenceSelector {
+ public:
+  Result<std::vector<int>> Select(
+      const std::vector<CandidateSentence>& sentences, int k) override;
+
+  std::string name() const override { return "Proportional"; }
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_BASELINES_PROPORTIONAL_H_

@@ -1,0 +1,36 @@
+#include "baselines/sentence_selector.h"
+
+#include "text/tokenizer.h"
+
+namespace osrs {
+
+std::vector<CandidateSentence> BuildCandidates(const Item& item) {
+  std::vector<CandidateSentence> out;
+  for (size_t r = 0; r < item.reviews.size(); ++r) {
+    const Review& review = item.reviews[r];
+    for (size_t s = 0; s < review.sentences.size(); ++s) {
+      const Sentence& sentence = review.sentences[s];
+      CandidateSentence candidate;
+      candidate.review_index = static_cast<int>(r);
+      candidate.sentence_index = static_cast<int>(s);
+      candidate.text = sentence.text;
+      candidate.tokens = Tokenize(sentence.text);
+      candidate.pairs = sentence.pairs;
+      out.push_back(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+std::vector<ConceptSentimentPair> PairsOfSelection(
+    const std::vector<CandidateSentence>& sentences,
+    const std::vector<int>& selected) {
+  std::vector<ConceptSentimentPair> out;
+  for (int index : selected) {
+    const auto& pairs = sentences[static_cast<size_t>(index)].pairs;
+    out.insert(out.end(), pairs.begin(), pairs.end());
+  }
+  return out;
+}
+
+}  // namespace osrs

@@ -1,0 +1,51 @@
+#ifndef OSRS_BASELINES_SENTENCE_SELECTOR_H_
+#define OSRS_BASELINES_SENTENCE_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace osrs {
+
+/// One candidate sentence of an item, pre-tokenized, with its extracted
+/// concept-sentiment pairs. The common currency of the §5.3 qualitative
+/// comparison: every summarizer (ours and the five baselines) maps a
+/// candidate list plus k to selected sentence indices.
+struct CandidateSentence {
+  int review_index = -1;
+  int sentence_index = -1;
+  std::string text;
+  std::vector<std::string> tokens;
+  std::vector<ConceptSentimentPair> pairs;
+};
+
+/// Flattens an item's sentences into candidates (tokenizing the text).
+/// Sentences without pairs are kept — the text-only baselines (TextRank,
+/// LexRank, LSA) can still pick them, which is part of why they lose on
+/// sentiment error.
+std::vector<CandidateSentence> BuildCandidates(const Item& item);
+
+/// Interface of the extractive sentence summarizers compared in Fig. 6.
+class SentenceSelector {
+ public:
+  virtual ~SentenceSelector() = default;
+
+  /// Picks (up to) k distinct indices into `sentences`. Fails on k < 0.
+  /// When fewer than k sentences exist, returns them all.
+  virtual Result<std::vector<int>> Select(
+      const std::vector<CandidateSentence>& sentences, int k) = 0;
+
+  /// Display name matching Table 2 ("Most popular", "TextRank", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Pairs of all selected sentences, for the sent-err measures.
+std::vector<ConceptSentimentPair> PairsOfSelection(
+    const std::vector<CandidateSentence>& sentences,
+    const std::vector<int>& selected);
+
+}  // namespace osrs
+
+#endif  // OSRS_BASELINES_SENTENCE_SELECTOR_H_

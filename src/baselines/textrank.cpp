@@ -1,0 +1,75 @@
+#include "baselines/textrank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "baselines/pagerank.h"
+#include "common/strings.h"
+#include "text/stopwords.h"
+
+namespace osrs {
+namespace {
+
+std::unordered_set<std::string> ContentWords(
+    const std::vector<std::string>& tokens) {
+  std::unordered_set<std::string> words;
+  for (const std::string& token : tokens) {
+    if (!IsStopword(token) && token.size() > 1) words.insert(token);
+  }
+  return words;
+}
+
+/// Mihalcea & Tarau similarity: |overlap| / (log|a| + log|b|).
+double Similarity(const std::unordered_set<std::string>& a,
+                  const std::unordered_set<std::string>& b) {
+  if (a.size() <= 1 || b.size() <= 1) return 0.0;
+  size_t overlap = 0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  for (const std::string& word : small) {
+    if (large.count(word)) ++overlap;
+  }
+  if (overlap == 0) return 0.0;
+  return static_cast<double>(overlap) /
+         (std::log(static_cast<double>(a.size())) +
+          std::log(static_cast<double>(b.size())));
+}
+
+}  // namespace
+
+Result<std::vector<int>> TextRankSelector::Select(
+    const std::vector<CandidateSentence>& sentences, int k) {
+  if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+  const size_t n = sentences.size();
+  std::vector<std::unordered_set<std::string>> bags;
+  bags.reserve(n);
+  for (const auto& sentence : sentences) {
+    bags.push_back(ContentWords(sentence.tokens));
+  }
+
+  std::vector<std::vector<std::pair<int, double>>> graph(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double sim = Similarity(bags[i], bags[j]);
+      if (sim > 0.0) {
+        graph[i].emplace_back(static_cast<int>(j), sim);
+        graph[j].emplace_back(static_cast<int>(i), sim);
+      }
+    }
+  }
+
+  std::vector<double> scores = PageRank(graph);
+  std::vector<int> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&scores](int a, int b) {
+    if (scores[static_cast<size_t>(a)] != scores[static_cast<size_t>(b)]) {
+      return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+  if (order.size() > static_cast<size_t>(k)) order.resize(static_cast<size_t>(k));
+  return order;
+}
+
+}  // namespace osrs

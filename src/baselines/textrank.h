@@ -1,0 +1,25 @@
+#ifndef OSRS_BASELINES_TEXTRANK_H_
+#define OSRS_BASELINES_TEXTRANK_H_
+
+#include <string>
+
+#include "baselines/sentence_selector.h"
+
+namespace osrs {
+
+/// TextRank [18]: sentences form a graph whose edge weights are the
+/// stopword-filtered word overlap normalized by log sentence lengths
+/// (Mihalcea & Tarau's similarity); PageRank scores rank sentences and the
+/// top k are returned. Sentiment-agnostic by design — it serves as one of
+/// the multi-document summarization baselines of §5.3.
+class TextRankSelector : public SentenceSelector {
+ public:
+  Result<std::vector<int>> Select(
+      const std::vector<CandidateSentence>& sentences, int k) override;
+
+  std::string name() const override { return "TextRank"; }
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_BASELINES_TEXTRANK_H_

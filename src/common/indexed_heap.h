@@ -1,0 +1,121 @@
+#ifndef OSRS_COMMON_INDEXED_HEAP_H_
+#define OSRS_COMMON_INDEXED_HEAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace osrs {
+
+/// Binary max-heap over the fixed id range [0, n) with addressable keys.
+///
+/// Supports the operations Algorithm 2 needs: build from initial keys,
+/// pop-max, and UpdateKey for ids whose marginal gain changed when a
+/// neighbor-of-neighbor was selected. Ids removed by PopMax stay out.
+/// Ties break toward the smaller id so runs are deterministic.
+class IndexedMaxHeap {
+ public:
+  /// Builds a heap containing every id in [0, keys.size()) in O(n).
+  explicit IndexedMaxHeap(std::vector<double> keys) : keys_(std::move(keys)) {
+    heap_.resize(keys_.size());
+    position_.resize(keys_.size());
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      heap_[i] = static_cast<int>(i);
+      position_[i] = static_cast<int>(i);
+    }
+    // Floyd's linear-time heapify.
+    for (size_t i = heap_.size(); i-- > 0;) SiftDown(i);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// True iff `id` is still in the heap (never popped).
+  bool Contains(int id) const {
+    return id >= 0 && static_cast<size_t>(id) < position_.size() &&
+           position_[static_cast<size_t>(id)] >= 0;
+  }
+
+  /// Current key of `id` (valid while Contains(id)).
+  double KeyOf(int id) const {
+    OSRS_CHECK(Contains(id));
+    return keys_[static_cast<size_t>(id)];
+  }
+
+  /// Id with the maximum key (smallest id on ties), without removing it.
+  int PeekMax() const {
+    OSRS_CHECK(!heap_.empty());
+    return heap_[0];
+  }
+
+  /// Removes and returns the id with the maximum key.
+  int PopMax() {
+    OSRS_CHECK(!heap_.empty());
+    int top = heap_[0];
+    SwapNodes(0, heap_.size() - 1);
+    heap_.pop_back();
+    position_[static_cast<size_t>(top)] = -1;
+    if (!heap_.empty()) SiftDown(0);
+    return top;
+  }
+
+  /// Changes the key of a contained id and restores the heap property.
+  void UpdateKey(int id, double new_key) {
+    OSRS_CHECK(Contains(id));
+    double old_key = keys_[static_cast<size_t>(id)];
+    keys_[static_cast<size_t>(id)] = new_key;
+    size_t pos = static_cast<size_t>(position_[static_cast<size_t>(id)]);
+    if (new_key > old_key) {
+      SiftUp(pos);
+    } else if (new_key < old_key) {
+      SiftDown(pos);
+    }
+  }
+
+ private:
+  /// Priority order: larger key first, then smaller id.
+  bool Precedes(int a, int b) const {
+    double ka = keys_[static_cast<size_t>(a)];
+    double kb = keys_[static_cast<size_t>(b)];
+    if (ka != kb) return ka > kb;
+    return a < b;
+  }
+
+  void SwapNodes(size_t i, size_t j) {
+    std::swap(heap_[i], heap_[j]);
+    position_[static_cast<size_t>(heap_[i])] = static_cast<int>(i);
+    position_[static_cast<size_t>(heap_[j])] = static_cast<int>(j);
+  }
+
+  void SiftUp(size_t pos) {
+    while (pos > 0) {
+      size_t parent = (pos - 1) / 2;
+      if (!Precedes(heap_[pos], heap_[parent])) break;
+      SwapNodes(pos, parent);
+      pos = parent;
+    }
+  }
+
+  void SiftDown(size_t pos) {
+    const size_t n = heap_.size();
+    while (true) {
+      size_t left = 2 * pos + 1;
+      size_t right = left + 1;
+      size_t best = pos;
+      if (left < n && Precedes(heap_[left], heap_[best])) best = left;
+      if (right < n && Precedes(heap_[right], heap_[best])) best = right;
+      if (best == pos) break;
+      SwapNodes(pos, best);
+      pos = best;
+    }
+  }
+
+  std::vector<double> keys_;   // keyed by id
+  std::vector<int> heap_;      // heap of ids
+  std::vector<int> position_;  // id -> index in heap_, -1 once popped
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_COMMON_INDEXED_HEAP_H_

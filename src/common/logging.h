@@ -1,0 +1,54 @@
+#ifndef OSRS_COMMON_LOGGING_H_
+#define OSRS_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace osrs {
+namespace internal_logging {
+
+/// Terminates the process after printing a fatal-check message. Used by the
+/// OSRS_CHECK family below; not part of the public API.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "OSRS_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace osrs
+
+/// Aborts the process when `condition` is false. Use for programmer-error
+/// invariants only; recoverable failures must return osrs::Status instead.
+#define OSRS_CHECK(condition)                                               \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::osrs::internal_logging::CheckFailed(__FILE__, __LINE__, #condition, \
+                                            "");                            \
+    }                                                                       \
+  } while (false)
+
+/// OSRS_CHECK with an additional streamed message, e.g.
+/// `OSRS_CHECK_MSG(i < n, "index " << i << " out of range")`.
+#define OSRS_CHECK_MSG(condition, stream_expr)                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::ostringstream osrs_check_stream;                                 \
+      osrs_check_stream << stream_expr;                                     \
+      ::osrs::internal_logging::CheckFailed(__FILE__, __LINE__, #condition, \
+                                            osrs_check_stream.str());       \
+    }                                                                       \
+  } while (false)
+
+#define OSRS_CHECK_EQ(a, b) OSRS_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define OSRS_CHECK_NE(a, b) OSRS_CHECK_MSG((a) != (b), (a) << " vs " << (b))
+#define OSRS_CHECK_LT(a, b) OSRS_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define OSRS_CHECK_LE(a, b) OSRS_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define OSRS_CHECK_GT(a, b) OSRS_CHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define OSRS_CHECK_GE(a, b) OSRS_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
+
+#endif  // OSRS_COMMON_LOGGING_H_

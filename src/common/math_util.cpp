@@ -1,0 +1,67 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace osrs {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double q) {
+  OSRS_CHECK(!values.empty());
+  OSRS_CHECK(q >= 0.0 && q <= 100.0);
+  std::sort(values.begin(), values.end());
+  double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double HarmonicNumber(size_t i) {
+  double h = 0.0;
+  for (size_t j = 1; j <= i; ++j) h += 1.0 / static_cast<double>(j);
+  return h;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  OSRS_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double na = Norm2(a);
+  double nb = Norm2(b);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+bool NearlyEqual(double a, double b, double tol) {
+  return std::abs(a - b) <= tol;
+}
+
+}  // namespace osrs

@@ -1,0 +1,40 @@
+#ifndef OSRS_COMMON_MATH_UTIL_H_
+#define OSRS_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace osrs {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, `q` in [0, 100]. Input need not be sorted.
+double Percentile(std::vector<double> values, double q);
+
+/// Harmonic number H(i) = 1 + 1/2 + ... + 1/i; H(0) = 0. Used by the greedy
+/// approximation bound of Theorem 4.
+double HarmonicNumber(size_t i);
+
+/// Numerically stable dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& a);
+
+/// Cosine similarity; 0 when either vector has zero norm.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Clamps `v` to the closed interval [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// True iff |a - b| <= tol.
+bool NearlyEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace osrs
+
+#endif  // OSRS_COMMON_MATH_UTIL_H_

@@ -1,0 +1,126 @@
+#ifndef OSRS_COMMON_STATUS_H_
+#define OSRS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace osrs {
+
+/// Machine-readable failure category carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+///
+/// The library does not throw exceptions on its main paths; operations that
+/// can fail for reasons other than programmer error return Status (or
+/// Result<T> when they also produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a fatal programmer error (checked).
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so `return value;` and `return status;` both work
+  /// in functions returning Result<T>.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    OSRS_CHECK_MSG(!std::get<Status>(data_).ok(),
+                   "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the contained error, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    OSRS_CHECK_MSG(ok(), "Result::value() on error: " << status().ToString());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    OSRS_CHECK_MSG(ok(), "Result::value() on error: " << status().ToString());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    OSRS_CHECK_MSG(ok(), "Result::value() on error: " << status().ToString());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace osrs
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define OSRS_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::osrs::Status osrs_status_tmp = (expr);         \
+    if (!osrs_status_tmp.ok()) return osrs_status_tmp; \
+  } while (false)
+
+#endif  // OSRS_COMMON_STATUS_H_

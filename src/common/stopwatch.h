@@ -1,0 +1,34 @@
+#ifndef OSRS_COMMON_STOPWATCH_H_
+#define OSRS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace osrs {
+
+/// Monotonic wall-clock stopwatch used by the experiment harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_COMMON_STOPWATCH_H_

@@ -1,0 +1,44 @@
+#ifndef OSRS_COMMON_STRINGS_H_
+#define OSRS_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osrs {
+
+/// Splits `text` on `delimiter`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Splits `text` on any ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a whole string as a base-10 integer. Returns false (leaving
+/// `out` untouched) on empty input, trailing garbage, or overflow — unlike
+/// std::stol it never throws, so it is safe on untrusted input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a whole string as a double; same contract as ParseInt64.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace osrs
+
+#endif  // OSRS_COMMON_STRINGS_H_

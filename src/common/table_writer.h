@@ -1,0 +1,44 @@
+#ifndef OSRS_COMMON_TABLE_WRITER_H_
+#define OSRS_COMMON_TABLE_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace osrs {
+
+/// Renders experiment results as an aligned console table (the format the
+/// benchmark binaries print to mirror the paper's tables/figures) and,
+/// optionally, as CSV for plotting.
+class TableWriter {
+ public:
+  /// `title` is printed above the table, e.g. "Figure 4 (top pairs): time".
+  explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats every cell with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Prints the aligned table to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Serializes as CSV (header + rows).
+  std::string ToCsv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,44 @@
+#include "core/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osrs {
+
+double DistanceToSummary(const PairDistance& distance,
+                         const std::vector<ConceptSentimentPair>& summary,
+                         const ConceptSentimentPair& pair) {
+  double best = distance.FromRoot(pair);
+  for (const ConceptSentimentPair& f : summary) {
+    best = std::min(best, distance(f, pair));
+  }
+  return best;
+}
+
+double SummaryCost(const PairDistance& distance,
+                   const std::vector<ConceptSentimentPair>& summary,
+                   const std::vector<ConceptSentimentPair>& pairs) {
+  double total = 0.0;
+  for (const ConceptSentimentPair& p : pairs) {
+    total += DistanceToSummary(distance, summary, p);
+  }
+  return total;
+}
+
+double CoveredFraction(const PairDistance& distance,
+                       const std::vector<ConceptSentimentPair>& summary,
+                       const std::vector<ConceptSentimentPair>& pairs) {
+  if (pairs.empty()) return 0.0;
+  size_t covered = 0;
+  for (const ConceptSentimentPair& p : pairs) {
+    for (const ConceptSentimentPair& f : summary) {
+      if (distance.Covers(f, p)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(pairs.size());
+}
+
+}  // namespace osrs

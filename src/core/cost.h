@@ -1,0 +1,36 @@
+#ifndef OSRS_CORE_COST_H_
+#define OSRS_CORE_COST_H_
+
+#include <vector>
+
+#include "core/distance.h"
+#include "core/model.h"
+
+namespace osrs {
+
+/// Reference (brute-force) implementation of the Definition 2 cost:
+///
+///   C(F, P) = Σ_{p ∈ P} min_{f ∈ F ∪ {r}} d(f, p)
+///
+/// The implicit root member of F makes every distance finite, so the cost is
+/// always well defined. O(|F|·|P|) pair-distance evaluations; the solvers
+/// maintain the same quantity incrementally via the coverage graph, and the
+/// tests cross-check them against this implementation.
+double SummaryCost(const PairDistance& distance,
+                   const std::vector<ConceptSentimentPair>& summary,
+                   const std::vector<ConceptSentimentPair>& pairs);
+
+/// Distance from summary F (plus the implicit root) to a single pair.
+double DistanceToSummary(const PairDistance& distance,
+                         const std::vector<ConceptSentimentPair>& summary,
+                         const ConceptSentimentPair& pair);
+
+/// Fraction of pairs in `pairs` covered by a non-root member of `summary`
+/// (used by the §5.3 elbow-method threshold selection).
+double CoveredFraction(const PairDistance& distance,
+                       const std::vector<ConceptSentimentPair>& summary,
+                       const std::vector<ConceptSentimentPair>& pairs);
+
+}  // namespace osrs
+
+#endif  // OSRS_CORE_COST_H_

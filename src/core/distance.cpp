@@ -1,0 +1,37 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace osrs {
+
+PairDistance::PairDistance(const Ontology* ontology, double epsilon)
+    : ontology_(ontology), epsilon_(epsilon) {
+  OSRS_CHECK(ontology != nullptr);
+  OSRS_CHECK(ontology->finalized());
+  OSRS_CHECK_GT(epsilon, 0.0);
+}
+
+double PairDistance::operator()(const ConceptSentimentPair& p1,
+                                const ConceptSentimentPair& p2) const {
+  if (p1.concept_id == ontology_->root()) {
+    return static_cast<double>(ontology_->DepthFromRoot(p2.concept_id));
+  }
+  if (std::abs(p1.sentiment - p2.sentiment) > epsilon_) {
+    return kInfiniteDistance;
+  }
+  int d = ontology_->AncestorDistance(p1.concept_id, p2.concept_id);
+  return d < 0 ? kInfiniteDistance : static_cast<double>(d);
+}
+
+bool PairDistance::Covers(const ConceptSentimentPair& p1,
+                          const ConceptSentimentPair& p2) const {
+  return std::isfinite((*this)(p1, p2));
+}
+
+double PairDistance::FromRoot(const ConceptSentimentPair& p) const {
+  return static_cast<double>(ontology_->DepthFromRoot(p.concept_id));
+}
+
+}  // namespace osrs

@@ -1,0 +1,53 @@
+#ifndef OSRS_CORE_DISTANCE_H_
+#define OSRS_CORE_DISTANCE_H_
+
+#include <limits>
+
+#include "core/model.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// Distance value meaning "does not cover" (Definition 1's ∞ branch).
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// The directed pair distance of Definition 1.
+///
+///   d(p1, p2) = d(r, c2)      if c1 is the root r
+///             = d(c1, c2)     if c1 is an ancestor-or-self of c2 and
+///                             |s1 - s2| <= eps
+///             = ∞             otherwise
+///
+/// where d(c1, c2) is the shortest directed path length in the hierarchy.
+/// p1 "covers" p2 iff the distance is finite. Note the asymmetry: a general
+/// concept covers its specializations (at close sentiment) but not vice
+/// versa, and the root covers everything regardless of sentiment.
+class PairDistance {
+ public:
+  /// `ontology` must be finalized and outlive this object. `epsilon` is the
+  /// sentiment threshold ε > 0 of Definition 1.
+  PairDistance(const Ontology* ontology, double epsilon);
+
+  /// d(p1, p2); kInfiniteDistance when p1 does not cover p2.
+  double operator()(const ConceptSentimentPair& p1,
+                    const ConceptSentimentPair& p2) const;
+
+  /// True iff p1 covers p2 (finite distance).
+  bool Covers(const ConceptSentimentPair& p1,
+              const ConceptSentimentPair& p2) const;
+
+  /// Distance from the implicit root pair to p (always finite): d(r, c_p).
+  double FromRoot(const ConceptSentimentPair& p) const;
+
+  double epsilon() const { return epsilon_; }
+  const Ontology& ontology() const { return *ontology_; }
+
+ private:
+  const Ontology* ontology_;
+  double epsilon_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_CORE_DISTANCE_H_

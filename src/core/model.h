@@ -1,0 +1,79 @@
+#ifndef OSRS_CORE_MODEL_H_
+#define OSRS_CORE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// A concept occurrence with its estimated sentiment in [-1, 1] (§2).
+struct ConceptSentimentPair {
+  ConceptId concept_id = kInvalidConcept;
+  double sentiment = 0.0;
+
+  friend bool operator==(const ConceptSentimentPair& a,
+                         const ConceptSentimentPair& b) {
+    return a.concept_id == b.concept_id && a.sentiment == b.sentiment;
+  }
+};
+
+/// One sentence of a review: its raw text plus the concept-sentiment pairs
+/// extracted from it.
+struct Sentence {
+  std::string text;
+  std::vector<ConceptSentimentPair> pairs;
+};
+
+/// One customer review: ordered sentences plus the reviewer's star rating
+/// normalized to [-1, 1] (used as weak supervision for sentiment training).
+struct Review {
+  std::vector<Sentence> sentences;
+  double rating = 0.0;
+};
+
+/// An item under review (a doctor or a phone) with all of its reviews.
+struct Item {
+  std::string id;
+  std::vector<Review> reviews;
+};
+
+/// Where in an item's reviews a pair occurred; the solvers work over flat
+/// pair lists and use the provenance to group pairs by sentence/review for
+/// the k-Sentences / k-Reviews variants (§4.5).
+struct PairOccurrence {
+  ConceptSentimentPair pair;
+  int review_index = -1;
+  int sentence_index = -1;  // within the review
+};
+
+/// Flattens all pairs of `item` in reading order, recording provenance.
+std::vector<PairOccurrence> CollectPairs(const Item& item);
+
+/// Strips provenance, keeping the pairs only.
+std::vector<ConceptSentimentPair> PairsOf(
+    const std::vector<PairOccurrence>& occurrences);
+
+/// Copy of `item` keeping only the first `max_reviews` reviews.
+Item TruncateReviews(const Item& item, size_t max_reviews);
+
+/// Copy of `item` keeping whole reviews (in order) until at most
+/// `max_pairs` concept-sentiment pairs are included. Used by the
+/// experiment harness to cap per-item (I)LP sizes; at least one review is
+/// kept even if it alone exceeds the budget.
+Item TruncateToPairBudget(const Item& item, size_t max_pairs);
+
+/// Granularity at which representatives are selected (§2's two problems;
+/// sentences and reviews share one machinery per §4.5).
+enum class SummaryGranularity {
+  kPairs,
+  kSentences,
+  kReviews,
+};
+
+const char* SummaryGranularityToString(SummaryGranularity granularity);
+
+}  // namespace osrs
+
+#endif  // OSRS_CORE_MODEL_H_

@@ -1,0 +1,47 @@
+#ifndef OSRS_CORE_REDUCTION_H_
+#define OSRS_CORE_REDUCTION_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// A Set Cover instance (S, U, k): universe {0..universe_size-1}, a
+/// collection of subsets, and a budget k.
+struct SetCoverInstance {
+  int universe_size = 0;
+  std::vector<std::vector<int>> sets;
+  int k = 0;
+};
+
+/// The k-Pairs Coverage instance produced by the Theorem 1 reduction
+/// (Fig. 2): for each set S_i a chain r → c_i → e_i, for each element u_j a
+/// node d_j that is a child of c_i for every set containing u_j; one pair
+/// per non-root node, all with sentiment 0; target t = 3m + n - 2k.
+struct KPairsReduction {
+  Ontology ontology;
+  std::vector<ConceptSentimentPair> pairs;
+  int k = 0;
+  double target = 0.0;
+  /// pairs[set_pair_index[i]] is the pair sitting on c_i; selecting exactly
+  /// these (for a cover) achieves the target cost.
+  std::vector<int> set_pair_index;
+  /// Concept ids of the c_i / e_i / d_j nodes for test introspection.
+  std::vector<ConceptId> c_nodes;
+  std::vector<ConceptId> e_nodes;
+  std::vector<ConceptId> d_nodes;
+};
+
+/// Builds the Theorem 1 reduction from `instance`. Any epsilon > 0 works
+/// since all sentiments are equal.
+KPairsReduction BuildKPairsReduction(const SetCoverInstance& instance);
+
+/// Reference check: does `chosen_sets` cover the universe?
+bool IsSetCover(const SetCoverInstance& instance,
+                const std::vector<int>& chosen_sets);
+
+}  // namespace osrs
+
+#endif  // OSRS_CORE_REDUCTION_H_

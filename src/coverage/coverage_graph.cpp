@@ -1,0 +1,255 @@
+#include "coverage/coverage_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace osrs {
+namespace {
+
+/// First pass of §4.1: bucket pair indices by concept.
+std::unordered_map<ConceptId, std::vector<int>> BucketByConcept(
+    const std::vector<ConceptSentimentPair>& pairs) {
+  std::unordered_map<ConceptId, std::vector<int>> buckets;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    buckets[pairs[i].concept_id].push_back(static_cast<int>(i));
+  }
+  return buckets;
+}
+
+/// Second pass of §4.1, shared by both builders: for each target pair w,
+/// walk the ancestors of its concept and report every candidate pair u
+/// sitting on an ancestor that covers w. Calls `emit(u_pair_index, w,
+/// weight)` once per covering (pair, target) combination.
+template <typename EmitFn>
+void ForEachCoveringPair(const PairDistance& distance,
+                         const std::vector<ConceptSentimentPair>& pairs,
+                         const EmitFn& emit) {
+  const Ontology& onto = distance.ontology();
+  const ConceptId root = onto.root();
+  const double eps = distance.epsilon();
+  auto buckets = BucketByConcept(pairs);
+  for (int w = 0; w < static_cast<int>(pairs.size()); ++w) {
+    const ConceptSentimentPair& target = pairs[static_cast<size_t>(w)];
+    for (const auto& [ancestor, hop_distance] :
+         onto.AncestorsWithDistance(target.concept_id)) {
+      auto it = buckets.find(ancestor);
+      if (it == buckets.end()) continue;
+      const bool ancestor_is_root = (ancestor == root);
+      for (int u : it->second) {
+        const ConceptSentimentPair& source = pairs[static_cast<size_t>(u)];
+        if (!ancestor_is_root &&
+            std::abs(source.sentiment - target.sentiment) > eps) {
+          continue;
+        }
+        emit(u, w, static_cast<double>(hop_distance));
+      }
+    }
+  }
+}
+
+std::vector<double> RootDistances(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs) {
+  std::vector<double> root_distance(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    root_distance[i] = distance.FromRoot(pairs[i]);
+  }
+  return root_distance;
+}
+
+}  // namespace
+
+CoverageGraph CoverageGraph::BuildForPairs(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs) {
+  std::vector<std::vector<Edge>> per_candidate(pairs.size());
+  ForEachCoveringPair(distance, pairs, [&](int u, int w, double weight) {
+    per_candidate[static_cast<size_t>(u)].push_back({w, weight});
+  });
+  CoverageGraph graph;
+  graph.Assemble(static_cast<int>(pairs.size()),
+                 static_cast<int>(pairs.size()), std::move(per_candidate),
+                 RootDistances(distance, pairs));
+  return graph;
+}
+
+CoverageGraph CoverageGraph::BuildForPairsWeighted(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs,
+    const std::vector<double>& target_weights) {
+  OSRS_CHECK_EQ(target_weights.size(), pairs.size());
+  CoverageGraph graph = BuildForPairs(distance, pairs);
+  graph.target_weights_ = target_weights;
+  return graph;
+}
+
+DedupedPairs DedupePairs(const std::vector<ConceptSentimentPair>& pairs,
+                         double sentiment_quantum) {
+  OSRS_CHECK_GT(sentiment_quantum, 0.0);
+  DedupedPairs out;
+  out.representative_of.resize(pairs.size());
+  // Bucket key: (concept, quantized sentiment).
+  std::map<std::pair<ConceptId, int64_t>, int> bucket_to_representative;
+  std::vector<double> sentiment_sums;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    int64_t bucket = static_cast<int64_t>(
+        std::floor(pairs[i].sentiment / sentiment_quantum));
+    auto [it, inserted] = bucket_to_representative.emplace(
+        std::make_pair(pairs[i].concept_id, bucket),
+        static_cast<int>(out.pairs.size()));
+    if (inserted) {
+      out.pairs.push_back(pairs[i]);
+      out.weights.push_back(0.0);
+      sentiment_sums.push_back(0.0);
+    }
+    int rep = it->second;
+    out.representative_of[i] = rep;
+    out.weights[static_cast<size_t>(rep)] += 1.0;
+    sentiment_sums[static_cast<size_t>(rep)] += pairs[i].sentiment;
+  }
+  // Representative sentiment = bucket mean (stays within the bucket).
+  for (size_t r = 0; r < out.pairs.size(); ++r) {
+    out.pairs[r].sentiment = sentiment_sums[r] / out.weights[r];
+  }
+  return out;
+}
+
+CoverageGraph CoverageGraph::BuildForGroups(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs,
+    const std::vector<std::vector<int>>& groups) {
+  // Map each pair index to its owning group (a pair belongs to exactly one
+  // sentence / review).
+  std::vector<int> group_of(pairs.size(), -1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (int pair_index : groups[g]) {
+      OSRS_CHECK_GE(pair_index, 0);
+      OSRS_CHECK_LT(static_cast<size_t>(pair_index), pairs.size());
+      OSRS_CHECK_MSG(group_of[static_cast<size_t>(pair_index)] == -1,
+                     "pair " << pair_index << " assigned to two groups");
+      group_of[static_cast<size_t>(pair_index)] = static_cast<int>(g);
+    }
+  }
+
+  // Aggregate pair-level edges to group level keeping the minimum weight.
+  // last_seen/best avoid a hash map: targets arrive in increasing w per the
+  // emit order, but one group may reach the same w through several member
+  // pairs, so dedupe with a per-(group) scratch of the current target.
+  std::vector<std::vector<Edge>> per_candidate(groups.size());
+  std::vector<int> last_target(groups.size(), -1);
+  ForEachCoveringPair(distance, pairs, [&](int u, int w, double weight) {
+    int g = group_of[static_cast<size_t>(u)];
+    if (g < 0) return;  // pair not part of any candidate group
+    auto& edges = per_candidate[static_cast<size_t>(g)];
+    if (last_target[static_cast<size_t>(g)] == w && !edges.empty() &&
+        edges.back().endpoint == w) {
+      edges.back().weight = std::min(edges.back().weight, weight);
+    } else {
+      edges.push_back({w, weight});
+      last_target[static_cast<size_t>(g)] = w;
+    }
+  });
+
+  CoverageGraph graph;
+  graph.Assemble(static_cast<int>(groups.size()),
+                 static_cast<int>(pairs.size()), std::move(per_candidate),
+                 RootDistances(distance, pairs));
+  return graph;
+}
+
+void CoverageGraph::Assemble(int num_candidates, int num_targets,
+                             std::vector<std::vector<Edge>> per_candidate,
+                             std::vector<double> root_distance) {
+  OSRS_CHECK_EQ(per_candidate.size(), static_cast<size_t>(num_candidates));
+  OSRS_CHECK_EQ(root_distance.size(), static_cast<size_t>(num_targets));
+  root_distance_ = std::move(root_distance);
+
+  size_t total_edges = 0;
+  for (const auto& edges : per_candidate) total_edges += edges.size();
+
+  forward_offsets_.assign(static_cast<size_t>(num_candidates) + 1, 0);
+  forward_edges_.clear();
+  forward_edges_.reserve(total_edges);
+  std::vector<size_t> backward_degree(static_cast<size_t>(num_targets), 0);
+  for (int u = 0; u < num_candidates; ++u) {
+    auto& edges = per_candidate[static_cast<size_t>(u)];
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) {
+                return a.endpoint < b.endpoint;
+              });
+    for (const Edge& e : edges) {
+      forward_edges_.push_back(e);
+      ++backward_degree[static_cast<size_t>(e.endpoint)];
+    }
+    forward_offsets_[static_cast<size_t>(u) + 1] = forward_edges_.size();
+  }
+
+  backward_offsets_.assign(static_cast<size_t>(num_targets) + 1, 0);
+  for (int w = 0; w < num_targets; ++w) {
+    backward_offsets_[static_cast<size_t>(w) + 1] =
+        backward_offsets_[static_cast<size_t>(w)] +
+        backward_degree[static_cast<size_t>(w)];
+  }
+  backward_edges_.resize(total_edges);
+  std::vector<size_t> cursor(backward_offsets_.begin(),
+                             backward_offsets_.end() - 1);
+  for (int u = 0; u < num_candidates; ++u) {
+    for (size_t i = forward_offsets_[static_cast<size_t>(u)];
+         i < forward_offsets_[static_cast<size_t>(u) + 1]; ++i) {
+      const Edge& e = forward_edges_[i];
+      backward_edges_[cursor[static_cast<size_t>(e.endpoint)]++] = {
+          u, e.weight};
+    }
+  }
+}
+
+std::span<const CoverageGraph::Edge> CoverageGraph::EdgesOf(int u) const {
+  OSRS_CHECK_GE(u, 0);
+  OSRS_CHECK_LT(u, num_candidates());
+  return {forward_edges_.data() + forward_offsets_[static_cast<size_t>(u)],
+          forward_offsets_[static_cast<size_t>(u) + 1] -
+              forward_offsets_[static_cast<size_t>(u)]};
+}
+
+std::span<const CoverageGraph::Edge> CoverageGraph::CoveringOf(int w) const {
+  OSRS_CHECK_GE(w, 0);
+  OSRS_CHECK_LT(w, num_targets());
+  return {backward_edges_.data() + backward_offsets_[static_cast<size_t>(w)],
+          backward_offsets_[static_cast<size_t>(w) + 1] -
+              backward_offsets_[static_cast<size_t>(w)]};
+}
+
+double CoverageGraph::EmptySummaryCost() const {
+  double total = 0.0;
+  for (size_t w = 0; w < root_distance_.size(); ++w) {
+    total += root_distance_[w] * target_weight(static_cast<int>(w));
+  }
+  return total;
+}
+
+double CoverageGraph::CostOfSelection(const std::vector<int>& selected) const {
+  std::vector<double> best(root_distance_);
+  for (int u : selected) {
+    for (const Edge& e : EdgesOf(u)) {
+      double& b = best[static_cast<size_t>(e.endpoint)];
+      b = std::min(b, e.weight);
+    }
+  }
+  double total = 0.0;
+  for (size_t w = 0; w < best.size(); ++w) {
+    total += best[w] * target_weight(static_cast<int>(w));
+  }
+  return total;
+}
+
+double CoverageGraph::AverageCandidateDegree() const {
+  if (num_candidates() == 0) return 0.0;
+  return static_cast<double>(forward_edges_.size()) /
+         static_cast<double>(num_candidates());
+}
+
+}  // namespace osrs

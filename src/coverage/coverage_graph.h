@@ -1,0 +1,123 @@
+#ifndef OSRS_COVERAGE_COVERAGE_GRAPH_H_
+#define OSRS_COVERAGE_COVERAGE_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/model.h"
+
+namespace osrs {
+
+/// The edge-weighted bipartite graph G = (U, W, E) of §4.1.
+///
+/// W is always the item's concept-sentiment pair multiset P (the coverage
+/// targets). U is the candidate set: the pairs themselves for k-Pairs
+/// Coverage, or sentences/reviews — groups of pair indices — for the §4.5
+/// variants. An edge (u, w) with weight d(u, w) exists iff candidate u
+/// covers target w at finite Definition 1 distance; for a group candidate
+/// the weight is the minimum over its member pairs.
+///
+/// Storage is CSR in both directions: the greedy algorithm walks forward
+/// edges (candidate → targets) when applying a selection and backward edges
+/// (target → candidates) to find the neighbor-of-neighbor keys to update.
+class CoverageGraph {
+ public:
+  /// A half-edge: the opposite endpoint and the coverage distance.
+  struct Edge {
+    int endpoint;
+    double weight;
+  };
+
+  /// Builds the k-Pairs graph: U = W = `pairs`. Mirrors the paper's two-pass
+  /// construction — bucket pairs by concept, then for each target walk its
+  /// concept's ancestors and link every bucketed candidate passing the
+  /// sentiment test.
+  static CoverageGraph BuildForPairs(
+      const PairDistance& distance,
+      const std::vector<ConceptSentimentPair>& pairs);
+
+  /// Builds the §4.5 graph: U = `groups` (each a list of indices into
+  /// `pairs`, e.g. the pairs of one sentence), W = `pairs`.
+  static CoverageGraph BuildForGroups(
+      const PairDistance& distance,
+      const std::vector<ConceptSentimentPair>& pairs,
+      const std::vector<std::vector<int>>& groups);
+
+  /// Like BuildForPairs but with a multiplicity per target: target w
+  /// contributes weight[w] · d(F, w) to the cost. Together with DedupePairs
+  /// this collapses the many duplicate pairs of real review sets (the same
+  /// popular aspect mentioned with near-identical sentiment) into one
+  /// weighted target, shrinking the graph without changing any cost.
+  static CoverageGraph BuildForPairsWeighted(
+      const PairDistance& distance,
+      const std::vector<ConceptSentimentPair>& pairs,
+      const std::vector<double>& target_weights);
+
+  int num_candidates() const { return static_cast<int>(forward_offsets_.size()) - 1; }
+  int num_targets() const { return static_cast<int>(root_distance_.size()); }
+  size_t num_edges() const { return forward_edges_.size(); }
+
+  /// Targets covered by candidate `u` with their distances.
+  std::span<const Edge> EdgesOf(int u) const;
+
+  /// Candidates covering target `w` with their distances.
+  std::span<const Edge> CoveringOf(int w) const;
+
+  /// d(r, pair_w): the always-available root coverage distance of target w.
+  double root_distance(int w) const { return root_distance_[w]; }
+
+  /// Multiplicity of target w (1.0 unless built weighted).
+  double target_weight(int w) const {
+    return target_weights_.empty()
+               ? 1.0
+               : target_weights_[static_cast<size_t>(w)];
+  }
+
+  /// Σ_w root_distance(w) — the cost of the empty summary.
+  double EmptySummaryCost() const;
+
+  /// Definition 2 cost of selecting candidate set `selected` (indices into
+  /// U), computed from the graph: Σ_w min(root, min over selected coverers).
+  double CostOfSelection(const std::vector<int>& selected) const;
+
+  /// Mean forward degree of candidates (graph sparsity diagnostic; §4.4's
+  /// running-time discussion depends on it).
+  double AverageCandidateDegree() const;
+
+  /// An empty graph (no candidates, no targets). Mostly useful as a
+  /// placeholder before assignment from one of the builders.
+  CoverageGraph() = default;
+
+ private:
+  /// Shared CSR assembly once per-candidate edge lists are known.
+  void Assemble(int num_candidates, int num_targets,
+                std::vector<std::vector<Edge>> per_candidate,
+                std::vector<double> root_distance);
+
+  // Forward CSR: candidate u covers forward_edges_[forward_offsets_[u] ..].
+  std::vector<size_t> forward_offsets_;
+  std::vector<Edge> forward_edges_;
+  // Backward CSR: target w is covered by backward_edges_[...].
+  std::vector<size_t> backward_offsets_;
+  std::vector<Edge> backward_edges_;
+  std::vector<double> root_distance_;
+  std::vector<double> target_weights_;  // empty = all ones
+};
+
+/// Collapses duplicate pairs: pairs with the same concept whose sentiments
+/// fall in the same quantization bucket of width `sentiment_quantum` merge
+/// into one representative (the bucket's weighted mean sentiment) with a
+/// multiplicity. Returns the unique pairs, their weights, and for each
+/// input pair the index of its representative.
+struct DedupedPairs {
+  std::vector<ConceptSentimentPair> pairs;
+  std::vector<double> weights;
+  std::vector<int> representative_of;  // per input pair
+};
+DedupedPairs DedupePairs(const std::vector<ConceptSentimentPair>& pairs,
+                         double sentiment_quantum);
+
+}  // namespace osrs
+
+#endif  // OSRS_COVERAGE_COVERAGE_GRAPH_H_

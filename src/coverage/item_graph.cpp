@@ -1,0 +1,46 @@
+#include "coverage/item_graph.h"
+
+#include "common/logging.h"
+#include "core/cost.h"
+
+namespace osrs {
+
+ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
+                         SummaryGranularity granularity) {
+  ItemGraph out;
+  out.granularity = granularity;
+  out.occurrences = CollectPairs(item);
+  std::vector<ConceptSentimentPair> pairs = PairsOf(out.occurrences);
+
+  if (granularity == SummaryGranularity::kPairs) {
+    out.graph = CoverageGraph::BuildForPairs(distance, pairs);
+    return out;
+  }
+
+  // Group consecutive occurrences by sentence or review. CollectPairs
+  // emits pairs in reading order, so each group is a contiguous run.
+  int current_review = -1;
+  int current_sentence = -1;
+  for (size_t i = 0; i < out.occurrences.size(); ++i) {
+    const PairOccurrence& occ = out.occurrences[i];
+    bool new_group =
+        granularity == SummaryGranularity::kSentences
+            ? (occ.review_index != current_review ||
+               occ.sentence_index != current_sentence)
+            : (occ.review_index != current_review);
+    if (new_group) {
+      out.groups.emplace_back();
+      out.group_origin.emplace_back(
+          occ.review_index,
+          granularity == SummaryGranularity::kSentences ? occ.sentence_index
+                                                        : -1);
+      current_review = occ.review_index;
+      current_sentence = occ.sentence_index;
+    }
+    out.groups.back().push_back(static_cast<int>(i));
+  }
+  out.graph = CoverageGraph::BuildForGroups(distance, pairs, out.groups);
+  return out;
+}
+
+}  // namespace osrs

@@ -1,0 +1,37 @@
+#ifndef OSRS_COVERAGE_ITEM_GRAPH_H_
+#define OSRS_COVERAGE_ITEM_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/model.h"
+#include "coverage/coverage_graph.h"
+
+namespace osrs {
+
+/// A coverage graph built from one item at a chosen granularity, together
+/// with the provenance needed to map selected candidates back to pairs,
+/// sentences or reviews.
+struct ItemGraph {
+  SummaryGranularity granularity = SummaryGranularity::kPairs;
+  /// The item's pairs in reading order (the W side of the graph).
+  std::vector<PairOccurrence> occurrences;
+  /// For sentence/review granularity: member pair indices per candidate.
+  /// Empty for pair granularity (candidates are the pairs themselves).
+  std::vector<std::vector<int>> groups;
+  /// For sentence/review granularity: (review index, sentence index) of
+  /// each candidate; sentence index is -1 at review granularity.
+  std::vector<std::pair<int, int>> group_origin;
+  CoverageGraph graph;
+};
+
+/// Builds the §4.1/§4.5 graph for `item`. Sentences/reviews without any
+/// concept-sentiment pair are not candidates (they can never cover
+/// anything), matching the candidate sets the paper's solvers see.
+ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
+                         SummaryGranularity granularity);
+
+}  // namespace osrs
+
+#endif  // OSRS_COVERAGE_ITEM_GRAPH_H_

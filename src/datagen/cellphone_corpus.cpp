@@ -1,0 +1,31 @@
+#include "datagen/cellphone_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/review_generator.h"
+#include "ontology/cellphone_hierarchy.h"
+
+namespace osrs {
+
+Corpus GenerateCellPhoneCorpus(const CellPhoneCorpusOptions& options) {
+  OSRS_CHECK_GT(options.scale, 0.0);
+  Ontology ontology = BuildCellPhoneHierarchy();
+
+  ReviewGeneratorSpec spec;
+  spec.domain = "phone";
+  spec.num_items =
+      std::max(1, static_cast<int>(std::lround(60 * options.scale)));
+  spec.min_reviews_per_item = 102;
+  spec.max_reviews_per_item = 3200;
+  spec.total_reviews =
+      static_cast<int64_t>(std::llround(33578 * options.scale));
+  spec.avg_sentences_per_review = 3.81;
+  spec.concept_sentence_prob = 0.8;
+  spec.second_concept_prob = 0.18;
+  spec.seed = options.seed + 1;
+  return GenerateReviewCorpus(ontology, spec);
+}
+
+}  // namespace osrs

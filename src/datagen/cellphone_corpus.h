@@ -1,0 +1,25 @@
+#ifndef OSRS_DATAGEN_CELLPHONE_CORPUS_H_
+#define OSRS_DATAGEN_CELLPHONE_CORPUS_H_
+
+#include <cstdint>
+
+#include "datagen/corpus.h"
+
+namespace osrs {
+
+/// Options of the synthetic cell-phone review corpus (the Amazon unlocked-
+/// phone dataset stand-in, Table 1 column 2: 60 phones, 33,578 reviews,
+/// min 102 / max 3200 reviews per phone, 3.81 sentences per review), over
+/// the Fig. 3 aspect hierarchy.
+struct CellPhoneCorpusOptions {
+  /// Scales item and review counts (1.0 = the full Table 1 size).
+  double scale = 1.0;
+  uint64_t seed = 43;
+};
+
+/// Generates the cell-phone corpus over the Fig. 3 hierarchy.
+Corpus GenerateCellPhoneCorpus(const CellPhoneCorpusOptions& options);
+
+}  // namespace osrs
+
+#endif  // OSRS_DATAGEN_CELLPHONE_CORPUS_H_

@@ -1,0 +1,33 @@
+#include "datagen/corpus.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace osrs {
+
+CorpusStats ComputeStats(const Corpus& corpus) {
+  CorpusStats stats;
+  stats.num_items = corpus.items.size();
+  stats.min_reviews_per_item = std::numeric_limits<int>::max();
+  for (const Item& item : corpus.items) {
+    int reviews = static_cast<int>(item.reviews.size());
+    stats.num_reviews += static_cast<size_t>(reviews);
+    stats.min_reviews_per_item = std::min(stats.min_reviews_per_item, reviews);
+    stats.max_reviews_per_item = std::max(stats.max_reviews_per_item, reviews);
+    for (const Review& review : item.reviews) {
+      stats.num_sentences += review.sentences.size();
+      for (const Sentence& sentence : review.sentences) {
+        stats.num_pairs += sentence.pairs.size();
+      }
+    }
+  }
+  if (stats.num_items == 0) stats.min_reviews_per_item = 0;
+  if (stats.num_reviews > 0) {
+    stats.avg_sentences_per_review =
+        static_cast<double>(stats.num_sentences) /
+        static_cast<double>(stats.num_reviews);
+  }
+  return stats;
+}
+
+}  // namespace osrs

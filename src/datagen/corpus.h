@@ -1,0 +1,38 @@
+#ifndef OSRS_DATAGEN_CORPUS_H_
+#define OSRS_DATAGEN_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// A review dataset: the concept hierarchy plus all items with their
+/// reviews. Sentences carry both realized English text and the generator's
+/// ground-truth concept-sentiment pairs, so experiments can run either on
+/// the annotations directly (quantitative, §5.2) or through the full
+/// extraction/sentiment pipeline (qualitative, §5.3).
+struct Corpus {
+  std::string domain;  // "doctor" or "cellphone"
+  Ontology ontology;
+  std::vector<Item> items;
+};
+
+/// The Table 1 characteristics of a corpus.
+struct CorpusStats {
+  size_t num_items = 0;
+  size_t num_reviews = 0;
+  size_t num_sentences = 0;
+  size_t num_pairs = 0;
+  int min_reviews_per_item = 0;
+  int max_reviews_per_item = 0;
+  double avg_sentences_per_review = 0.0;
+};
+
+CorpusStats ComputeStats(const Corpus& corpus);
+
+}  // namespace osrs
+
+#endif  // OSRS_DATAGEN_CORPUS_H_

@@ -1,0 +1,173 @@
+#include "datagen/corpus_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/strings.h"
+
+namespace osrs {
+namespace {
+
+bool HasForbiddenChars(std::string_view text) {
+  return text.find('\t') != std::string_view::npos ||
+         text.find('\n') != std::string_view::npos;
+}
+
+}  // namespace
+
+Result<std::string> SaveCorpus(const Corpus& corpus) {
+  if (!corpus.ontology.finalized()) {
+    return Status::FailedPrecondition("corpus ontology is not finalized");
+  }
+  std::string out = "# osrs-corpus v1\n";
+  out += "D\t" + corpus.domain + "\n";
+  // Inline the ontology with '|' as the line separator ('|' never appears
+  // in the ontology serialization itself).
+  std::string onto = corpus.ontology.Serialize();
+  for (char& c : onto) {
+    if (c == '\n') c = '|';
+  }
+  out += "O\t" + onto + "\n";
+  for (const Item& item : corpus.items) {
+    if (HasForbiddenChars(item.id)) {
+      return Status::InvalidArgument(
+          StrFormat("item id '%s' contains tab/newline", item.id.c_str()));
+    }
+    out += "I\t" + item.id + "\n";
+    for (const Review& review : item.reviews) {
+      out += StrFormat("R\t%.17g\n", review.rating);
+      for (const Sentence& sentence : review.sentences) {
+        if (HasForbiddenChars(sentence.text)) {
+          return Status::InvalidArgument("sentence text contains tab/newline");
+        }
+        out += "S\t" + sentence.text;
+        for (const ConceptSentimentPair& pair : sentence.pairs) {
+          out += StrFormat("\t%d:%.17g", pair.concept_id, pair.sentiment);
+        }
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+Result<Corpus> LoadCorpus(std::string_view text) {
+  Corpus corpus;
+  bool have_ontology = false;
+  Item* item = nullptr;
+  Review* review = nullptr;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    if (raw_line.empty() || raw_line[0] == '#') continue;
+    // Only the record kind is split off here; the remainder may itself
+    // contain tabs (the inlined ontology serialization does).
+    size_t tab = raw_line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("record without payload: '%s'", raw_line.c_str()));
+    }
+    std::string kind = raw_line.substr(0, tab);
+    std::string payload = raw_line.substr(tab + 1);
+    if (kind == "D") {
+      corpus.domain = payload;
+    } else if (kind == "O") {
+      for (char& c : payload) {
+        if (c == '|') c = '\n';
+      }
+      auto parsed = Ontology::Deserialize(payload);
+      OSRS_RETURN_IF_ERROR(parsed.status());
+      corpus.ontology = std::move(parsed).value();
+      have_ontology = true;
+    } else if (kind == "I") {
+      corpus.items.emplace_back();
+      item = &corpus.items.back();
+      item->id = payload;
+      review = nullptr;
+    } else if (kind == "R") {
+      if (item == nullptr) {
+        return Status::InvalidArgument("R line before any item");
+      }
+      double rating = 0.0;
+      if (!ParseDouble(payload, &rating)) {
+        return Status::InvalidArgument(
+            StrFormat("malformed rating '%s'", payload.c_str()));
+      }
+      item->reviews.emplace_back();
+      review = &item->reviews.back();
+      review->rating = rating;
+    } else if (kind == "S") {
+      if (review == nullptr) {
+        return Status::InvalidArgument("S line before any review");
+      }
+      std::vector<std::string> fields = Split(payload, '\t');
+      Sentence sentence;
+      sentence.text = fields[0];
+      for (size_t f = 1; f < fields.size(); ++f) {
+        size_t colon = fields[f].find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument(
+              StrFormat("bad pair field '%s'", fields[f].c_str()));
+        }
+        int64_t concept_id = 0;
+        double sentiment = 0.0;
+        if (!ParseInt64(fields[f].substr(0, colon), &concept_id) ||
+            !ParseDouble(fields[f].substr(colon + 1), &sentiment)) {
+          return Status::InvalidArgument(
+              StrFormat("bad pair field '%s'", fields[f].c_str()));
+        }
+        ConceptSentimentPair pair;
+        pair.concept_id = static_cast<ConceptId>(concept_id);
+        pair.sentiment = sentiment;
+        if (have_ontology &&
+            (pair.concept_id < 0 ||
+             static_cast<size_t>(pair.concept_id) >=
+                 corpus.ontology.num_concepts())) {
+          return Status::InvalidArgument(
+              StrFormat("pair references unknown concept %d",
+                        pair.concept_id));
+        }
+        sentence.pairs.push_back(pair);
+      }
+      review->sentences.push_back(std::move(sentence));
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown record kind '%s'", kind.c_str()));
+    }
+  }
+  if (!have_ontology) {
+    return Status::InvalidArgument("corpus has no ontology record");
+  }
+  return corpus;
+}
+
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path) {
+  auto serialized = SaveCorpus(corpus);
+  OSRS_RETURN_IF_ERROR(serialized.status());
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  size_t written =
+      std::fwrite(serialized->data(), 1, serialized->size(), file.get());
+  if (written != serialized->size()) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Corpus> LoadCorpusFromFile(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    contents.append(buffer, got);
+  }
+  return LoadCorpus(contents);
+}
+
+}  // namespace osrs

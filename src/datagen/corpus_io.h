@@ -1,0 +1,35 @@
+#ifndef OSRS_DATAGEN_CORPUS_IO_H_
+#define OSRS_DATAGEN_CORPUS_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "datagen/corpus.h"
+
+namespace osrs {
+
+/// Serializes a corpus to a line-oriented, tab-separated text format:
+///
+///   # osrs-corpus v1
+///   D <domain>
+///   O <ontology serialized inline, '|' replacing newlines>
+///   I <item id>
+///   R <rating>
+///   S <text> [<concept id>:<sentiment>]...
+///
+/// Items own the R/S lines that follow them; reviews own their S lines.
+/// Round-trips through LoadCorpus. Sentence text must not contain tabs or
+/// newlines (the generator never emits them; SaveCorpus rejects them).
+Result<std::string> SaveCorpus(const Corpus& corpus);
+
+/// Parses the SaveCorpus format.
+Result<Corpus> LoadCorpus(std::string_view text);
+
+/// Convenience file wrappers.
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path);
+Result<Corpus> LoadCorpusFromFile(const std::string& path);
+
+}  // namespace osrs
+
+#endif  // OSRS_DATAGEN_CORPUS_IO_H_

@@ -1,0 +1,33 @@
+#include "datagen/doctor_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/review_generator.h"
+#include "ontology/snomed_like.h"
+
+namespace osrs {
+
+Corpus GenerateDoctorCorpus(const DoctorCorpusOptions& options) {
+  OSRS_CHECK_GT(options.scale, 0.0);
+  SnomedLikeOptions ontology_options;
+  ontology_options.num_concepts = options.ontology_concepts;
+  ontology_options.seed = options.seed;
+  Ontology ontology = BuildSnomedLikeOntology(ontology_options);
+
+  ReviewGeneratorSpec spec;
+  spec.domain = "doctor";
+  spec.num_items =
+      std::max(1, static_cast<int>(std::lround(1000 * options.scale)));
+  spec.min_reviews_per_item = 43;
+  spec.max_reviews_per_item = 354;
+  spec.total_reviews = static_cast<int64_t>(std::llround(68686 * options.scale));
+  spec.avg_sentences_per_review = 4.87;
+  spec.concept_sentence_prob = 0.7;
+  spec.second_concept_prob = 0.12;
+  spec.seed = options.seed + 1;
+  return GenerateReviewCorpus(ontology, spec);
+}
+
+}  // namespace osrs

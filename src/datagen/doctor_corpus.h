@@ -1,0 +1,27 @@
+#ifndef OSRS_DATAGEN_DOCTOR_CORPUS_H_
+#define OSRS_DATAGEN_DOCTOR_CORPUS_H_
+
+#include <cstdint>
+
+#include "datagen/corpus.h"
+
+namespace osrs {
+
+/// Options of the synthetic doctor-review corpus (the vitals.com dataset
+/// stand-in, Table 1 column 1: 1000 doctors, 68,686 reviews, min 43 /
+/// max 354 reviews per doctor, 4.87 sentences per review on average).
+struct DoctorCorpusOptions {
+  /// Scales item and review counts (1.0 = the full Table 1 size). Smaller
+  /// scales are used by tests and the time-boxed quantitative benches.
+  double scale = 1.0;
+  /// Concepts in the SNOMED-like ontology.
+  int ontology_concepts = 5000;
+  uint64_t seed = 42;
+};
+
+/// Generates the doctor corpus over a SNOMED-like ontology.
+Corpus GenerateDoctorCorpus(const DoctorCorpusOptions& options);
+
+}  // namespace osrs
+
+#endif  // OSRS_DATAGEN_DOCTOR_CORPUS_H_

@@ -1,0 +1,278 @@
+#include "datagen/review_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sentiment/lexicon.h"
+
+namespace osrs {
+namespace {
+
+/// Sentence templates; {term} is the concept surface form, {op} an opinion
+/// word realizing the sentiment, {op2}/{term2} the optional second concept.
+struct TemplateSet {
+  std::vector<const char*> single;
+  std::vector<const char*> dual;
+  std::vector<const char*> filler;
+};
+
+const TemplateSet& DoctorTemplates() {
+  static const TemplateSet& templates = *new TemplateSet{
+      {
+          "the {term} was {op}",
+          "my {term} treatment felt {op}",
+          "her handling of my {term} was {op}",
+          "the doctor was {op} with my {term}",
+          "follow up on the {term} was {op}",
+          "i found the {term} care {op}",
+          "management of {term} seemed {op}",
+      },
+      {
+          "the {term} was {op} but the {term2} felt {op2}",
+          "while my {term} care was {op}, the {term2} handling was {op2}",
+      },
+      {
+          "i visited the office last month",
+          "the waiting room was on the second floor",
+          "i was referred by a friend",
+          "parking took a while to find",
+          "the front desk asked for my insurance card",
+          "my appointment was on a tuesday",
+      },
+  };
+  return templates;
+}
+
+const TemplateSet& PhoneTemplates() {
+  static const TemplateSet& templates = *new TemplateSet{
+      {
+          "the {term} is {op}",
+          "i think the {term} looks {op}",
+          "this phone's {term} feels {op}",
+          "honestly the {term} turned out {op}",
+          "after a week the {term} is still {op}",
+          "for the price the {term} is {op}",
+          "{op} {term} on this model",
+      },
+      {
+          "the {term} is {op} but the {term2} is {op2}",
+          "{op} {term} although the {term2} seems {op2}",
+      },
+      {
+          "i bought this phone last week",
+          "it arrived in two days",
+          "the box included a charger and a manual",
+          "i switched from my old phone",
+          "my daughter has the same model",
+          "i use it mostly for email",
+      },
+  };
+  return templates;
+}
+
+/// Replaces the first occurrence of `placeholder` in `text` with `value`.
+void ReplaceFirst(std::string& text, std::string_view placeholder,
+                  std::string_view value) {
+  size_t pos = text.find(placeholder);
+  if (pos != std::string::npos) {
+    text.replace(pos, placeholder.size(), value);
+  }
+}
+
+/// Shortest registered surface form of each concept (reads better in
+/// templates than the serial-suffixed canonical names).
+std::vector<std::string> BuildSurfaceForms(const Ontology& ontology) {
+  std::vector<std::string> forms(ontology.num_concepts());
+  for (ConceptId id = 0; id < static_cast<ConceptId>(ontology.num_concepts());
+       ++id) {
+    forms[static_cast<size_t>(id)] = ontology.name(id);
+  }
+  for (const auto& [term, id] : ontology.term_lexicon()) {
+    if (StartsWith(term, "umls c")) continue;  // CUI-style ids read poorly
+    std::string& current = forms[static_cast<size_t>(id)];
+    if (term.size() < current.size()) current = term;
+  }
+  return forms;
+}
+
+/// An opinion phrase ("very great", "slightly bad") realizing `sentiment`.
+std::string OpinionPhrase(double sentiment, Rng& rng) {
+  const SentimentLexicon& lexicon = SentimentLexicon::Default();
+  // Occasionally weaken the word and add an intensifier so the realized
+  // phrase still reads back near the target strength.
+  if (std::abs(sentiment) > 0.7 && rng.NextBernoulli(0.35)) {
+    const std::string& word = lexicon.AdjectiveForStrength(sentiment * 0.6);
+    return "very " + word;
+  }
+  return lexicon.AdjectiveForStrength(sentiment);
+}
+
+}  // namespace
+
+Corpus GenerateReviewCorpus(const Ontology& ontology,
+                            const ReviewGeneratorSpec& spec) {
+  OSRS_CHECK_GE(spec.num_items, 1);
+  OSRS_CHECK_GE(spec.min_reviews_per_item, 1);
+  OSRS_CHECK_GE(spec.max_reviews_per_item, spec.min_reviews_per_item);
+  OSRS_CHECK(ontology.finalized());
+
+  Corpus corpus;
+  corpus.domain = spec.domain;
+  corpus.ontology = ontology;
+  const TemplateSet& templates =
+      spec.domain == "doctor" ? DoctorTemplates() : PhoneTemplates();
+  Rng rng(spec.seed);
+
+  // ---- Per-item review counts: lognormal, clamped, fixed up to the exact
+  // total with the exact min and max represented (Table 1 rows).
+  const int n = spec.num_items;
+  const int64_t lo = static_cast<int64_t>(spec.min_reviews_per_item);
+  const int64_t hi = static_cast<int64_t>(spec.max_reviews_per_item);
+  int64_t total = std::clamp(spec.total_reviews, lo * n, hi * n);
+  double mean_target = static_cast<double>(total) / n;
+  // Lognormal mu so that the median sits below the mean (heavy upper tail).
+  double mu = std::log(std::max(1.0, mean_target)) -
+              0.5 * spec.review_count_sigma * spec.review_count_sigma;
+  std::vector<int64_t> counts(static_cast<size_t>(n));
+  for (auto& count : counts) {
+    double sample = std::exp(rng.NextGaussian(mu, spec.review_count_sigma));
+    count = std::clamp(static_cast<int64_t>(std::llround(sample)), lo, hi);
+  }
+  bool pin_extremes = n >= 3;
+  if (pin_extremes) {
+    counts[0] = hi;  // guarantee the documented max...
+    counts[1] = lo;  // ...and min are hit exactly
+  }
+  // Adjust random items until the total matches exactly. If the pinned
+  // extremes make the target unreachable (degenerate specs), unpin them.
+  int64_t current = 0;
+  for (int64_t count : counts) current += count;
+  int64_t stalled = 0;
+  while (current != total) {
+    size_t index = static_cast<size_t>(rng.NextUint64(counts.size()));
+    if (pin_extremes && (index == 0 || index == 1)) {
+      if (++stalled > 1000 * n) pin_extremes = false;
+      continue;
+    }
+    if (current < total && counts[index] < hi) {
+      ++counts[index];
+      ++current;
+    } else if (current > total && counts[index] > lo) {
+      --counts[index];
+      --current;
+    } else if (++stalled > 1000 * n) {
+      pin_extremes = false;
+    }
+  }
+
+  // ---- Concept popularity: Zipf ranks over a shuffled concept order.
+  std::vector<ConceptId> concept_order;
+  for (ConceptId id = 0; id < static_cast<ConceptId>(ontology.num_concepts());
+       ++id) {
+    if (id != ontology.root()) concept_order.push_back(id);
+  }
+  rng.Shuffle(concept_order);
+  std::vector<std::string> surface = BuildSurfaceForms(ontology);
+
+  auto sample_concept = [&]() -> ConceptId {
+    uint64_t rank = rng.NextZipf(concept_order.size(), spec.concept_zipf_s);
+    return concept_order[rank];
+  };
+
+  // ---- Items.
+  const int sentence_base = static_cast<int>(spec.avg_sentences_per_review);
+  const double sentence_frac =
+      spec.avg_sentences_per_review - sentence_base;
+  corpus.items.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Item item;
+    item.id = StrFormat("%s-%04d", spec.domain.c_str(), i);
+    double item_quality = Clamp(
+        rng.NextGaussian(spec.item_quality_mean, spec.item_quality_stddev),
+        -0.9, 0.9);
+    // Lazily materialized per-concept aspect qualities for this item.
+    std::unordered_map<ConceptId, double> aspect_quality;
+    auto quality_of = [&](ConceptId concept_id) {
+      auto it = aspect_quality.find(concept_id);
+      if (it == aspect_quality.end()) {
+        double q = Clamp(item_quality + rng.NextGaussian(0, spec.aspect_noise),
+                         -1.0, 1.0);
+        it = aspect_quality.emplace(concept_id, q).first;
+      }
+      return it->second;
+    };
+
+    item.reviews.reserve(static_cast<size_t>(counts[static_cast<size_t>(i)]));
+    for (int64_t r = 0; r < counts[static_cast<size_t>(i)]; ++r) {
+      Review review;
+      // Sentence count: base (+1 with prob frac) + uniform jitter in
+      // [-2, 2], clamped to >= 1; expectation = the configured average for
+      // base >= 3 (jitter clamps are symmetric there).
+      int num_sentences = sentence_base +
+                          (rng.NextBernoulli(sentence_frac) ? 1 : 0) +
+                          static_cast<int>(rng.NextInt(-2, 2));
+      num_sentences = std::max(1, num_sentences);
+      double sentiment_sum = 0.0;
+      int sentiment_count = 0;
+      for (int s = 0; s < num_sentences; ++s) {
+        Sentence sentence;
+        if (rng.NextBernoulli(spec.concept_sentence_prob)) {
+          ConceptId c1 = sample_concept();
+          double s1 = Clamp(
+              quality_of(c1) + rng.NextGaussian(0, spec.mention_noise), -1.0,
+              1.0);
+          bool dual = rng.NextBernoulli(spec.second_concept_prob) &&
+                      !templates.dual.empty();
+          if (dual) {
+            ConceptId c2 = sample_concept();
+            if (c2 == c1) {
+              dual = false;
+            } else {
+              double s2 = Clamp(
+                  quality_of(c2) + rng.NextGaussian(0, spec.mention_noise),
+                  -1.0, 1.0);
+              std::string text = templates.dual[rng.NextUint64(
+                  templates.dual.size())];
+              ReplaceFirst(text, "{term}", surface[static_cast<size_t>(c1)]);
+              ReplaceFirst(text, "{op}", OpinionPhrase(s1, rng));
+              ReplaceFirst(text, "{term2}", surface[static_cast<size_t>(c2)]);
+              ReplaceFirst(text, "{op2}", OpinionPhrase(s2, rng));
+              sentence.text = std::move(text);
+              sentence.pairs = {{c1, s1}, {c2, s2}};
+              sentiment_sum += s1 + s2;
+              sentiment_count += 2;
+            }
+          }
+          if (!dual) {
+            std::string text = templates.single[rng.NextUint64(
+                templates.single.size())];
+            ReplaceFirst(text, "{term}", surface[static_cast<size_t>(c1)]);
+            ReplaceFirst(text, "{op}", OpinionPhrase(s1, rng));
+            sentence.text = std::move(text);
+            sentence.pairs = {{c1, s1}};
+            sentiment_sum += s1;
+            sentiment_count += 1;
+          }
+        } else {
+          sentence.text =
+              templates.filler[rng.NextUint64(templates.filler.size())];
+        }
+        review.sentences.push_back(std::move(sentence));
+      }
+      double base_rating = sentiment_count > 0
+                               ? sentiment_sum / sentiment_count
+                               : item_quality;
+      review.rating = Clamp(base_rating + rng.NextGaussian(0, 0.1), -1.0, 1.0);
+      item.reviews.push_back(std::move(review));
+    }
+    corpus.items.push_back(std::move(item));
+  }
+  return corpus;
+}
+
+}  // namespace osrs

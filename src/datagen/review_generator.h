@@ -1,0 +1,59 @@
+#ifndef OSRS_DATAGEN_REVIEW_GENERATOR_H_
+#define OSRS_DATAGEN_REVIEW_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datagen/corpus.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// Parameters of the synthetic review generator. One engine serves both
+/// domains; the domain string selects the sentence template set.
+///
+/// The generator reproduces the distributional properties the paper's
+/// algorithms are sensitive to: per-item review counts between an exact
+/// min and max summing to an exact total (Table 1), a target mean sentences
+/// per review, Zipf-skewed concept popularity (a few aspects dominate, as
+/// with real products), and a two-level sentiment model — each item has a
+/// latent quality, each (item, concept) a quality offset, and each mention
+/// adds observation noise — so the same concept recurs with *clustered but
+/// graded* sentiments, which is precisely the regime where graded coverage
+/// beats boolean polarity.
+struct ReviewGeneratorSpec {
+  std::string domain = "phone";  // "doctor" or "phone"
+  int num_items = 10;
+  int min_reviews_per_item = 5;
+  int max_reviews_per_item = 50;
+  /// Exact corpus-wide review count; clamped into
+  /// [num_items*min, num_items*max].
+  int64_t total_reviews = 200;
+  double avg_sentences_per_review = 4.0;
+  /// Spread (lognormal sigma) of per-item review counts before fix-up.
+  double review_count_sigma = 0.7;
+
+  /// Probability that a sentence mentions a concept (else filler text).
+  double concept_sentence_prob = 0.75;
+  /// Probability that a concept sentence mentions a second concept.
+  double second_concept_prob = 0.15;
+  /// Zipf exponent of concept popularity over the ontology.
+  double concept_zipf_s = 1.05;
+
+  double item_quality_mean = 0.25;
+  double item_quality_stddev = 0.4;
+  /// Spread of per-(item, concept) quality around the item quality.
+  double aspect_noise = 0.35;
+  /// Observation noise of one mention around the aspect quality.
+  double mention_noise = 0.2;
+
+  uint64_t seed = 42;
+};
+
+/// Generates a corpus over `ontology` (copied into the result).
+Corpus GenerateReviewCorpus(const Ontology& ontology,
+                            const ReviewGeneratorSpec& spec);
+
+}  // namespace osrs
+
+#endif  // OSRS_DATAGEN_REVIEW_GENERATOR_H_

@@ -1,0 +1,103 @@
+#include "eval/coverage_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "core/cost.h"
+
+namespace osrs {
+
+CoverageReport AnalyzeCoverage(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& summary,
+    const std::vector<ConceptSentimentPair>& pairs) {
+  CoverageReport report;
+  report.num_pairs = pairs.size();
+  report.summary_size = summary.size();
+
+  std::set<ConceptId> all_concepts;
+  std::set<ConceptId> covered_concepts;
+  double covered_distance_sum = 0.0;
+  size_t covered = 0;
+  for (const ConceptSentimentPair& pair : pairs) {
+    all_concepts.insert(pair.concept_id);
+    report.empty_cost += distance.FromRoot(pair);
+    double best = kInfiniteDistance;
+    for (const ConceptSentimentPair& f : summary) {
+      best = std::min(best, distance(f, pair));
+    }
+    if (std::isfinite(best)) {
+      ++covered;
+      covered_distance_sum += best;
+      covered_concepts.insert(pair.concept_id);
+      report.cost += std::min(best, distance.FromRoot(pair));
+    } else {
+      report.cost += distance.FromRoot(pair);
+    }
+  }
+  report.covered_fraction =
+      pairs.empty() ? 0.0
+                    : static_cast<double>(covered) /
+                          static_cast<double>(pairs.size());
+  report.mean_covered_distance =
+      covered == 0 ? 0.0 : covered_distance_sum / static_cast<double>(covered);
+  report.cost_reduction =
+      report.empty_cost <= 0.0 ? 0.0
+                               : 1.0 - report.cost / report.empty_cost;
+  report.distinct_concepts = all_concepts.size();
+  report.covered_concepts = covered_concepts.size();
+  return report;
+}
+
+std::string CoverageReport::ToString() const {
+  std::string out;
+  out += StrFormat("summary of %zu / %zu pairs\n", summary_size, num_pairs);
+  out += StrFormat("  cost            %.1f (empty %.1f, reduction %.1f%%)\n",
+                   cost, empty_cost, 100.0 * cost_reduction);
+  out += StrFormat("  covered pairs   %.1f%% (mean distance %.2f)\n",
+                   100.0 * covered_fraction, mean_covered_distance);
+  out += StrFormat("  covered concepts %zu / %zu\n", covered_concepts,
+                   distinct_concepts);
+  return out;
+}
+
+std::string RenderPairsOnHierarchy(
+    const Ontology& ontology, const std::vector<ConceptSentimentPair>& pairs,
+    size_t max_concepts) {
+  std::map<ConceptId, std::vector<double>> by_concept;
+  for (const ConceptSentimentPair& pair : pairs) {
+    by_concept[pair.concept_id].push_back(pair.sentiment);
+  }
+  // Most-mentioned concepts first.
+  std::vector<std::pair<ConceptId, const std::vector<double>*>> ordered;
+  ordered.reserve(by_concept.size());
+  for (const auto& [concept_id, sentiments] : by_concept) {
+    ordered.emplace_back(concept_id, &sentiments);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->size() != b.second->size()) {
+                return a.second->size() > b.second->size();
+              }
+              return a.first < b.first;
+            });
+  if (max_concepts > 0 && ordered.size() > max_concepts) {
+    ordered.resize(max_concepts);
+  }
+  std::string out;
+  for (const auto& [concept_id, sentiments] : ordered) {
+    out += StrFormat("depth %d  %-40s ", ontology.DepthFromRoot(concept_id),
+                     ontology.name(concept_id).c_str());
+    for (size_t i = 0; i < std::min<size_t>(sentiments->size(), 10); ++i) {
+      out += StrFormat("(%+.1f) ", (*sentiments)[i]);
+    }
+    if (sentiments->size() > 10) out += "...";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace osrs

@@ -1,0 +1,51 @@
+#ifndef OSRS_EVAL_COVERAGE_REPORT_H_
+#define OSRS_EVAL_COVERAGE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/model.h"
+
+namespace osrs {
+
+/// Diagnostics of one summary against the full pair set — the quantities
+/// the paper's evaluation discusses (coverage cost, covered fraction) plus
+/// the breakdowns a practitioner wants when tuning ε or k.
+struct CoverageReport {
+  /// Definition 2 cost of the summary.
+  double cost = 0.0;
+  /// Cost of the empty summary (everything on the root) — the baseline the
+  /// summary is improving on.
+  double empty_cost = 0.0;
+  /// 1 - cost/empty_cost; 0 when nothing improves, 1 when fully covered.
+  double cost_reduction = 0.0;
+  /// Fraction of pairs covered by a non-root summary member.
+  double covered_fraction = 0.0;
+  /// Mean Definition 1 distance from the summary to covered pairs.
+  double mean_covered_distance = 0.0;
+  /// Distinct concepts among the pairs / among covered pairs.
+  size_t distinct_concepts = 0;
+  size_t covered_concepts = 0;
+  size_t num_pairs = 0;
+  size_t summary_size = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes the report for `summary` over `pairs` under `distance`.
+CoverageReport AnalyzeCoverage(const PairDistance& distance,
+                               const std::vector<ConceptSentimentPair>& summary,
+                               const std::vector<ConceptSentimentPair>& pairs);
+
+/// Fig.-1-style text rendering: the pair multiset grouped by concept with
+/// depths and sentiments, ordered by frequency. `max_concepts` limits the
+/// output; 0 means all.
+std::string RenderPairsOnHierarchy(
+    const Ontology& ontology, const std::vector<ConceptSentimentPair>& pairs,
+    size_t max_concepts = 10);
+
+}  // namespace osrs
+
+#endif  // OSRS_EVAL_COVERAGE_REPORT_H_

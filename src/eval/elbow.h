@@ -1,0 +1,31 @@
+#ifndef OSRS_EVAL_ELBOW_H_
+#define OSRS_EVAL_ELBOW_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// One sweep of the §5.3 elbow method for choosing the sentiment threshold
+/// ε used by the greedy summarizer.
+struct ElbowResult {
+  std::vector<double> epsilons;
+  /// Fraction of review pairs covered by the greedy size-k summary at each
+  /// ε (non-decreasing in ε; the curve's knee is the chosen threshold).
+  std::vector<double> covered_fraction;
+  double chosen_epsilon = 0.0;
+};
+
+/// Runs greedy k-Pairs summaries across `epsilons` (must be increasing)
+/// and picks the knee of the coverage curve by the maximum-distance-to-
+/// chord rule: past the knee, raising ε stops buying coverage — the
+/// "rate of covered sentences significantly drops" criterion of §5.3.
+ElbowResult SelectEpsilonByElbow(const Ontology& ontology,
+                                 const std::vector<ConceptSentimentPair>& pairs,
+                                 int k, std::vector<double> epsilons);
+
+}  // namespace osrs
+
+#endif  // OSRS_EVAL_ELBOW_H_

@@ -1,0 +1,60 @@
+#include "eval/sent_err.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace osrs {
+
+double SentErr(const Ontology& ontology,
+               const std::vector<ConceptSentimentPair>& review_pairs,
+               const std::vector<ConceptSentimentPair>& summary_pairs,
+               bool penalized) {
+  if (review_pairs.empty()) return 0.0;
+
+  // Sentiments present in the summary, per concept.
+  std::unordered_map<ConceptId, std::vector<double>> summary_by_concept;
+  for (const auto& pair : summary_pairs) {
+    summary_by_concept[pair.concept_id].push_back(pair.sentiment);
+  }
+  auto closest_sentiment_gap = [&](ConceptId concept_id,
+                                   double sentiment) -> double {
+    const auto& sentiments = summary_by_concept.at(concept_id);
+    double best = std::numeric_limits<double>::infinity();
+    for (double s : sentiments) best = std::min(best, std::abs(s - sentiment));
+    return best;
+  };
+
+  double sum_sq = 0.0;
+  for (const auto& pair : review_pairs) {
+    double err;
+    if (summary_by_concept.count(pair.concept_id)) {
+      err = closest_sentiment_gap(pair.concept_id, pair.sentiment);
+    } else {
+      // Lowest (minimum-distance) ancestor present in the summary.
+      // AncestorsWithDistance returns BFS order: non-decreasing distance.
+      ConceptId lowest = kInvalidConcept;
+      for (const auto& [ancestor, distance] :
+           ontology.AncestorsWithDistance(pair.concept_id)) {
+        if (ancestor != pair.concept_id &&
+            summary_by_concept.count(ancestor)) {
+          lowest = ancestor;
+          break;
+        }
+      }
+      if (lowest != kInvalidConcept) {
+        err = closest_sentiment_gap(lowest, pair.sentiment);
+      } else if (penalized) {
+        err = std::max(std::abs(1.0 - pair.sentiment),
+                       std::abs(-1.0 - pair.sentiment));
+      } else {
+        err = std::abs(pair.sentiment);
+      }
+    }
+    sum_sq += err * err;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(review_pairs.size()));
+}
+
+}  // namespace osrs

@@ -1,0 +1,33 @@
+#ifndef OSRS_EVAL_SENT_ERR_H_
+#define OSRS_EVAL_SENT_ERR_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// The §5.3 summary-quality measures (Eq. 1), as root-mean-square error:
+///
+/// For each pair p = (c_p, s_p) of the original reviews,
+///   - if c_p appears in the summary F: err = min |s_f - s_p| over the
+///     summary pairs on c_p;
+///   - else if an ancestor of c_p appears in F: the sentiments of c_p's
+///     LOWEST (closest) such ancestor are used;
+///   - else: err = |s_p| (missing concept read as neutral), or, in the
+///     penalized variant, err = max(|1 - s_p|, |-1 - s_p|) (the largest
+///     possible error on the [-1, 1] scale).
+///
+/// sent-err(P, F) = sqrt(mean of err²). Lower is better. Unlike the
+/// Definition 2 coverage cost, the measure is sentiment-space distance, so
+/// it does not structurally favor our coverage objective (§5.3's fairness
+/// argument).
+double SentErr(const Ontology& ontology,
+               const std::vector<ConceptSentimentPair>& review_pairs,
+               const std::vector<ConceptSentimentPair>& summary_pairs,
+               bool penalized);
+
+}  // namespace osrs
+
+#endif  // OSRS_EVAL_SENT_ERR_H_

@@ -1,0 +1,30 @@
+#ifndef OSRS_EVAL_SENTIMENT_EVAL_H_
+#define OSRS_EVAL_SENTIMENT_EVAL_H_
+
+#include <vector>
+
+#include "sentiment/estimator.h"
+
+namespace osrs {
+
+/// Accuracy of a sentence-sentiment estimator against reference scores.
+struct SentimentEvalResult {
+  size_t num_sentences = 0;
+  /// Mean absolute error of predicted vs reference sentiment.
+  double mean_absolute_error = 0.0;
+  /// Pearson correlation of predictions and references (0 when degenerate).
+  double pearson = 0.0;
+  /// Fraction of sign agreements among references with |s| > 0.25.
+  double polarity_accuracy = 0.0;
+};
+
+/// Scores `estimator` on tokenized sentences with reference sentiments
+/// (e.g. the corpus generator's ground truth). Sizes must match.
+SentimentEvalResult EvaluateSentiment(
+    const SentimentEstimator& estimator,
+    const std::vector<std::vector<std::string>>& sentences,
+    const std::vector<double>& references);
+
+}  // namespace osrs
+
+#endif  // OSRS_EVAL_SENTIMENT_EVAL_H_

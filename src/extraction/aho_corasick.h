@@ -1,0 +1,57 @@
+#ifndef OSRS_EXTRACTION_AHO_CORASICK_H_
+#define OSRS_EXTRACTION_AHO_CORASICK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace osrs {
+
+/// Multi-pattern matcher over token sequences (Aho-Corasick automaton whose
+/// alphabet is interned tokens rather than characters).
+///
+/// Patterns are token sequences with an integer payload; matching scans a
+/// token sequence once and reports every (pattern, span) occurrence. Tokens
+/// never seen in any pattern reset the automaton (no pattern can span
+/// them), which is exactly the desired semantics.
+class TokenAhoCorasick {
+ public:
+  /// An occurrence of pattern `payload` covering tokens [begin, end).
+  struct Match {
+    int payload;
+    size_t begin;
+    size_t end;
+  };
+
+  TokenAhoCorasick() = default;
+
+  /// Registers a pattern before Build(). Empty patterns are ignored.
+  void AddPattern(const std::vector<std::string>& tokens, int payload);
+
+  /// Computes failure links; must be called once after all AddPattern calls
+  /// and before Find.
+  void Build();
+
+  /// All matches in `tokens`, in increasing end-position order.
+  std::vector<Match> Find(const std::vector<std::string>& tokens) const;
+
+  size_t num_patterns() const { return num_patterns_; }
+
+ private:
+  struct Node {
+    std::unordered_map<int, int> next;       // token id -> state
+    int fail = 0;
+    std::vector<std::pair<int, size_t>> outputs;  // (payload, length)
+  };
+
+  int TokenId(const std::string& token) const;
+
+  bool built_ = false;
+  size_t num_patterns_ = 0;
+  std::unordered_map<std::string, int> alphabet_;
+  std::vector<Node> nodes_{Node{}};
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_EXTRACTION_AHO_CORASICK_H_

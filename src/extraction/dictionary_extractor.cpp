@@ -1,0 +1,78 @@
+#include "extraction/dictionary_extractor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace osrs {
+namespace {
+
+std::vector<std::string> StemAll(const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) out.push_back(PorterStem(token));
+  return out;
+}
+
+}  // namespace
+
+DictionaryExtractor::DictionaryExtractor(const Ontology* ontology)
+    : ontology_(ontology) {
+  OSRS_CHECK(ontology != nullptr);
+  OSRS_CHECK(ontology->finalized());
+  for (const auto& [term, concept_id] : ontology->term_lexicon()) {
+    automaton_.AddPattern(StemAll(Tokenize(term)),
+                          static_cast<int>(concept_id));
+  }
+  automaton_.Build();
+}
+
+std::vector<DictionaryExtractor::Mention> DictionaryExtractor::FindMentions(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TokenAhoCorasick::Match> matches =
+      automaton_.Find(StemAll(tokens));
+  // Longest-span-first resolution; ties to the leftmost, then the smaller
+  // concept id for determinism.
+  std::sort(matches.begin(), matches.end(),
+            [](const TokenAhoCorasick::Match& a,
+               const TokenAhoCorasick::Match& b) {
+              size_t len_a = a.end - a.begin;
+              size_t len_b = b.end - b.begin;
+              if (len_a != len_b) return len_a > len_b;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.payload < b.payload;
+            });
+  std::vector<bool> taken(tokens.size(), false);
+  std::vector<Mention> mentions;
+  for (const auto& match : matches) {
+    bool overlaps = false;
+    for (size_t i = match.begin; i < match.end; ++i) {
+      overlaps |= taken[i];
+    }
+    if (overlaps) continue;
+    for (size_t i = match.begin; i < match.end; ++i) taken[i] = true;
+    mentions.push_back(
+        {static_cast<ConceptId>(match.payload), match.begin, match.end});
+  }
+  std::sort(mentions.begin(), mentions.end(),
+            [](const Mention& a, const Mention& b) {
+              return a.begin < b.begin;
+            });
+  return mentions;
+}
+
+std::vector<ConceptId> DictionaryExtractor::ExtractConcepts(
+    const std::vector<std::string>& tokens) const {
+  std::vector<ConceptId> concepts;
+  for (const Mention& mention : FindMentions(tokens)) {
+    if (std::find(concepts.begin(), concepts.end(), mention.concept_id) ==
+        concepts.end()) {
+      concepts.push_back(mention.concept_id);
+    }
+  }
+  return concepts;
+}
+
+}  // namespace osrs

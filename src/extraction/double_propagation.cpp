@@ -1,0 +1,156 @@
+#include "extraction/double_propagation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "text/stopwords.h"
+
+namespace osrs {
+namespace {
+
+/// Adjective-shaped: the suffix heuristic standing in for a POS tagger.
+/// Deliberately conservative — suffixes like "-y"/"-ing"/"-al" also end
+/// legitimate aspect nouns ("battery", "charging", "signal"), so only
+/// strongly adjectival suffixes are used.
+bool LooksLikeAdjective(const std::string& word) {
+  for (const char* suffix : {"ful", "ous", "ive", "able", "ible", "ish",
+                             "less"}) {
+    if (EndsWith(word, suffix) && word.size() > std::string(suffix).size() + 2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsTargetCandidate(const std::string& word,
+                       const std::unordered_set<std::string>& opinion_words) {
+  return word.size() >= 3 && !IsStopword(word) &&
+         opinion_words.count(word) == 0 && !LooksLikeAdjective(word);
+}
+
+}  // namespace
+
+DoublePropagation::DoublePropagation(DoublePropagationOptions options)
+    : options_(options) {}
+
+std::vector<ExtractedAspect> DoublePropagation::ExtractAspects(
+    const std::vector<std::vector<std::string>>& sentences,
+    const SentimentLexicon& lexicon) const {
+  // Seed opinion set O from the lexicon (rule foundation of [22]).
+  std::unordered_set<std::string> opinion_words;
+  for (const auto& [word, strength] : lexicon.AllOpinionWords()) {
+    opinion_words.insert(word);
+  }
+
+  std::unordered_set<std::string> targets;
+  std::unordered_map<std::string, int64_t> target_counts;
+
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    bool changed = false;
+    target_counts.clear();
+    for (const auto& tokens : sentences) {
+      // Positions of opinion words and known targets in this sentence.
+      std::vector<bool> near_opinion(tokens.size(), false);
+      std::vector<bool> near_target(tokens.size(), false);
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        bool is_opinion = opinion_words.count(tokens[i]) > 0;
+        bool is_target = targets.count(tokens[i]) > 0;
+        if (!is_opinion && !is_target) continue;
+        size_t lo = i >= static_cast<size_t>(options_.window)
+                        ? i - static_cast<size_t>(options_.window)
+                        : 0;
+        size_t hi = std::min(tokens.size(),
+                             i + static_cast<size_t>(options_.window) + 1);
+        for (size_t j = lo; j < hi; ++j) {
+          if (j == i) continue;
+          if (is_opinion) near_opinion[j] = true;
+          if (is_target) near_target[j] = true;
+        }
+      }
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        // R1/R3 (targets from opinion words or other targets): a candidate
+        // noun near an opinion word or a known target is a target.
+        if ((near_opinion[i] || near_target[i]) &&
+            IsTargetCandidate(tokens[i], opinion_words)) {
+          ++target_counts[tokens[i]];
+          if (targets.insert(tokens[i]).second) changed = true;
+          // Bigram targets: two adjacent candidates form a compound aspect
+          // ("battery life", "picture quality").
+          if (i + 1 < tokens.size() &&
+              IsTargetCandidate(tokens[i + 1], opinion_words)) {
+            ++target_counts[tokens[i] + " " + tokens[i + 1]];
+          }
+        }
+        // R2/R4 (opinion words from targets): adjective-shaped words near a
+        // known target become opinion words.
+        if (near_target[i] && LooksLikeAdjective(tokens[i]) &&
+            !IsStopword(tokens[i]) && targets.count(tokens[i]) == 0) {
+          if (opinion_words.insert(tokens[i]).second) changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Prune by frequency; a bigram also requires its frequency, and absorbs
+  // nothing from its unigrams (both can survive independently, as in the
+  // paper's aspect list where "screen" and "screen resolution" coexist).
+  std::vector<ExtractedAspect> aspects;
+  for (const auto& [term, count] : target_counts) {
+    if (count >= options_.min_aspect_frequency) {
+      aspects.push_back({term, count});
+    }
+  }
+  std::sort(aspects.begin(), aspects.end(),
+            [](const ExtractedAspect& a, const ExtractedAspect& b) {
+              if (a.frequency != b.frequency) return a.frequency > b.frequency;
+              return a.term < b.term;
+            });
+  if (aspects.size() > static_cast<size_t>(options_.max_aspects)) {
+    aspects.resize(static_cast<size_t>(options_.max_aspects));
+  }
+  return aspects;
+}
+
+Ontology BuildAspectHierarchy(const std::vector<ExtractedAspect>& aspects,
+                              const std::string& root_name) {
+  Ontology onto;
+  ConceptId root = onto.AddConcept(root_name);
+  OSRS_CHECK(onto.AddSynonym(root, root_name).ok());
+
+  // First pass: create concepts (term -> id).
+  std::unordered_map<std::string, ConceptId> by_term;
+  for (const ExtractedAspect& aspect : aspects) {
+    if (by_term.count(aspect.term)) continue;
+    ConceptId id = onto.AddConcept(aspect.term);
+    by_term.emplace(aspect.term, id);
+    // Synonym registration can conflict with the root name; skip silently.
+    (void)onto.AddSynonym(id, aspect.term);
+  }
+  // Second pass: attach each aspect under the longest proper prefix/suffix
+  // aspect ("battery life" under "battery", "screen resolution" under
+  // "screen" or "resolution" — prefix preferred), else under the root.
+  for (const auto& [term, id] : by_term) {
+    ConceptId parent = root;
+    std::vector<std::string> words = SplitWhitespace(term);
+    if (words.size() >= 2) {
+      std::string prefix = words.front();
+      std::string suffix = words.back();
+      auto it = by_term.find(prefix);
+      if (it != by_term.end() && it->second != id) {
+        parent = it->second;
+      } else {
+        it = by_term.find(suffix);
+        if (it != by_term.end() && it->second != id) parent = it->second;
+      }
+    }
+    OSRS_CHECK(onto.AddEdge(parent, id).ok());
+  }
+  OSRS_CHECK_MSG(onto.Finalize().ok(), "aspect hierarchy must be a DAG");
+  return onto;
+}
+
+}  // namespace osrs

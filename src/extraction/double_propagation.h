@@ -1,0 +1,60 @@
+#ifndef OSRS_EXTRACTION_DOUBLE_PROPAGATION_H_
+#define OSRS_EXTRACTION_DOUBLE_PROPAGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "sentiment/lexicon.h"
+
+namespace osrs {
+
+/// Tuning of the Double Propagation aspect miner.
+struct DoublePropagationOptions {
+  /// Propagation rounds (targets ↔ opinion words).
+  int max_iterations = 4;
+  /// Token window within which an opinion word "modifies" a target.
+  int window = 3;
+  /// Aspects below this corpus frequency are pruned.
+  int min_aspect_frequency = 3;
+  /// At most this many aspects survive, frequency-ranked (the paper keeps
+  /// the 100 most popular, §5.1).
+  int max_aspects = 100;
+};
+
+/// An extracted product aspect with its corpus frequency.
+struct ExtractedAspect {
+  std::string term;  // unigram or bigram, lowercase
+  int64_t frequency = 0;
+};
+
+/// Window-based approximation of Double Propagation (Qiu et al. [22]): seed
+/// opinion words from the graded lexicon, extract nearby candidate nouns as
+/// aspect targets, learn new adjective-shaped opinion words near known
+/// targets, and repeat. Without a dependency parser the "modifies" relation
+/// is approximated by token distance (see DESIGN.md's substitution table);
+/// the output contract is the same: a frequency-ranked aspect list.
+class DoublePropagation {
+ public:
+  explicit DoublePropagation(DoublePropagationOptions options = {});
+
+  /// Mines aspects (unigrams and bigrams) from tokenized sentences.
+  std::vector<ExtractedAspect> ExtractAspects(
+      const std::vector<std::vector<std::string>>& sentences,
+      const SentimentLexicon& lexicon) const;
+
+ private:
+  DoublePropagationOptions options_;
+};
+
+/// Arranges mined aspects into a hierarchy rooted at `root_name`: aspect A
+/// becomes a child of aspect B when A's term properly extends B's term with
+/// an extra token ("battery life" under "battery"); all other aspects hang
+/// off the root. Each aspect registers its term as an extraction synonym.
+/// This mirrors §5.1's manually-built hierarchy construction step.
+Ontology BuildAspectHierarchy(const std::vector<ExtractedAspect>& aspects,
+                              const std::string& root_name);
+
+}  // namespace osrs
+
+#endif  // OSRS_EXTRACTION_DOUBLE_PROPAGATION_H_

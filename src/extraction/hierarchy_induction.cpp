@@ -1,0 +1,125 @@
+#include "extraction/hierarchy_induction.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace osrs {
+namespace {
+
+/// True when the (possibly multi-word) `term` occurs as a contiguous token
+/// run in `tokens`.
+bool ContainsTerm(const std::vector<std::string>& tokens,
+                  const std::vector<std::string>& term_tokens) {
+  if (term_tokens.empty() || term_tokens.size() > tokens.size()) return false;
+  for (size_t start = 0; start + term_tokens.size() <= tokens.size();
+       ++start) {
+    bool hit = true;
+    for (size_t i = 0; i < term_tokens.size(); ++i) {
+      if (tokens[start + i] != term_tokens[i]) {
+        hit = false;
+        break;
+      }
+    }
+    if (hit) return true;
+  }
+  return false;
+}
+
+bool TermContains(const std::vector<std::string>& longer,
+                  const std::vector<std::string>& shorter) {
+  return longer.size() > shorter.size() && ContainsTerm(longer, shorter);
+}
+
+}  // namespace
+
+Ontology InduceAspectHierarchy(
+    const std::vector<std::vector<std::string>>& sentences,
+    const std::vector<ExtractedAspect>& aspects, const std::string& root_name,
+    const HierarchyInductionOptions& options) {
+  const size_t n = aspects.size();
+  std::vector<std::vector<std::string>> term_tokens(n);
+  for (size_t a = 0; a < n; ++a) {
+    term_tokens[a] = SplitWhitespace(aspects[a].term);
+  }
+
+  // Sentence-presence counts and pairwise co-occurrence counts.
+  std::vector<int64_t> presence(n, 0);
+  std::vector<std::vector<int64_t>> cooccurrence(
+      n, std::vector<int64_t>(n, 0));
+  std::vector<size_t> present_in_sentence;
+  for (const auto& sentence : sentences) {
+    present_in_sentence.clear();
+    for (size_t a = 0; a < n; ++a) {
+      if (ContainsTerm(sentence, term_tokens[a])) {
+        present_in_sentence.push_back(a);
+        ++presence[a];
+      }
+    }
+    for (size_t i = 0; i < present_in_sentence.size(); ++i) {
+      for (size_t j = i + 1; j < present_in_sentence.size(); ++j) {
+        size_t a = present_in_sentence[i];
+        size_t b = present_in_sentence[j];
+        ++cooccurrence[a][b];
+        ++cooccurrence[b][a];
+      }
+    }
+  }
+
+  // For each aspect pick the best subsuming parent.
+  Ontology onto;
+  ConceptId root = onto.AddConcept(root_name);
+  OSRS_CHECK(onto.AddSynonym(root, root_name).ok());
+  std::vector<ConceptId> concept_of(n);
+  for (size_t a = 0; a < n; ++a) {
+    concept_of[a] = onto.AddConcept(aspects[a].term);
+    (void)onto.AddSynonym(concept_of[a], aspects[a].term);
+  }
+  for (size_t a = 0; a < n; ++a) {
+    int best_parent = -1;
+    double best_score = 0.0;
+    for (size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // Parents need strictly larger presence (breaks ties, prevents
+      // cycles) and enough shared evidence.
+      if (presence[b] <= presence[a]) continue;
+      if (cooccurrence[a][b] < options.min_cooccurrence &&
+          !TermContains(term_tokens[a], term_tokens[b])) {
+        continue;
+      }
+      double p_b_given_a =
+          presence[a] == 0
+              ? 0.0
+              : static_cast<double>(cooccurrence[a][b]) /
+                    static_cast<double>(presence[a]);
+      double p_a_given_b =
+          presence[b] == 0
+              ? 0.0
+              : static_cast<double>(cooccurrence[a][b]) /
+                    static_cast<double>(presence[b]);
+      double score = p_b_given_a;
+      // Term containment ("battery life" contains "battery") is strong
+      // independent evidence of specialization.
+      if (TermContains(term_tokens[a], term_tokens[b])) score += 0.5;
+      bool subsumes = score >= options.subsumption_threshold &&
+                      (p_b_given_a - p_a_given_b) >= options.asymmetry_margin;
+      if (subsumes && score > best_score) {
+        best_score = score;
+        best_parent = static_cast<int>(b);
+      }
+    }
+    ConceptId parent =
+        best_parent < 0 ? root : concept_of[static_cast<size_t>(best_parent)];
+    OSRS_CHECK(onto.AddEdge(parent, concept_of[a]).ok());
+  }
+  OSRS_CHECK_MSG(onto.Finalize().ok(),
+                 "induced hierarchy must be a DAG (presence ordering "
+                 "violated?)");
+  return onto;
+}
+
+}  // namespace osrs

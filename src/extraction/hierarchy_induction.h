@@ -1,0 +1,40 @@
+#ifndef OSRS_EXTRACTION_HIERARCHY_INDUCTION_H_
+#define OSRS_EXTRACTION_HIERARCHY_INDUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "extraction/double_propagation.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// Tuning of the distributional hierarchy inducer.
+struct HierarchyInductionOptions {
+  /// a nests under b when P(b | a) — the fraction of a's sentences that
+  /// also mention b — reaches this threshold...
+  double subsumption_threshold = 0.55;
+  /// ...and the relation is asymmetric: P(b|a) - P(a|b) >= this margin.
+  double asymmetry_margin = 0.1;
+  /// Candidate pairs below this many co-occurring sentences are ignored.
+  int min_cooccurrence = 3;
+};
+
+/// Induces an aspect hierarchy from co-occurrence statistics — the
+/// automatic alternative to a curated hierarchy that §2 points to (Kim et
+/// al. [12] learn an aspect-sentiment tree; this is the classical
+/// distributional-subsumption variant of that idea): aspect a becomes a
+/// child of aspect b when b appears in most sentences that mention a but
+/// not vice versa ("battery" subsumes "battery life"). Term containment
+/// ("battery" a prefix of "battery life") is used as a tie-strengthening
+/// prior; aspects with no qualifying parent attach to the root. Parents
+/// must have strictly higher sentence frequency, which makes the result a
+/// forest (hence a DAG after rooting) by construction.
+Ontology InduceAspectHierarchy(
+    const std::vector<std::vector<std::string>>& sentences,
+    const std::vector<ExtractedAspect>& aspects, const std::string& root_name,
+    const HierarchyInductionOptions& options = {});
+
+}  // namespace osrs
+
+#endif  // OSRS_EXTRACTION_HIERARCHY_INDUCTION_H_

@@ -1,0 +1,96 @@
+#include "lp/lp_problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace osrs {
+
+int LpProblem::AddVariable(double lower, double upper, double objective,
+                           bool is_integer, std::string name) {
+  OSRS_CHECK_LE(lower, upper);
+  int index = num_variables();
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  objective_.push_back(objective);
+  is_integer_.push_back(is_integer);
+  if (name.empty()) name = StrFormat("x%d", index);
+  names_.push_back(std::move(name));
+  return index;
+}
+
+Result<int> LpProblem::AddConstraint(
+    std::vector<std::pair<int, double>> terms, ConstraintSense sense,
+    double rhs) {
+  // Merge duplicate variables and validate indices.
+  std::sort(terms.begin(), terms.end());
+  std::vector<std::pair<int, double>> merged;
+  merged.reserve(terms.size());
+  for (const auto& [var, coeff] : terms) {
+    if (var < 0 || var >= num_variables()) {
+      return Status::InvalidArgument(
+          StrFormat("constraint references unknown variable %d", var));
+    }
+    if (!merged.empty() && merged.back().first == var) {
+      merged.back().second += coeff;
+    } else {
+      merged.emplace_back(var, coeff);
+    }
+  }
+  std::erase_if(merged, [](const auto& term) { return term.second == 0.0; });
+  int row = num_constraints();
+  rows_.push_back(std::move(merged));
+  senses_.push_back(sense);
+  rhs_.push_back(rhs);
+  return row;
+}
+
+size_t LpProblem::num_nonzeros() const {
+  size_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  return total;
+}
+
+void LpProblem::SetBounds(int var, double lower, double upper) {
+  OSRS_CHECK_GE(var, 0);
+  OSRS_CHECK_LT(var, num_variables());
+  lower_[static_cast<size_t>(var)] = lower;
+  upper_[static_cast<size_t>(var)] = upper;
+}
+
+double LpProblem::EvaluateObjective(const std::vector<double>& x) const {
+  OSRS_CHECK_EQ(x.size(), lower_.size());
+  double total = 0.0;
+  for (size_t j = 0; j < x.size(); ++j) total += objective_[j] * x[j];
+  return total;
+}
+
+bool LpProblem::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != lower_.size()) return false;
+  for (size_t j = 0; j < x.size(); ++j) {
+    if (x[j] < lower_[j] - tol || x[j] > upper_[j] + tol) return false;
+  }
+  for (int i = 0; i < num_constraints(); ++i) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : rows_[static_cast<size_t>(i)]) {
+      lhs += coeff * x[static_cast<size_t>(var)];
+    }
+    double b = rhs_[static_cast<size_t>(i)];
+    switch (senses_[static_cast<size_t>(i)]) {
+      case ConstraintSense::kLessEqual:
+        if (lhs > b + tol) return false;
+        break;
+      case ConstraintSense::kEqual:
+        if (std::abs(lhs - b) > tol) return false;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        if (lhs < b - tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace osrs

@@ -1,0 +1,92 @@
+#ifndef OSRS_LP_LP_PROBLEM_H_
+#define OSRS_LP_LP_PROBLEM_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace osrs {
+
+/// +∞ bound marker for LpProblem variables.
+inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+/// Direction of a linear constraint.
+enum class ConstraintSense { kLessEqual, kEqual, kGreaterEqual };
+
+/// A linear (mixed-integer) minimization program:
+///
+///   minimize    c^T x
+///   subject to  row_i: Σ a_ij x_j  (<= | = | >=)  b_i
+///               lower_j <= x_j <= upper_j
+///               x_j integer for flagged variables
+///
+/// Built incrementally with AddVariable / AddConstraint and solved by
+/// RevisedSimplex (continuous relaxation) or MipSolver (integral). This is
+/// the project's stand-in for the Gurobi modeling layer used in §4.2/§5.1.
+class LpProblem {
+ public:
+  LpProblem() = default;
+
+  /// Adds a variable and returns its index. `lower`/`upper` may be
+  /// ±kLpInfinity. `objective` is the cost coefficient.
+  int AddVariable(double lower, double upper, double objective,
+                  bool is_integer = false, std::string name = "");
+
+  /// Adds a constraint over `terms` = {(variable index, coefficient), ...}.
+  /// Terms with duplicate variable indices are summed. Returns the row
+  /// index, or an error on out-of-range variables.
+  Result<int> AddConstraint(std::vector<std::pair<int, double>> terms,
+                            ConstraintSense sense, double rhs);
+
+  int num_variables() const { return static_cast<int>(lower_.size()); }
+  int num_constraints() const { return static_cast<int>(rhs_.size()); }
+  size_t num_nonzeros() const;
+
+  double lower(int var) const { return lower_[static_cast<size_t>(var)]; }
+  double upper(int var) const { return upper_[static_cast<size_t>(var)]; }
+  double objective(int var) const {
+    return objective_[static_cast<size_t>(var)];
+  }
+  bool is_integer(int var) const {
+    return is_integer_[static_cast<size_t>(var)];
+  }
+  const std::string& name(int var) const {
+    return names_[static_cast<size_t>(var)];
+  }
+
+  ConstraintSense sense(int row) const {
+    return senses_[static_cast<size_t>(row)];
+  }
+  double rhs(int row) const { return rhs_[static_cast<size_t>(row)]; }
+  const std::vector<std::pair<int, double>>& row_terms(int row) const {
+    return rows_[static_cast<size_t>(row)];
+  }
+
+  /// Tightens the bounds of `var` (used by branch & bound). Does not check
+  /// lower <= upper; an empty box makes the LP infeasible, which the solver
+  /// reports.
+  void SetBounds(int var, double lower, double upper);
+
+  /// Evaluates the objective at a full assignment.
+  double EvaluateObjective(const std::vector<double>& x) const;
+
+  /// True iff `x` satisfies all rows and bounds within `tol`.
+  bool IsFeasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> objective_;
+  std::vector<bool> is_integer_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::pair<int, double>>> rows_;
+  std::vector<ConstraintSense> senses_;
+  std::vector<double> rhs_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_LP_LP_PROBLEM_H_

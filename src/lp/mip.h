@@ -1,0 +1,61 @@
+#ifndef OSRS_LP_MIP_H_
+#define OSRS_LP_MIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+
+namespace osrs {
+
+/// Tuning knobs of the branch-and-bound solver.
+struct MipOptions {
+  SimplexOptions lp;
+  /// Maximum branch-and-bound nodes (LP solves) before giving up and
+  /// returning the incumbent.
+  int64_t max_nodes = 20'000;
+  /// A variable counts as integral within this tolerance.
+  double integrality_tol = 1e-6;
+  /// Set when every integer-feasible solution has an integral objective
+  /// (true for the k-median instances: unit edge distances); enables
+  /// stronger "lp > incumbent - 1" pruning.
+  bool objective_is_integral = false;
+};
+
+/// Outcome of a MIP solve.
+struct MipSolution {
+  /// kOptimal: incumbent proven optimal. kIterationLimit: node/iteration
+  /// budget exhausted, incumbent (if any) returned. kInfeasible/kUnbounded
+  /// as usual.
+  LpStatus status = LpStatus::kIterationLimit;
+  bool has_incumbent = false;
+  double objective = 0.0;
+  std::vector<double> values;
+  /// Branch-and-bound nodes expanded (= LP relaxations solved).
+  int64_t nodes = 0;
+  /// Total simplex iterations across all nodes.
+  int64_t lp_iterations = 0;
+};
+
+/// Depth-first branch-and-bound over the integer-flagged variables of an
+/// LpProblem, with the bundled RevisedSimplex as relaxation solver.
+///
+/// Together with RevisedSimplex this forms the repository's stand-in for
+/// the Gurobi MIP solver of §4.2: it solves the k-median ILPs exactly
+/// (k-median relaxations are frequently integral, so the tree is small).
+class MipSolver {
+ public:
+  explicit MipSolver(MipOptions options = {});
+
+  /// Solves min c^T x with the integrality constraints. `problem` is taken
+  /// by value: branching mutates variable bounds internally.
+  MipSolution Solve(LpProblem problem);
+
+ private:
+  MipOptions options_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_LP_MIP_H_

@@ -1,0 +1,513 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace osrs {
+
+const char* LpStatusToString(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "Optimal";
+    case LpStatus::kInfeasible:
+      return "Infeasible";
+    case LpStatus::kUnbounded:
+      return "Unbounded";
+    case LpStatus::kIterationLimit:
+      return "IterationLimit";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+enum class VarState : uint8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+/// One elementary (eta) transformation of the basis inverse: the basis
+/// column at `pivot_row` was replaced by the FTRANed entering column `d`.
+struct Eta {
+  int pivot_row;
+  double pivot_value;                       // d[pivot_row]
+  std::vector<std::pair<int, double>> off;  // d[i] for i != pivot_row
+};
+
+/// Internal simplex workspace over the standardized problem
+/// (structural variables + slacks + artificials; all rows equalities).
+class SimplexEngine {
+ public:
+  SimplexEngine(const LpProblem& problem, const SimplexOptions& options)
+      : options_(options), num_structural_(problem.num_variables()) {
+    BuildStandardForm(problem);
+  }
+
+  LpSolution Run(const LpProblem& problem) {
+    LpSolution solution;
+    InstallInitialBasis();
+
+    if (has_artificials_) {
+      // Phase 1: minimize the total artificial infeasibility.
+      phase_one_ = true;
+      LpStatus status = Optimize(&solution.iterations);
+      if (status != LpStatus::kOptimal) {
+        // Phase-1 LPs are bounded below by 0, so non-optimal means the
+        // iteration limit was hit.
+        solution.status = LpStatus::kIterationLimit;
+        return solution;
+      }
+      double infeasibility = CurrentObjective();
+      if (infeasibility > 1e-6) {
+        solution.status = LpStatus::kInfeasible;
+        return solution;
+      }
+      // Fix artificials at zero and switch to the real objective.
+      for (int j = first_artificial_; j < NumColumns(); ++j) {
+        lower_[static_cast<size_t>(j)] = 0.0;
+        upper_[static_cast<size_t>(j)] = 0.0;
+        if (state_[static_cast<size_t>(j)] != VarState::kBasic) {
+          state_[static_cast<size_t>(j)] = VarState::kAtLower;
+        }
+      }
+      phase_one_ = false;
+      ResyncBasicValues();
+    }
+
+    LpStatus status = Optimize(&solution.iterations);
+    solution.status = status;
+    if (status != LpStatus::kOptimal && status != LpStatus::kIterationLimit) {
+      return solution;
+    }
+
+    // Extract structural values.
+    solution.values.assign(static_cast<size_t>(num_structural_), 0.0);
+    std::vector<double> full(static_cast<size_t>(NumColumns()));
+    for (int j = 0; j < NumColumns(); ++j) {
+      full[static_cast<size_t>(j)] = NonbasicValue(j);
+    }
+    for (int i = 0; i < num_rows_; ++i) {
+      full[static_cast<size_t>(basis_[static_cast<size_t>(i)])] =
+          basic_value_[static_cast<size_t>(i)];
+    }
+    for (int j = 0; j < num_structural_; ++j) {
+      solution.values[static_cast<size_t>(j)] = full[static_cast<size_t>(j)];
+    }
+    solution.objective = problem.EvaluateObjective(solution.values);
+    return solution;
+  }
+
+ private:
+  int NumColumns() const { return static_cast<int>(cols_.size()); }
+
+  void BuildStandardForm(const LpProblem& problem) {
+    num_rows_ = problem.num_constraints();
+    rhs_.resize(static_cast<size_t>(num_rows_));
+
+    // Structural columns.
+    cols_.assign(static_cast<size_t>(num_structural_), {});
+    for (int j = 0; j < num_structural_; ++j) {
+      lower_.push_back(problem.lower(j));
+      upper_.push_back(problem.upper(j));
+      cost_.push_back(problem.objective(j));
+    }
+    for (int i = 0; i < num_rows_; ++i) {
+      rhs_[static_cast<size_t>(i)] = problem.rhs(i);
+      for (const auto& [var, coeff] : problem.row_terms(i)) {
+        cols_[static_cast<size_t>(var)].emplace_back(i, coeff);
+      }
+    }
+
+    // Slack columns for inequality rows: Ax + s = b with s >= 0 (for <=)
+    // or s <= 0 (for >=).
+    slack_of_row_.assign(static_cast<size_t>(num_rows_), -1);
+    for (int i = 0; i < num_rows_; ++i) {
+      ConstraintSense sense = problem.sense(i);
+      if (sense == ConstraintSense::kEqual) continue;
+      int j = NumColumns();
+      cols_.push_back({{i, 1.0}});
+      cost_.push_back(0.0);
+      if (sense == ConstraintSense::kLessEqual) {
+        lower_.push_back(0.0);
+        upper_.push_back(kLpInfinity);
+      } else {
+        lower_.push_back(-kLpInfinity);
+        upper_.push_back(0.0);
+      }
+      slack_of_row_[static_cast<size_t>(i)] = j;
+    }
+    first_artificial_ = NumColumns();
+  }
+
+  double NonbasicValue(int j) const {
+    switch (state_[static_cast<size_t>(j)]) {
+      case VarState::kAtLower:
+        return lower_[static_cast<size_t>(j)];
+      case VarState::kAtUpper:
+        return upper_[static_cast<size_t>(j)];
+      case VarState::kFree:
+        return 0.0;
+      case VarState::kBasic:
+        return 0.0;  // caller overwrites basic entries
+    }
+    return 0.0;
+  }
+
+  /// Picks the initial state of every column, installs slacks or fresh
+  /// artificials as the starting (diagonal) basis, and sets basic values.
+  void InstallInitialBasis() {
+    state_.assign(cols_.size(), VarState::kAtLower);
+    for (int j = 0; j < NumColumns(); ++j) {
+      if (std::isfinite(lower_[static_cast<size_t>(j)])) {
+        state_[static_cast<size_t>(j)] = VarState::kAtLower;
+      } else if (std::isfinite(upper_[static_cast<size_t>(j)])) {
+        state_[static_cast<size_t>(j)] = VarState::kAtUpper;
+      } else {
+        state_[static_cast<size_t>(j)] = VarState::kFree;
+      }
+    }
+
+    // Row residuals with every column nonbasic at its resting value.
+    std::vector<double> residual(rhs_);
+    for (int j = 0; j < NumColumns(); ++j) {
+      double v = NonbasicValue(j);
+      if (v == 0.0) continue;
+      for (const auto& [row, coeff] : cols_[static_cast<size_t>(j)]) {
+        residual[static_cast<size_t>(row)] -= coeff * v;
+      }
+    }
+
+    basis_.assign(static_cast<size_t>(num_rows_), -1);
+    basic_value_.assign(static_cast<size_t>(num_rows_), 0.0);
+    basis_diag_.assign(static_cast<size_t>(num_rows_), 1.0);
+    has_artificials_ = false;
+
+    for (int i = 0; i < num_rows_; ++i) {
+      int slack = slack_of_row_[static_cast<size_t>(i)];
+      if (slack >= 0) {
+        // Absorb the residual into the slack if its bounds allow.
+        double value = NonbasicValue(slack) + residual[static_cast<size_t>(i)];
+        if (value >= lower_[static_cast<size_t>(slack)] - 1e-12 &&
+            value <= upper_[static_cast<size_t>(slack)] + 1e-12) {
+          basis_[static_cast<size_t>(i)] = slack;
+          basic_value_[static_cast<size_t>(i)] = value;
+          state_[static_cast<size_t>(slack)] = VarState::kBasic;
+          // The slack's resting value was already folded into residual; the
+          // basic value computed above restores row feasibility exactly.
+          continue;
+        }
+      }
+      // Artificial with coefficient sign(residual) so its value is >= 0.
+      double r = residual[static_cast<size_t>(i)];
+      double sign = r >= 0.0 ? 1.0 : -1.0;
+      int j = NumColumns();
+      cols_.push_back({{i, sign}});
+      cost_.push_back(0.0);
+      lower_.push_back(0.0);
+      upper_.push_back(kLpInfinity);
+      state_.push_back(VarState::kBasic);
+      basis_[static_cast<size_t>(i)] = j;
+      basic_value_[static_cast<size_t>(i)] = std::abs(r);
+      basis_diag_[static_cast<size_t>(i)] = sign;
+      has_artificials_ = true;
+    }
+    etas_.clear();
+  }
+
+  double ColumnCost(int j) const {
+    if (phase_one_) return j >= first_artificial_ ? 1.0 : 0.0;
+    return j < static_cast<int>(cost_.size()) ? cost_[static_cast<size_t>(j)]
+                                              : 0.0;
+  }
+
+  double CurrentObjective() const {
+    double total = 0.0;
+    for (int j = 0; j < NumColumns(); ++j) {
+      if (state_[static_cast<size_t>(j)] == VarState::kBasic) continue;
+      total += ColumnCost(j) * NonbasicValue(j);
+    }
+    for (int i = 0; i < num_rows_; ++i) {
+      total += ColumnCost(basis_[static_cast<size_t>(i)]) *
+               basic_value_[static_cast<size_t>(i)];
+    }
+    return total;
+  }
+
+  /// v <- B^{-1} v (apply the diagonal initial inverse, then each eta).
+  void Ftran(std::vector<double>& v) const {
+    for (int i = 0; i < num_rows_; ++i) {
+      v[static_cast<size_t>(i)] *= basis_diag_[static_cast<size_t>(i)];
+    }
+    for (const Eta& eta : etas_) {
+      double vr = v[static_cast<size_t>(eta.pivot_row)];
+      if (vr == 0.0) continue;
+      vr /= eta.pivot_value;
+      v[static_cast<size_t>(eta.pivot_row)] = vr;
+      for (const auto& [row, value] : eta.off) {
+        v[static_cast<size_t>(row)] -= value * vr;
+      }
+    }
+  }
+
+  /// u^T <- u^T B^{-1} (apply eta transposes in reverse, then the diagonal).
+  void Btran(std::vector<double>& u) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double acc = u[static_cast<size_t>(it->pivot_row)];
+      for (const auto& [row, value] : it->off) {
+        acc -= value * u[static_cast<size_t>(row)];
+      }
+      u[static_cast<size_t>(it->pivot_row)] = acc / it->pivot_value;
+    }
+    for (int i = 0; i < num_rows_; ++i) {
+      u[static_cast<size_t>(i)] *= basis_diag_[static_cast<size_t>(i)];
+    }
+  }
+
+  /// Recomputes basic values as B^{-1}(b - N x_N); heals incremental drift.
+  void ResyncBasicValues() {
+    std::vector<double> r(rhs_);
+    for (int j = 0; j < NumColumns(); ++j) {
+      if (state_[static_cast<size_t>(j)] == VarState::kBasic) continue;
+      double v = NonbasicValue(j);
+      if (v == 0.0) continue;
+      for (const auto& [row, coeff] : cols_[static_cast<size_t>(j)]) {
+        r[static_cast<size_t>(row)] -= coeff * v;
+      }
+    }
+    Ftran(r);
+    basic_value_ = std::move(r);
+  }
+
+  LpStatus Optimize(int64_t* iteration_counter) {
+    int degenerate_streak = 0;
+    std::vector<double> pi(static_cast<size_t>(num_rows_));
+    std::vector<double> direction(static_cast<size_t>(num_rows_));
+
+    for (int64_t iter = 0; iter < options_.max_iterations; ++iter) {
+      if (iter > 0 && iter % options_.resync_period == 0) {
+        ResyncBasicValues();
+      }
+      ++*iteration_counter;
+      const bool bland = degenerate_streak >= options_.bland_trigger;
+
+      // Dual prices: pi^T = c_B^T B^{-1}.
+      for (int i = 0; i < num_rows_; ++i) {
+        pi[static_cast<size_t>(i)] =
+            ColumnCost(basis_[static_cast<size_t>(i)]);
+      }
+      Btran(pi);
+
+      // Pricing: find the entering column.
+      int entering = -1;
+      int entering_dir = 0;
+      double best_violation = options_.optimality_tol;
+      for (int j = 0; j < NumColumns(); ++j) {
+        VarState st = state_[static_cast<size_t>(j)];
+        if (st == VarState::kBasic) continue;
+        if (lower_[static_cast<size_t>(j)] ==
+            upper_[static_cast<size_t>(j)]) {
+          continue;  // fixed (includes retired artificials)
+        }
+        double rc = ColumnCost(j);
+        for (const auto& [row, coeff] : cols_[static_cast<size_t>(j)]) {
+          rc -= pi[static_cast<size_t>(row)] * coeff;
+        }
+        int dir = 0;
+        double violation = 0.0;
+        if ((st == VarState::kAtLower || st == VarState::kFree) &&
+            rc < -options_.optimality_tol) {
+          dir = +1;
+          violation = -rc;
+        } else if ((st == VarState::kAtUpper || st == VarState::kFree) &&
+                   rc > options_.optimality_tol) {
+          dir = -1;
+          violation = rc;
+        } else {
+          continue;
+        }
+        if (bland) {
+          entering = j;
+          entering_dir = dir;
+          break;  // smallest index rule
+        }
+        if (violation > best_violation) {
+          best_violation = violation;
+          entering = j;
+          entering_dir = dir;
+        }
+      }
+      if (entering == -1) return LpStatus::kOptimal;
+
+      // FTRAN the entering column.
+      std::fill(direction.begin(), direction.end(), 0.0);
+      for (const auto& [row, coeff] : cols_[static_cast<size_t>(entering)]) {
+        direction[static_cast<size_t>(row)] = coeff;
+      }
+      Ftran(direction);
+
+      // Bounded-variable ratio test. The entering variable moves by
+      // delta >= 0 in direction `entering_dir`; basic i changes at rate
+      // -entering_dir * direction[i].
+      double self_limit = kLpInfinity;
+      if (std::isfinite(lower_[static_cast<size_t>(entering)]) &&
+          std::isfinite(upper_[static_cast<size_t>(entering)])) {
+        self_limit = upper_[static_cast<size_t>(entering)] -
+                     lower_[static_cast<size_t>(entering)];
+      }
+      double best_delta = self_limit;
+      int leaving_row = -1;
+      bool leaving_to_upper = false;
+      double leaving_pivot = 0.0;
+      for (int i = 0; i < num_rows_; ++i) {
+        double d = direction[static_cast<size_t>(i)];
+        if (std::abs(d) <= options_.pivot_tol) continue;
+        double rate = -static_cast<double>(entering_dir) * d;
+        int b = basis_[static_cast<size_t>(i)];
+        double delta;
+        bool to_upper;
+        if (rate > 0.0) {
+          double room = upper_[static_cast<size_t>(b)];
+          if (!std::isfinite(room)) continue;
+          delta = (room - basic_value_[static_cast<size_t>(i)]) / rate;
+          to_upper = true;
+        } else {
+          double room = lower_[static_cast<size_t>(b)];
+          if (!std::isfinite(room)) continue;
+          delta = (basic_value_[static_cast<size_t>(i)] - room) / (-rate);
+          to_upper = false;
+        }
+        if (delta < 0.0) delta = 0.0;  // tiny infeasibility from drift
+        bool take;
+        if (delta < best_delta - 1e-10) {
+          take = true;
+        } else if (delta <= best_delta + 1e-10 && leaving_row >= 0) {
+          // Tie: prefer the larger pivot for stability (or the smaller
+          // basic index under Bland's rule).
+          take = bland ? b < basis_[static_cast<size_t>(leaving_row)]
+                       : std::abs(d) > std::abs(leaving_pivot);
+        } else {
+          take = delta < best_delta;
+        }
+        if (take) {
+          best_delta = delta;
+          leaving_row = i;
+          leaving_to_upper = to_upper;
+          leaving_pivot = d;
+        }
+      }
+
+      if (!std::isfinite(best_delta)) return LpStatus::kUnbounded;
+
+      if (best_delta > 1e-12) {
+        degenerate_streak = 0;
+      } else {
+        ++degenerate_streak;
+      }
+
+      // Apply the step to the basic values.
+      if (best_delta != 0.0) {
+        for (int i = 0; i < num_rows_; ++i) {
+          double d = direction[static_cast<size_t>(i)];
+          if (d != 0.0) {
+            basic_value_[static_cast<size_t>(i)] -=
+                static_cast<double>(entering_dir) * best_delta * d;
+          }
+        }
+      }
+
+      if (leaving_row == -1) {
+        // Bound flip: the entering variable crosses to its other bound;
+        // the basis is unchanged.
+        state_[static_cast<size_t>(entering)] =
+            entering_dir > 0 ? VarState::kAtUpper : VarState::kAtLower;
+        continue;
+      }
+
+      // Pivot: entering becomes basic in leaving_row.
+      int leaving_var = basis_[static_cast<size_t>(leaving_row)];
+      state_[static_cast<size_t>(leaving_var)] =
+          leaving_to_upper ? VarState::kAtUpper : VarState::kAtLower;
+      double entering_start =
+          state_[static_cast<size_t>(entering)] == VarState::kAtUpper
+              ? upper_[static_cast<size_t>(entering)]
+              : (state_[static_cast<size_t>(entering)] == VarState::kAtLower
+                     ? lower_[static_cast<size_t>(entering)]
+                     : 0.0);
+      basis_[static_cast<size_t>(leaving_row)] = entering;
+      basic_value_[static_cast<size_t>(leaving_row)] =
+          entering_start + static_cast<double>(entering_dir) * best_delta;
+      state_[static_cast<size_t>(entering)] = VarState::kBasic;
+
+      // Record the eta transformation for this pivot.
+      Eta eta;
+      eta.pivot_row = leaving_row;
+      eta.pivot_value = direction[static_cast<size_t>(leaving_row)];
+      for (int i = 0; i < num_rows_; ++i) {
+        double d = direction[static_cast<size_t>(i)];
+        if (i != leaving_row && d != 0.0) {
+          eta.off.emplace_back(i, d);
+        }
+      }
+      etas_.push_back(std::move(eta));
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  const SimplexOptions options_;
+  const int num_structural_;
+  int num_rows_ = 0;
+  int first_artificial_ = 0;
+  bool has_artificials_ = false;
+  bool phase_one_ = false;
+
+  std::vector<std::vector<std::pair<int, double>>> cols_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> cost_;
+  std::vector<double> rhs_;
+  std::vector<int> slack_of_row_;
+
+  std::vector<VarState> state_;
+  std::vector<int> basis_;          // row -> basic column
+  std::vector<double> basic_value_; // row -> value of its basic column
+  std::vector<double> basis_diag_;  // signs of the initial diagonal basis
+  std::vector<Eta> etas_;
+};
+
+}  // namespace
+
+RevisedSimplex::RevisedSimplex(SimplexOptions options) : options_(options) {}
+
+LpSolution RevisedSimplex::Solve(const LpProblem& problem) {
+  if (problem.num_constraints() == 0) {
+    // Pure bound minimization: each variable sits at the bound favoring its
+    // cost (unbounded if the favorable side is infinite with nonzero cost).
+    LpSolution solution;
+    solution.values.resize(static_cast<size_t>(problem.num_variables()));
+    for (int j = 0; j < problem.num_variables(); ++j) {
+      double c = problem.objective(j);
+      double v;
+      if (c > 0.0) {
+        v = problem.lower(j);
+      } else if (c < 0.0) {
+        v = problem.upper(j);
+      } else {
+        v = std::isfinite(problem.lower(j)) ? problem.lower(j)
+            : std::isfinite(problem.upper(j)) ? problem.upper(j)
+                                              : 0.0;
+      }
+      if (!std::isfinite(v)) {
+        solution.status = LpStatus::kUnbounded;
+        return solution;
+      }
+      solution.values[static_cast<size_t>(j)] = v;
+    }
+    solution.status = LpStatus::kOptimal;
+    solution.objective = problem.EvaluateObjective(solution.values);
+    return solution;
+  }
+  SimplexEngine engine(problem, options_);
+  return engine.Run(problem);
+}
+
+}  // namespace osrs

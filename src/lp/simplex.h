@@ -1,0 +1,71 @@
+#ifndef OSRS_LP_SIMPLEX_H_
+#define OSRS_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/lp_problem.h"
+
+namespace osrs {
+
+/// Termination state of an LP solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* LpStatusToString(LpStatus status);
+
+/// Solution of a continuous LP relaxation.
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  /// Objective value at the returned point (valid for kOptimal).
+  double objective = 0.0;
+  /// Values of the problem's variables (structural only, no slacks).
+  std::vector<double> values;
+  /// Simplex iterations across both phases.
+  int64_t iterations = 0;
+};
+
+/// Tuning knobs of the simplex solver.
+struct SimplexOptions {
+  int64_t max_iterations = 200'000;
+  /// Primal feasibility tolerance.
+  double feasibility_tol = 1e-7;
+  /// Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-7;
+  /// Minimum admissible pivot magnitude.
+  double pivot_tol = 1e-9;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int bland_trigger = 80;
+  /// Recompute basic values from the eta file every this many iterations to
+  /// curb incremental drift.
+  int resync_period = 512;
+};
+
+/// Two-phase bounded-variable revised simplex with a product-form-of-inverse
+/// (eta file) basis representation and sparse columns.
+///
+/// This is the repository's stand-in for the Gurobi dual simplex used in
+/// §5.1: it solves the §4.2 k-median LP relaxations exactly. Phase 1 uses
+/// per-row artificials only where the slack cannot serve as the initial
+/// basic variable, so the k-median formulation (where root-assignment
+/// variables and inequality slacks form a near-feasible start) enters
+/// phase 2 after few pivots. Dantzig pricing with an automatic switch to
+/// Bland's rule under prolonged degeneracy guarantees termination.
+class RevisedSimplex {
+ public:
+  explicit RevisedSimplex(SimplexOptions options = {});
+
+  /// Solves min c^T x over `problem`'s constraints and bounds.
+  LpSolution Solve(const LpProblem& problem);
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_LP_SIMPLEX_H_

@@ -1,0 +1,142 @@
+#include "ontology/cellphone_hierarchy.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace osrs {
+namespace {
+
+struct AspectSpec {
+  const char* name;
+  const char* parent;                 // nullptr for children of the root
+  std::vector<const char*> synonyms;  // in addition to the name itself
+};
+
+// The Fig. 3 hierarchy: top-level aspect groups under "phone", each with its
+// popular sub-aspects (the 100 most popular Double-Propagation extractions).
+const AspectSpec kAspects[] = {
+    // Display group.
+    {"screen", nullptr, {"display"}},
+    {"screen size", "screen", {"display size"}},
+    {"screen resolution", "screen", {"resolution"}},
+    {"screen brightness", "screen", {"brightness"}},
+    {"screen color", "screen", {"display color", "color accuracy"}},
+    {"touchscreen", "screen", {"touch screen", "touch"}},
+    {"glass", "screen", {"gorilla glass", "screen protector"}},
+
+    // Battery group.
+    {"battery", nullptr, {}},
+    {"battery life", "battery", {"battery lifetime"}},
+    {"charging", "battery", {"charge", "charging speed"}},
+    {"charger", "charging", {"charging cable", "power adapter"}},
+    {"wireless charging", "charging", {}},
+    {"battery capacity", "battery", {"mah"}},
+
+    // Camera group.
+    {"camera", nullptr, {}},
+    {"photo quality", "camera", {"picture quality", "photos", "pictures"}},
+    {"video", "camera", {"video quality", "video recording"}},
+    {"front camera", "camera", {"selfie camera", "selfie"}},
+    {"rear camera", "camera", {"back camera", "main camera"}},
+    {"flash", "camera", {"camera flash"}},
+    {"zoom", "camera", {"optical zoom"}},
+    {"low light", "photo quality", {"night mode", "night shots"}},
+
+    // Audio group.
+    {"sound", nullptr, {"audio"}},
+    {"speaker", "sound", {"speakers", "loudspeaker"}},
+    {"volume", "sound", {"loudness"}},
+    {"headphone jack", "sound", {"headphone", "audio jack"}},
+    {"microphone", "sound", {"mic"}},
+    {"call quality", "sound", {"voice quality", "calls"}},
+
+    // Performance group.
+    {"performance", nullptr, {}},
+    {"speed", "performance", {"fast", "responsiveness"}},
+    {"processor", "performance", {"cpu", "chipset", "snapdragon"}},
+    {"memory", "performance", {"ram"}},
+    {"storage", "performance", {"internal storage", "capacity"}},
+    {"sd card", "storage", {"memory card", "microsd"}},
+    {"gaming", "performance", {"games"}},
+    {"multitasking", "performance", {}},
+    {"lag", "performance", {"lagging", "stutter"}},
+
+    // Design group.
+    {"design", nullptr, {"look", "style"}},
+    {"size", "design", {"dimensions"}},
+    {"weight", "design", {"heft"}},
+    {"color", "design", {"colour"}},
+    {"build quality", "design", {"build", "construction"}},
+    {"button", "design", {"buttons", "power button", "volume button"}},
+    {"case", "design", {"back cover", "cover"}},
+    {"durability", "design", {"sturdiness"}},
+    {"fingerprint sensor", "design", {"fingerprint reader", "fingerprint"}},
+
+    // Software group.
+    {"software", nullptr, {}},
+    {"operating system", "software", {"os", "android", "android version"}},
+    {"apps", "software", {"applications", "app"}},
+    {"bloatware", "apps", {"preinstalled apps"}},
+    {"updates", "software", {"software update", "security update"}},
+    {"interface", "software", {"ui", "user interface", "launcher"}},
+    {"bugs", "software", {"glitches", "crashes"}},
+
+    // Connectivity group.
+    {"connectivity", nullptr, {}},
+    {"wifi", "connectivity", {"wi-fi", "wireless"}},
+    {"bluetooth", "connectivity", {}},
+    {"signal", "connectivity", {"reception", "cell signal"}},
+    {"sim card", "connectivity", {"sim", "dual sim"}},
+    {"gps", "connectivity", {"navigation"}},
+    {"network", "connectivity", {"4g", "lte", "carrier"}},
+    {"nfc", "connectivity", {}},
+    {"unlocked", "network", {"unlock", "carrier unlock"}},
+
+    // Price group.
+    {"price", nullptr, {"cost"}},
+    {"value", "price", {"value for money", "bang for the buck"}},
+    {"deal", "price", {"bargain", "discount"}},
+
+    // Service group.
+    {"service", nullptr, {"customer service"}},
+    {"shipping", "service", {"delivery", "packaging"}},
+    {"warranty", "service", {"guarantee"}},
+    {"seller", "service", {"vendor", "store"}},
+    {"support", "service", {"tech support", "customer support"}},
+    {"return", "service", {"refund", "return policy"}},
+
+    // Accessories group.
+    {"accessories", nullptr, {}},
+    {"earphones", "accessories", {"earbuds", "headset"}},
+    {"cable", "accessories", {"usb cable"}},
+    {"manual", "accessories", {"instructions", "documentation"}},
+};
+
+}  // namespace
+
+Ontology BuildCellPhoneHierarchy() {
+  Ontology onto;
+  ConceptId root = onto.AddConcept("phone");
+  OSRS_CHECK(onto.AddSynonym(root, "phone").ok());
+  OSRS_CHECK(onto.AddSynonym(root, "smartphone").ok());
+  OSRS_CHECK(onto.AddSynonym(root, "device").ok());
+  for (const AspectSpec& spec : kAspects) {
+    ConceptId id = onto.AddConcept(spec.name);
+    ConceptId parent =
+        spec.parent == nullptr ? root : onto.FindByName(spec.parent);
+    OSRS_CHECK_MSG(parent != kInvalidConcept,
+                   "unknown parent '" << spec.parent << "' for aspect '"
+                                      << spec.name << "'");
+    OSRS_CHECK(onto.AddEdge(parent, id).ok());
+    OSRS_CHECK(onto.AddSynonym(id, spec.name).ok());
+    for (const char* syn : spec.synonyms) {
+      OSRS_CHECK(onto.AddSynonym(id, syn).ok());
+    }
+  }
+  OSRS_CHECK_MSG(onto.Finalize().ok(), "cell phone hierarchy must be a DAG");
+  return onto;
+}
+
+}  // namespace osrs

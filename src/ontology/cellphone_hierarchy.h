@@ -1,0 +1,16 @@
+#ifndef OSRS_ONTOLOGY_CELLPHONE_HIERARCHY_H_
+#define OSRS_ONTOLOGY_CELLPHONE_HIERARCHY_H_
+
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// Builds the manually curated cell-phone aspect hierarchy of Fig. 3:
+/// ~100 popular aspects extracted by Double Propagation, arranged in a
+/// three-level tree rooted at "phone". Every aspect carries itself (and a
+/// few common variants) as extraction synonyms.
+Ontology BuildCellPhoneHierarchy();
+
+}  // namespace osrs
+
+#endif  // OSRS_ONTOLOGY_CELLPHONE_HIERARCHY_H_

@@ -1,0 +1,144 @@
+#include "ontology/snomed_like.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace osrs {
+namespace {
+
+// Name fragments combined into medical-sounding concept names, echoing the
+// SNOMED style ("disorder of X", "X procedure", ...). Surface variety only;
+// the algorithms never interpret the strings.
+const char* const kBodySystems[] = {
+    "cardiac",    "respiratory", "digestive",  "neurologic", "renal",
+    "hepatic",    "vascular",    "endocrine",  "immune",     "skeletal",
+    "muscular",   "dermal",      "ocular",     "auditory",   "thyroid",
+    "pulmonary",  "gastric",     "intestinal", "cranial",    "spinal",
+};
+const char* const kConditions[] = {
+    "disorder",     "syndrome",   "infection",  "inflammation", "lesion",
+    "obstruction",  "deficiency", "hypertrophy", "stenosis",    "neoplasm",
+    "degeneration", "trauma",     "dysfunction", "anomaly",     "pain",
+};
+const char* const kProcedures[] = {
+    "examination", "screening",  "therapy",   "surgery",   "biopsy",
+    "imaging",     "management", "injection", "transplant", "repair",
+    "monitoring",  "counseling", "assessment", "evaluation", "consultation",
+};
+const char* const kQualifiers[] = {
+    "acute",    "chronic",  "severe",   "mild",      "recurrent",
+    "primary",  "secondary", "partial",  "complete",  "congenital",
+    "atypical", "bilateral", "systemic", "localized", "postoperative",
+};
+
+std::string MakeConceptName(Rng& rng, int depth, int serial) {
+  const char* system = kBodySystems[rng.NextUint64(std::size(kBodySystems))];
+  const char* tail = rng.NextBernoulli(0.5)
+                         ? kConditions[rng.NextUint64(std::size(kConditions))]
+                         : kProcedures[rng.NextUint64(std::size(kProcedures))];
+  std::string name;
+  if (depth >= 3) {
+    name += kQualifiers[rng.NextUint64(std::size(kQualifiers))];
+    name += ' ';
+  }
+  name += system;
+  name += ' ';
+  name += tail;
+  (void)serial;
+  return name;
+}
+
+}  // namespace
+
+Ontology BuildSnomedLikeOntology(const SnomedLikeOptions& options) {
+  OSRS_CHECK_GE(options.num_concepts, 2);
+  OSRS_CHECK_GE(options.max_depth, 1);
+  OSRS_CHECK_GE(options.synonyms_per_concept, 1);
+  Rng rng(options.seed);
+  Ontology onto;
+
+  ConceptId root = onto.AddConcept("clinical finding");
+  OSRS_CHECK(onto.AddSynonym(root, "clinical finding").ok());
+
+  // Concepts are assigned to levels 1..max_depth with geometrically growing
+  // level sizes, mimicking the fan-out of real medical ontologies.
+  std::vector<std::vector<ConceptId>> levels(
+      static_cast<size_t>(options.max_depth) + 1);
+  levels[0].push_back(root);
+
+  int remaining = options.num_concepts - 1;
+  std::vector<double> level_weight(static_cast<size_t>(options.max_depth) + 1,
+                                   0.0);
+  double w = 1.0;
+  double total_w = 0.0;
+  for (int d = 1; d <= options.max_depth; ++d) {
+    w *= 1.9;
+    level_weight[static_cast<size_t>(d)] = w;
+    total_w += w;
+  }
+
+  int serial = 0;
+  std::unordered_set<std::string> used_names;
+  for (int d = 1; d <= options.max_depth; ++d) {
+    int level_count;
+    if (d == options.max_depth) {
+      level_count = remaining;
+    } else {
+      level_count = static_cast<int>(
+          static_cast<double>(options.num_concepts - 1) *
+          level_weight[static_cast<size_t>(d)] / total_w);
+      level_count = std::min(level_count, remaining);
+      // Keep at least one concept per level so the DAG reaches max_depth.
+      if (level_count == 0 && remaining > 0) level_count = 1;
+    }
+    remaining -= level_count;
+    const std::vector<ConceptId>& above = levels[static_cast<size_t>(d - 1)];
+    for (int i = 0; i < level_count; ++i) {
+      // Draw fragment combinations until unused; fall back to a numeric
+      // variant when the fragment space is exhausted at this depth.
+      std::string name;
+      for (int attempt = 0; attempt < 12; ++attempt) {
+        name = MakeConceptName(rng, d, serial);
+        if (used_names.insert(name).second) break;
+        name.clear();
+      }
+      if (name.empty()) {
+        do {
+          ++serial;
+          name = MakeConceptName(rng, d, serial) +
+                 StrFormat(" type %d", serial);
+        } while (!used_names.insert(name).second);
+      }
+      ConceptId id = onto.AddConcept(name);
+      ConceptId parent = above[rng.NextUint64(above.size())];
+      OSRS_CHECK(onto.AddEdge(parent, id).ok());
+      if (d >= 2 && above.size() >= 2 &&
+          rng.NextBernoulli(options.multi_parent_prob)) {
+        ConceptId second = above[rng.NextUint64(above.size())];
+        if (second != parent) {
+          OSRS_CHECK(onto.AddEdge(second, id).ok());
+        }
+      }
+      // Synonyms: the name itself plus abbreviated variants.
+      OSRS_CHECK(onto.AddSynonym(id, onto.name(id)).ok());
+      for (int s = 1; s < options.synonyms_per_concept; ++s) {
+        OSRS_CHECK(
+            onto.AddSynonym(id, StrFormat("umls c%07d v%d", id, s)).ok());
+      }
+      levels[static_cast<size_t>(d)].push_back(id);
+    }
+    if (remaining == 0 && d < options.max_depth) {
+      // All concepts placed early; stop growing levels.
+      break;
+    }
+  }
+
+  OSRS_CHECK_MSG(onto.Finalize().ok(), "generated ontology must be a DAG");
+  return onto;
+}
+
+}  // namespace osrs

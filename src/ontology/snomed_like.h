@@ -1,0 +1,39 @@
+#ifndef OSRS_ONTOLOGY_SNOMED_LIKE_H_
+#define OSRS_ONTOLOGY_SNOMED_LIKE_H_
+
+#include <cstdint>
+
+#include "ontology/ontology.h"
+
+namespace osrs {
+
+/// Parameters of the synthetic SNOMED-CT-like medical ontology.
+///
+/// SNOMED CT itself is a licensed 300k+ concept DAG; the paper uses it as
+/// the concept hierarchy for doctor reviews. This generator reproduces the
+/// structural properties the algorithms depend on: a rooted DAG, shallow
+/// average ancestor counts (§4.1's linear-initialization claim), moderate
+/// depth (the Δ of Theorem 4), and occasional multi-parent concepts
+/// (diamonds), with medical-sounding names and extraction synonyms.
+struct SnomedLikeOptions {
+  /// Total concepts, including the root. The default keeps experiments fast
+  /// while remaining far larger than the per-item pair sets.
+  int num_concepts = 5000;
+  /// Target maximum depth of the DAG.
+  int max_depth = 8;
+  /// Probability that a non-top-level concept gets a second parent picked
+  /// from the previous level (creates DAG diamonds, not just a tree).
+  double multi_parent_prob = 0.08;
+  /// Number of surface-form synonyms per concept (>= 1; the first is the
+  /// concept name itself).
+  int synonyms_per_concept = 2;
+  /// RNG seed; generation is fully deterministic given the options.
+  uint64_t seed = 42;
+};
+
+/// Builds the synthetic SNOMED-like ontology (finalized).
+Ontology BuildSnomedLikeOntology(const SnomedLikeOptions& options);
+
+}  // namespace osrs
+
+#endif  // OSRS_ONTOLOGY_SNOMED_LIKE_H_

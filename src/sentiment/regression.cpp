@@ -1,0 +1,113 @@
+#include "sentiment/regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace osrs {
+namespace {
+
+/// In-place Cholesky solve of the SPD system a·x = b (a is n×n row-major).
+/// Returns false when `a` is not positive definite.
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& b, int n) {
+  // Decompose a = L L^T (lower triangle stored in place).
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[static_cast<size_t>(i) * n + j];
+      for (int k = 0; k < j; ++k) {
+        sum -= a[static_cast<size_t>(i) * n + k] *
+               a[static_cast<size_t>(j) * n + k];
+      }
+      if (i == j) {
+        if (sum <= 1e-12) return false;
+        a[static_cast<size_t>(i) * n + j] = std::sqrt(sum);
+      } else {
+        a[static_cast<size_t>(i) * n + j] =
+            sum / a[static_cast<size_t>(j) * n + j];
+      }
+    }
+  }
+  // Forward substitution L z = b.
+  for (int i = 0; i < n; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) {
+      sum -= a[static_cast<size_t>(i) * n + k] * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = sum / a[static_cast<size_t>(i) * n + i];
+  }
+  // Back substitution L^T x = z.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      sum -= a[static_cast<size_t>(k) * n + i] * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = sum / a[static_cast<size_t>(i) * n + i];
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<RidgeRegression> RidgeRegression::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    double lambda) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument(
+        StrFormat("need matching non-empty x (%zu) and y (%zu)", x.size(),
+                  y.size()));
+  }
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("lambda must be positive");
+  }
+  const int d = static_cast<int>(x[0].size());
+  for (const auto& row : x) {
+    if (static_cast<int>(row.size()) != d) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+  const int n = d + 1;  // + intercept
+
+  // Normal equations (X'X + λI) w = X'y with an appended all-ones feature.
+  std::vector<double> a(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> b(static_cast<size_t>(n), 0.0);
+  for (size_t r = 0; r < x.size(); ++r) {
+    for (int i = 0; i < n; ++i) {
+      double xi = i < d ? x[r][static_cast<size_t>(i)] : 1.0;
+      b[static_cast<size_t>(i)] += xi * y[r];
+      for (int j = 0; j <= i; ++j) {
+        double xj = j < d ? x[r][static_cast<size_t>(j)] : 1.0;
+        a[static_cast<size_t>(i) * n + j] += xi * xj;
+      }
+    }
+  }
+  // Symmetrize and regularize (not the intercept).
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      a[static_cast<size_t>(i) * n + j] = a[static_cast<size_t>(j) * n + i];
+    }
+  }
+  for (int i = 0; i < d; ++i) {
+    a[static_cast<size_t>(i) * n + i] += lambda;
+  }
+  a[static_cast<size_t>(d) * n + d] += 1e-9;  // keep intercept row SPD
+
+  if (!CholeskySolve(a, b, n)) {
+    return Status::Internal("normal equations not positive definite");
+  }
+  RidgeRegression model;
+  model.weights_.assign(b.begin(), b.begin() + d);
+  model.intercept_ = b[static_cast<size_t>(d)];
+  return model;
+}
+
+double RidgeRegression::Predict(const std::vector<double>& features) const {
+  OSRS_CHECK_EQ(features.size(), weights_.size());
+  double sum = intercept_;
+  for (size_t i = 0; i < features.size(); ++i) {
+    sum += weights_[i] * features[i];
+  }
+  return sum;
+}
+
+}  // namespace osrs

@@ -1,0 +1,39 @@
+#ifndef OSRS_SENTIMENT_REGRESSION_H_
+#define OSRS_SENTIMENT_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace osrs {
+
+/// L2-regularized linear regression solved in closed form via Cholesky on
+/// the (d+1)x(d+1) normal equations (an intercept column is appended
+/// internally). The paper formulates sentence-sentiment estimation "as a
+/// standard regression problem" over sentence vectors (§5.1); this is that
+/// regressor.
+class RidgeRegression {
+ public:
+  /// Fits on rows `x` (all of equal dimension) with targets `y`.
+  /// `lambda` > 0 is the ridge penalty (not applied to the intercept).
+  static Result<RidgeRegression> Fit(
+      const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+      double lambda);
+
+  /// Predicted target for a feature vector of the training dimension.
+  double Predict(const std::vector<double>& features) const;
+
+  /// Learned coefficients (without intercept).
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  RidgeRegression() = default;
+
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_SENTIMENT_REGRESSION_H_

@@ -1,0 +1,29 @@
+#ifndef OSRS_SOLVER_EXHAUSTIVE_H_
+#define OSRS_SOLVER_EXHAUSTIVE_H_
+
+#include <string>
+
+#include "solver/summarizer.h"
+
+namespace osrs {
+
+/// Exact solver by enumeration of all C(|U|, k) candidate subsets.
+///
+/// Exponential — intended only as the ground-truth oracle in tests and for
+/// the NP-hardness reduction experiments on tiny instances. Refuses
+/// instances whose subset count exceeds `max_subsets`.
+class ExhaustiveSummarizer : public Summarizer {
+ public:
+  explicit ExhaustiveSummarizer(int64_t max_subsets = 20'000'000);
+
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+
+  std::string name() const override { return "Exhaustive"; }
+
+ private:
+  int64_t max_subsets_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_SOLVER_EXHAUSTIVE_H_

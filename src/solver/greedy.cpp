@@ -1,0 +1,172 @@
+#include "solver/greedy.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/indexed_heap.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace osrs {
+namespace {
+
+/// Marginal gain of adding candidate u when each target w is currently
+/// covered at distance best[w]: Σ_w max(0, best[w] - d(u, w)).
+double GainOf(const CoverageGraph& graph, const std::vector<double>& best,
+              int u) {
+  double gain = 0.0;
+  for (const CoverageGraph::Edge& e : graph.EdgesOf(u)) {
+    double improvement = best[static_cast<size_t>(e.endpoint)] - e.weight;
+    if (improvement > 0.0) gain += improvement * graph.target_weight(e.endpoint);
+  }
+  return gain;
+}
+
+Status ValidateK(const CoverageGraph& graph, int k) {
+  if (k < 0 || k > graph.num_candidates()) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d outside [0, %d]", k, graph.num_candidates()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+GreedySummarizer::GreedySummarizer(GreedyOptions options)
+    : options_(options) {}
+
+std::string GreedySummarizer::name() const {
+  return options_.heap == GreedyOptions::Heap::kEager ? "Greedy"
+                                                      : "Greedy(lazy)";
+}
+
+Result<SummaryResult> GreedySummarizer::Summarize(const CoverageGraph& graph,
+                                                  int k) {
+  OSRS_RETURN_IF_ERROR(ValidateK(graph, k));
+  return options_.heap == GreedyOptions::Heap::kEager
+             ? SummarizeEager(graph, k)
+             : SummarizeLazy(graph, k);
+}
+
+Result<SummaryResult> GreedySummarizer::SummarizeEager(
+    const CoverageGraph& graph, int k) {
+  Stopwatch watch;
+  const int num_targets = graph.num_targets();
+  std::vector<double> best(static_cast<size_t>(num_targets));
+  for (int w = 0; w < num_targets; ++w) {
+    best[static_cast<size_t>(w)] = graph.root_distance(w);
+  }
+
+  // Initialize the max-heap with δ(p, {r}) for every candidate.
+  std::vector<double> initial_gain(
+      static_cast<size_t>(graph.num_candidates()));
+  for (int u = 0; u < graph.num_candidates(); ++u) {
+    initial_gain[static_cast<size_t>(u)] = GainOf(graph, best, u);
+  }
+  IndexedMaxHeap heap(std::move(initial_gain));
+
+  SummaryResult result;
+  result.cost = graph.EmptySummaryCost();
+  int64_t key_updates = 0;
+
+  // Accumulates per-candidate key deltas across all targets improved by one
+  // selection, so each affected candidate gets a single heap update.
+  std::unordered_map<int, double> pending_delta;
+
+  for (int round = 0; round < k && !heap.empty(); ++round) {
+    int chosen = heap.PopMax();
+    result.selected.push_back(chosen);
+    pending_delta.clear();
+
+    // Apply the selection: improve best[] along chosen's edges, and record
+    // how the improvement shrinks the gains of other coverers of those
+    // targets (the neighbor-of-neighbor updates of Algorithm 2, lines 7-9).
+    for (const CoverageGraph::Edge& e : graph.EdgesOf(chosen)) {
+      double& current = best[static_cast<size_t>(e.endpoint)];
+      if (e.weight >= current) continue;
+      const double old_best = current;
+      const double new_best = e.weight;
+      const double target_weight = graph.target_weight(e.endpoint);
+      current = new_best;
+      result.cost -= (old_best - new_best) * target_weight;
+      for (const CoverageGraph::Edge& back :
+           graph.CoveringOf(e.endpoint)) {
+        if (!heap.Contains(back.endpoint)) continue;
+        double before = std::max(0.0, old_best - back.weight);
+        double after = std::max(0.0, new_best - back.weight);
+        if (before != after) {
+          pending_delta[back.endpoint] += (before - after) * target_weight;
+        }
+      }
+    }
+    for (const auto& [candidate, delta] : pending_delta) {
+      heap.UpdateKey(candidate, heap.KeyOf(candidate) - delta);
+      ++key_updates;
+    }
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  result.work = key_updates;
+  return result;
+}
+
+Result<SummaryResult> GreedySummarizer::SummarizeLazy(
+    const CoverageGraph& graph, int k) {
+  Stopwatch watch;
+  const int num_targets = graph.num_targets();
+  std::vector<double> best(static_cast<size_t>(num_targets));
+  for (int w = 0; w < num_targets; ++w) {
+    best[static_cast<size_t>(w)] = graph.root_distance(w);
+  }
+
+  // Max-heap of (possibly stale gain, candidate). Staleness is safe because
+  // the gain is monotone non-increasing as F grows (submodularity): a
+  // recomputed gain still at the top is exactly the true maximum.
+  using Entry = std::pair<double, int>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;  // smaller id wins ties, like the eager heap
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  std::vector<bool> selected_flag(
+      static_cast<size_t>(graph.num_candidates()), false);
+  for (int u = 0; u < graph.num_candidates(); ++u) {
+    heap.push({GainOf(graph, best, u), u});
+  }
+
+  SummaryResult result;
+  result.cost = graph.EmptySummaryCost();
+  int64_t recomputes = 0;
+
+  for (int round = 0; round < k && !heap.empty(); ++round) {
+    while (true) {
+      const int u = heap.top().second;
+      heap.pop();
+      if (selected_flag[static_cast<size_t>(u)]) continue;
+      double fresh = GainOf(graph, best, u);
+      ++recomputes;
+      if (heap.empty() || fresh >= heap.top().first) {
+        selected_flag[static_cast<size_t>(u)] = true;
+        result.selected.push_back(u);
+        for (const CoverageGraph::Edge& e : graph.EdgesOf(u)) {
+          double& current = best[static_cast<size_t>(e.endpoint)];
+          if (e.weight < current) {
+            result.cost -=
+                (current - e.weight) * graph.target_weight(e.endpoint);
+            current = e.weight;
+          }
+        }
+        break;
+      }
+      heap.push({fresh, u});
+    }
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  result.work = recomputes;
+  return result;
+}
+
+}  // namespace osrs

@@ -1,0 +1,52 @@
+#include "solver/ilp_summarizer.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "solver/kmedian_model.h"
+
+namespace osrs {
+
+IlpSummarizer::IlpSummarizer(MipOptions options) : options_(options) {}
+
+Result<SummaryResult> IlpSummarizer::Summarize(const CoverageGraph& graph,
+                                               int k) {
+  if (k < 0 || k > graph.num_candidates()) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d outside [0, %d]", k, graph.num_candidates()));
+  }
+  Stopwatch watch;
+  KMedianModel model = BuildKMedianModel(graph, k, /*integral_x=*/true);
+  MipOptions options = options_;
+  options.objective_is_integral = model.integral_costs;
+  MipSolver solver(options);
+  MipSolution mip = solver.Solve(std::move(model.problem));
+
+  if (mip.status == LpStatus::kInfeasible || mip.status == LpStatus::kUnbounded) {
+    return Status::Internal(StrFormat("k-median ILP reported %s",
+                                      LpStatusToString(mip.status)));
+  }
+  if (!mip.has_incumbent) {
+    return Status::ResourceExhausted(
+        "branch-and-bound budget exhausted with no incumbent");
+  }
+  if (mip.status == LpStatus::kIterationLimit) {
+    return Status::ResourceExhausted(StrFormat(
+        "branch-and-bound budget exhausted after %lld nodes (incumbent %g)",
+        static_cast<long long>(mip.nodes), mip.objective));
+  }
+
+  SummaryResult result;
+  for (size_t u = 0; u < model.x_vars.size(); ++u) {
+    if (mip.values[static_cast<size_t>(model.x_vars[u])] > 0.5) {
+      result.selected.push_back(static_cast<int>(u));
+    }
+  }
+  result.cost = graph.CostOfSelection(result.selected);
+  result.seconds = watch.ElapsedSeconds();
+  result.work = mip.nodes;
+  return result;
+}
+
+}  // namespace osrs

@@ -1,0 +1,30 @@
+#ifndef OSRS_SOLVER_ILP_SUMMARIZER_H_
+#define OSRS_SOLVER_ILP_SUMMARIZER_H_
+
+#include <string>
+
+#include "lp/mip.h"
+#include "solver/summarizer.h"
+
+namespace osrs {
+
+/// The paper's exact algorithm (§4.2): solve the k-median ILP. The paper
+/// uses Gurobi; here the bundled branch-and-bound MipSolver plays that role
+/// (see DESIGN.md's substitution table). Returns the provably optimal
+/// selection; fails with ResourceExhausted when the node budget runs out
+/// before optimality is proven.
+class IlpSummarizer : public Summarizer {
+ public:
+  explicit IlpSummarizer(MipOptions options = {});
+
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+
+  std::string name() const override { return "ILP"; }
+
+ private:
+  MipOptions options_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_SOLVER_ILP_SUMMARIZER_H_

@@ -1,0 +1,40 @@
+#ifndef OSRS_SOLVER_KMEDIAN_MODEL_H_
+#define OSRS_SOLVER_KMEDIAN_MODEL_H_
+
+#include <vector>
+
+#include "coverage/coverage_graph.h"
+#include "lp/lp_problem.h"
+
+namespace osrs {
+
+/// The §4.2 k-median (I)LP built from a coverage graph.
+struct KMedianModel {
+  LpProblem problem;
+  /// problem variable index of x_u for each candidate u (|U| entries).
+  std::vector<int> x_vars;
+  /// True when every edge weight (and root distance) is integral, so every
+  /// integral solution has an integral objective (enables MIP pruning).
+  bool integral_costs = true;
+};
+
+/// Builds the model
+///
+///   min  Σ_(u,w)∈E d(u,w)·y_uw + Σ_w d(r,w)·y_rw
+///   s.t. Σ_u y_uw + y_rw = 1          for every target w
+///        y_uw ≤ x_u                   for every edge (u,w)
+///        Σ_u x_u ≤ k
+///        x ∈ [0,1] (integral iff integral_x), y ≥ 0
+///
+/// This matches the paper's ILP after two harmless rewrites: x_r = 1 is
+/// substituted away (y_rw then has no linking row, only the implied bound
+/// y_rw ≤ 1), and Σ x = k is relaxed to ≤ k, which preserves the optimum
+/// because the coverage cost is monotone non-increasing in the open set.
+/// Edges at least as expensive as the root assignment are pruned: they can
+/// never improve the objective.
+KMedianModel BuildKMedianModel(const CoverageGraph& graph, int k,
+                               bool integral_x);
+
+}  // namespace osrs
+
+#endif  // OSRS_SOLVER_KMEDIAN_MODEL_H_

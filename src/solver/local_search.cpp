@@ -1,0 +1,123 @@
+#include "solver/local_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace osrs {
+namespace {
+
+/// First- and second-best coverage of every target under a selection, with
+/// the owner of the best. The implicit root is folded in as owner -1.
+struct CoverageState {
+  std::vector<double> best1;
+  std::vector<int> owner1;   // selected candidate index, or -1 for the root
+  std::vector<double> best2;
+
+  void Rebuild(const CoverageGraph& graph, const std::vector<int>& selected) {
+    const size_t n = static_cast<size_t>(graph.num_targets());
+    best1.resize(n);
+    best2.resize(n);
+    owner1.assign(n, -1);
+    for (size_t w = 0; w < n; ++w) {
+      best1[w] = graph.root_distance(static_cast<int>(w));
+      best2[w] = best1[w];  // the root never leaves, so it backstops both
+    }
+    for (int u : selected) {
+      for (const CoverageGraph::Edge& e : graph.EdgesOf(u)) {
+        size_t w = static_cast<size_t>(e.endpoint);
+        if (e.weight < best1[w]) {
+          best2[w] = best1[w];
+          best1[w] = e.weight;
+          owner1[w] = u;
+        } else if (e.weight < best2[w]) {
+          best2[w] = e.weight;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+LocalSearchSummarizer::LocalSearchSummarizer(LocalSearchOptions options)
+    : options_(options) {}
+
+Result<SummaryResult> LocalSearchSummarizer::Summarize(
+    const CoverageGraph& graph, int k) {
+  Stopwatch watch;
+  auto seed = greedy_.Summarize(graph, k);
+  OSRS_RETURN_IF_ERROR(seed.status());
+  std::vector<int> selected = seed->selected;
+  double cost = seed->cost;
+
+  std::vector<bool> is_selected(static_cast<size_t>(graph.num_candidates()),
+                                false);
+  for (int u : selected) is_selected[static_cast<size_t>(u)] = true;
+
+  CoverageState state;
+  int64_t swaps_applied = 0;
+  // Scratch: distance from the incoming candidate to each target (∞ when
+  // not adjacent); reset sparsely between candidates.
+  std::vector<double> in_distance(static_cast<size_t>(graph.num_targets()),
+                                  kInfiniteDistance);
+
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    state.Rebuild(graph, selected);
+    double best_delta = -options_.min_improvement;
+    size_t best_out_pos = 0;
+    int best_in = -1;
+
+    for (int u_in = 0; u_in < graph.num_candidates(); ++u_in) {
+      if (is_selected[static_cast<size_t>(u_in)]) continue;
+      for (const CoverageGraph::Edge& e : graph.EdgesOf(u_in)) {
+        in_distance[static_cast<size_t>(e.endpoint)] = e.weight;
+      }
+      for (size_t out_pos = 0; out_pos < selected.size(); ++out_pos) {
+        const int u_out = selected[out_pos];
+        // Delta over targets adjacent to u_in or owned by u_out; all other
+        // targets keep their current coverage.
+        double delta = 0.0;
+        for (const CoverageGraph::Edge& e : graph.EdgesOf(u_in)) {
+          size_t w = static_cast<size_t>(e.endpoint);
+          double base = state.owner1[w] == u_out ? state.best2[w]
+                                                 : state.best1[w];
+          double now = std::min(base, e.weight);
+          delta += (now - state.best1[w]) * graph.target_weight(e.endpoint);
+        }
+        for (const CoverageGraph::Edge& e : graph.EdgesOf(u_out)) {
+          size_t w = static_cast<size_t>(e.endpoint);
+          if (state.owner1[w] != u_out) continue;
+          if (in_distance[w] < kInfiniteDistance) continue;  // counted above
+          delta += (state.best2[w] - state.best1[w]) *
+                   graph.target_weight(e.endpoint);
+        }
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_out_pos = out_pos;
+          best_in = u_in;
+        }
+      }
+      for (const CoverageGraph::Edge& e : graph.EdgesOf(u_in)) {
+        in_distance[static_cast<size_t>(e.endpoint)] = kInfiniteDistance;
+      }
+    }
+
+    if (best_in < 0) break;  // local optimum
+    is_selected[static_cast<size_t>(selected[best_out_pos])] = false;
+    is_selected[static_cast<size_t>(best_in)] = true;
+    selected[best_out_pos] = best_in;
+    ++swaps_applied;
+    cost = graph.CostOfSelection(selected);  // exact, avoids delta drift
+  }
+
+  SummaryResult result;
+  result.selected = std::move(selected);
+  result.cost = cost;
+  result.seconds = watch.ElapsedSeconds();
+  result.work = swaps_applied;
+  return result;
+}
+
+}  // namespace osrs

@@ -1,0 +1,47 @@
+#ifndef OSRS_SOLVER_LOCAL_SEARCH_H_
+#define OSRS_SOLVER_LOCAL_SEARCH_H_
+
+#include <string>
+
+#include "solver/greedy.h"
+#include "solver/summarizer.h"
+
+namespace osrs {
+
+/// Options of the swap local search.
+struct LocalSearchOptions {
+  /// Upper bound on improvement passes (each pass applies the single best
+  /// swap found; the search also stops at a local optimum).
+  int max_passes = 64;
+  /// A swap must improve the cost by more than this to be applied.
+  double min_improvement = 1e-9;
+};
+
+/// Single-swap local search over the coverage objective — an extension
+/// beyond the paper's three algorithms (§4), included because swap search
+/// is the classical companion of greedy for k-median-style objectives
+/// (Arya et al.'s 5-approximation for metric k-median; our objective is a
+/// k-median variant with an asymmetric distance and root fallback, so the
+/// metric guarantee does not transfer — here it serves as a high-quality
+/// polish pass).
+///
+/// The search seeds with the greedy solution, then repeatedly applies the
+/// best cost-improving swap (selected candidate out, unselected candidate
+/// in) until none exists. Each pass evaluates all k·(|U|-k) swaps in
+/// O(k·|U|·davg) using first/second-best coverage bookkeeping.
+class LocalSearchSummarizer : public Summarizer {
+ public:
+  explicit LocalSearchSummarizer(LocalSearchOptions options = {});
+
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+
+  std::string name() const override { return "Greedy+swap"; }
+
+ private:
+  LocalSearchOptions options_;
+  GreedySummarizer greedy_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_SOLVER_LOCAL_SEARCH_H_

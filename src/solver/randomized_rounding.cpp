@@ -1,0 +1,103 @@
+#include "solver/randomized_rounding.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "solver/kmedian_model.h"
+
+namespace osrs {
+
+RandomizedRoundingSummarizer::RandomizedRoundingSummarizer(
+    RandomizedRoundingOptions options)
+    : options_(options) {}
+
+Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
+    const CoverageGraph& graph, int k) {
+  if (k < 0 || k > graph.num_candidates()) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d outside [0, %d]", k, graph.num_candidates()));
+  }
+  Stopwatch watch;
+  KMedianModel model = BuildKMedianModel(graph, k, /*integral_x=*/false);
+  RevisedSimplex simplex(options_.lp);
+  LpSolution lp = simplex.Solve(model.problem);
+  if (lp.status != LpStatus::kOptimal) {
+    return Status::Internal(StrFormat("k-median LP relaxation reported %s",
+                                      LpStatusToString(lp.status)));
+  }
+
+  // Fractional opening weights q(p) ∝ x_p (Algorithm 1, line 2).
+  std::vector<double> base_weights(model.x_vars.size());
+  for (size_t u = 0; u < model.x_vars.size(); ++u) {
+    double x = lp.values[static_cast<size_t>(model.x_vars[u])];
+    base_weights[u] = x > 1e-12 ? x : 0.0;
+  }
+
+  if (options_.strategy == RoundingStrategy::kTopK) {
+    // Deterministic rounding: open the k largest fractional facilities.
+    std::vector<int> order(base_weights.size());
+    for (size_t u = 0; u < order.size(); ++u) order[u] = static_cast<int>(u);
+    std::sort(order.begin(), order.end(), [&base_weights](int a, int b) {
+      double wa = base_weights[static_cast<size_t>(a)];
+      double wb = base_weights[static_cast<size_t>(b)];
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+    SummaryResult result;
+    result.selected.assign(order.begin(),
+                           order.begin() + std::min<size_t>(
+                                               static_cast<size_t>(k),
+                                               order.size()));
+    result.cost = graph.CostOfSelection(result.selected);
+    result.seconds = watch.ElapsedSeconds();
+    result.work = lp.iterations;
+    return result;
+  }
+
+  Rng rng(options_.seed);
+  SummaryResult best;
+  bool have_best = false;
+  for (int trial = 0; trial < std::max(1, options_.trials); ++trial) {
+    std::vector<double> weights = base_weights;
+    std::vector<int> selected;
+    selected.reserve(static_cast<size_t>(k));
+    // Sample without replacement (Algorithm 1, lines 4-6). If the LP opens
+    // fewer than k candidates fractionally, the support runs dry; the
+    // remaining slots are filled uniformly from the unchosen candidates,
+    // which cannot increase the cost.
+    for (int round = 0; round < k; ++round) {
+      double total = 0.0;
+      for (double w : weights) total += w;
+      if (total <= 0.0) break;
+      size_t pick = rng.NextDiscrete(weights);
+      selected.push_back(static_cast<int>(pick));
+      weights[pick] = 0.0;
+    }
+    if (static_cast<int>(selected.size()) < k) {
+      std::vector<bool> chosen(model.x_vars.size(), false);
+      for (int u : selected) chosen[static_cast<size_t>(u)] = true;
+      std::vector<size_t> order = rng.SampleWithoutReplacement(
+          model.x_vars.size(), model.x_vars.size());
+      for (size_t u : order) {
+        if (static_cast<int>(selected.size()) >= k) break;
+        if (!chosen[u]) selected.push_back(static_cast<int>(u));
+      }
+    }
+    double cost = graph.CostOfSelection(selected);
+    if (!have_best || cost < best.cost) {
+      best.selected = std::move(selected);
+      best.cost = cost;
+      have_best = true;
+    }
+  }
+
+  best.seconds = watch.ElapsedSeconds();
+  best.work = lp.iterations;
+  return best;
+}
+
+}  // namespace osrs

@@ -1,0 +1,54 @@
+#ifndef OSRS_SOLVER_RANDOMIZED_ROUNDING_H_
+#define OSRS_SOLVER_RANDOMIZED_ROUNDING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lp/simplex.h"
+#include "solver/summarizer.h"
+
+namespace osrs {
+
+/// How the fractional LP solution is turned into k representatives.
+enum class RoundingStrategy {
+  /// Algorithm 1: sample k candidates without replacement from x/‖x‖₁.
+  kSample,
+  /// Deterministic variant: take the k largest x values (ties to the
+  /// smaller index). No Theorem 3 guarantee, but reproducible and often a
+  /// touch cheaper in cost; compared in the extensions bench.
+  kTopK,
+};
+
+/// Options for the randomized-rounding summarizer.
+struct RandomizedRoundingOptions {
+  SimplexOptions lp;
+  uint64_t seed = 7;
+  /// Number of independent rounding draws; the cheapest is kept. The paper
+  /// uses a single draw (Algorithm 1); more draws trade time for cost.
+  int trials = 1;
+  RoundingStrategy strategy = RoundingStrategy::kSample;
+};
+
+/// Algorithm 1 (§4.3): solve the LP relaxation of the k-median ILP, then
+/// sample k candidates without replacement from the distribution
+/// q(p) = x_p / ‖x‖₁ given by the fractional opening variables.
+///
+/// Carries the Theorem 3 guarantee: expected cost O(opt_{k'}(P)) for
+/// k' = O(k / log n); in practice within 1-2% of optimal (§5.2).
+class RandomizedRoundingSummarizer : public Summarizer {
+ public:
+  explicit RandomizedRoundingSummarizer(RandomizedRoundingOptions options = {});
+
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+
+  std::string name() const override {
+    return options_.strategy == RoundingStrategy::kSample ? "RR" : "LP-top-k";
+  }
+
+ private:
+  RandomizedRoundingOptions options_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_SOLVER_RANDOMIZED_ROUNDING_H_

@@ -1,0 +1,44 @@
+#ifndef OSRS_SOLVER_SUMMARIZER_H_
+#define OSRS_SOLVER_SUMMARIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "coverage/coverage_graph.h"
+
+namespace osrs {
+
+/// Output of one summarization run over a coverage graph.
+struct SummaryResult {
+  /// Selected candidate indices (into the graph's U side), in selection
+  /// order where the algorithm has one.
+  std::vector<int> selected;
+  /// Definition 2 cost of the selection.
+  double cost = 0.0;
+  /// Wall-clock seconds spent inside Summarize (excludes graph building).
+  double seconds = 0.0;
+  /// Solver-specific diagnostics (LP iterations, B&B nodes, ...); 0 when
+  /// not applicable.
+  int64_t work = 0;
+};
+
+/// Common interface of the paper's three algorithms (§4) and the exact
+/// reference solver. Implementations are stateless across calls unless
+/// documented otherwise and may be reused for many graphs.
+class Summarizer {
+ public:
+  virtual ~Summarizer() = default;
+
+  /// Selects (up to) k of the graph's candidates minimizing the coverage
+  /// cost. Fails with InvalidArgument when k < 0 or k > |U|.
+  virtual Result<SummaryResult> Summarize(const CoverageGraph& graph,
+                                          int k) = 0;
+
+  /// Short display name, e.g. "Greedy", "ILP", "RR".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_SOLVER_SUMMARIZER_H_

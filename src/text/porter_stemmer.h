@@ -1,0 +1,19 @@
+#ifndef OSRS_TEXT_PORTER_STEMMER_H_
+#define OSRS_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace osrs {
+
+/// Classic Porter (1980) suffix-stripping stemmer for English.
+///
+/// Used to normalize both the ontology term lexicon and review tokens so
+/// the dictionary extractor matches morphological variants ("charging" ↔
+/// "charge"). Input must be lowercase ASCII; words of length <= 2 are
+/// returned unchanged, as in the original algorithm.
+std::string PorterStem(std::string_view word);
+
+}  // namespace osrs
+
+#endif  // OSRS_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,63 @@
+#include "text/sentence_splitter.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace osrs {
+namespace {
+
+/// Common abbreviations whose trailing period does not end a sentence.
+constexpr std::array<std::string_view, 12> kAbbreviations = {
+    "dr", "mr", "mrs", "ms", "prof", "vs", "etc", "e.g", "i.e", "st", "jr",
+    "approx"};
+
+bool EndsWithAbbreviation(std::string_view text, size_t period_pos) {
+  // Extract the word (possibly containing periods, for "e.g.") that ends at
+  // period_pos.
+  size_t start = period_pos;
+  while (start > 0) {
+    char c = text[start - 1];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '.') {
+      --start;
+    } else {
+      break;
+    }
+  }
+  std::string word = ToLower(text.substr(start, period_pos - start));
+  for (std::string_view abbr : kAbbreviations) {
+    if (word == abbr) return true;
+  }
+  // Single letters ("J. Smith") are initials.
+  return word.size() == 1;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\n' || c == '!' || c == '?' ||
+        (c == '.' && !EndsWithAbbreviation(text, i))) {
+      // Consume runs of terminators ("!!", "...").
+      while (i + 1 < text.size() &&
+             (text[i + 1] == '.' || text[i + 1] == '!' ||
+              text[i + 1] == '?')) {
+        ++i;
+      }
+      std::string_view trimmed = Trim(current);
+      if (!trimmed.empty()) sentences.emplace_back(trimmed);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  std::string_view trimmed = Trim(current);
+  if (!trimmed.empty()) sentences.emplace_back(trimmed);
+  return sentences;
+}
+
+}  // namespace osrs

@@ -1,0 +1,18 @@
+#ifndef OSRS_TEXT_SENTENCE_SPLITTER_H_
+#define OSRS_TEXT_SENTENCE_SPLITTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osrs {
+
+/// Splits review text into sentences on '.', '!', '?' and newlines, with a
+/// small abbreviation list ("dr.", "mr.", "e.g.", ...) to avoid false
+/// breaks — sufficient for the short informal sentences of online reviews.
+/// Empty/whitespace-only sentences are dropped; terminators are removed.
+std::vector<std::string> SplitSentences(std::string_view text);
+
+}  // namespace osrs
+
+#endif  // OSRS_TEXT_SENTENCE_SPLITTER_H_

@@ -1,0 +1,39 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace osrs {
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto& words = *new std::unordered_set<std::string>{
+      "a",       "about",  "above",  "after",  "again",   "all",    "also",
+      "am",      "an",     "and",    "any",    "are",     "as",     "at",
+      "be",      "because", "been",  "before", "being",   "below",  "between",
+      "both",    "but",    "by",     "can",    "could",   "did",    "do",
+      "does",    "doing",  "down",   "during", "each",    "few",    "for",
+      "from",    "further", "had",   "has",    "have",    "having", "he",
+      "her",     "here",   "hers",   "him",    "his",     "how",    "i",
+      "if",      "in",     "into",   "is",     "it",      "its",    "itself",
+      "just",    "me",     "more",   "most",   "my",      "myself", "now",
+      "of",      "off",    "on",     "once",   "only",    "or",     "other",
+      "our",     "ours",   "out",    "over",   "own",     "s",      "same",
+      "she",     "should", "so",     "some",   "such",    "t",      "than",
+      "that",    "the",    "their",  "theirs", "them",    "then",   "there",
+      "these",   "they",   "this",   "those",  "through", "to",     "too",
+      "under",   "until",  "up",     "was",    "we",      "were",   "what",
+      "when",    "where",  "which",  "while",  "who",     "whom",   "why",
+      "will",    "with",   "would",  "you",    "your",    "yours",  "yourself",
+      "it's",    "don't",  "didn't", "i'm",    "i've",    "he's",   "she's",
+  };
+  return words;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+}  // namespace osrs

@@ -1,0 +1,15 @@
+#ifndef OSRS_TEXT_STOPWORDS_H_
+#define OSRS_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace osrs {
+
+/// True for high-frequency English function words ("the", "of", "was", ...)
+/// filtered out by the aspect miner and the embedding/LSA vectorizers.
+/// Input must be lowercase.
+bool IsStopword(std::string_view word);
+
+}  // namespace osrs
+
+#endif  // OSRS_TEXT_STOPWORDS_H_

@@ -1,0 +1,52 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace osrs {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<TokenSpan> TokenizeWithOffsets(std::string_view text) {
+  std::vector<TokenSpan> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    if (!IsWordChar(text[i])) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    std::string token;
+    while (i < n) {
+      char c = text[i];
+      if (IsWordChar(c)) {
+        token.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+        ++i;
+      } else if (c == '\'' && i + 1 < n && IsWordChar(text[i + 1]) &&
+                 !token.empty()) {
+        token.push_back('\'');
+        ++i;
+      } else {
+        break;
+      }
+    }
+    tokens.push_back({std::move(token), start});
+  }
+  return tokens;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  for (TokenSpan& span : TokenizeWithOffsets(text)) {
+    out.push_back(std::move(span.token));
+  }
+  return out;
+}
+
+}  // namespace osrs

@@ -1,0 +1,24 @@
+#ifndef OSRS_TEXT_TOKENIZER_H_
+#define OSRS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osrs {
+
+/// Lowercased word tokens of `text`. A token is a maximal run of ASCII
+/// letters/digits, with embedded apostrophes kept ("don't" -> "don't",
+/// hyphens split: "wi-fi" -> "wi", "fi"). Punctuation is dropped.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Like Tokenize but also records each token's byte offset in `text`.
+struct TokenSpan {
+  std::string token;  // lowercased
+  size_t offset;      // byte offset of the first character
+};
+std::vector<TokenSpan> TokenizeWithOffsets(std::string_view text);
+
+}  // namespace osrs
+
+#endif  // OSRS_TEXT_TOKENIZER_H_

@@ -1,0 +1,285 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/coverage_selector.h"
+#include "baselines/lexrank.h"
+#include "baselines/lsa.h"
+#include "baselines/most_popular.h"
+#include "baselines/pagerank.h"
+#include "baselines/proportional.h"
+#include "baselines/sentence_selector.h"
+#include "baselines/textrank.h"
+#include "datagen/cellphone_corpus.h"
+#include "eval/sent_err.h"
+#include "ontology/cellphone_hierarchy.h"
+#include "text/tokenizer.h"
+
+namespace osrs {
+namespace {
+
+CandidateSentence MakeSentence(const std::string& text,
+                               std::vector<ConceptSentimentPair> pairs,
+                               int review = 0, int index = 0) {
+  CandidateSentence s;
+  s.review_index = review;
+  s.sentence_index = index;
+  s.text = text;
+  s.tokens = Tokenize(text);
+  s.pairs = std::move(pairs);
+  return s;
+}
+
+// ---------------------------------------------------------------- PageRank
+
+TEST(PageRankTest, SymmetricTriangleIsUniform) {
+  std::vector<std::vector<std::pair<int, double>>> graph{
+      {{1, 1.0}, {2, 1.0}}, {{0, 1.0}, {2, 1.0}}, {{0, 1.0}, {1, 1.0}}};
+  auto rank = PageRank(graph);
+  ASSERT_EQ(rank.size(), 3u);
+  EXPECT_NEAR(rank[0], 1.0 / 3, 1e-6);
+  EXPECT_NEAR(rank[1], 1.0 / 3, 1e-6);
+  EXPECT_NEAR(rank[2], 1.0 / 3, 1e-6);
+}
+
+TEST(PageRankTest, HubGetsHigherScore) {
+  // Star: node 0 connected to 1..4.
+  std::vector<std::vector<std::pair<int, double>>> graph(5);
+  for (int leaf = 1; leaf < 5; ++leaf) {
+    graph[0].emplace_back(leaf, 1.0);
+    graph[static_cast<size_t>(leaf)].emplace_back(0, 1.0);
+  }
+  auto rank = PageRank(graph);
+  for (int leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_GT(rank[0], rank[static_cast<size_t>(leaf)]);
+  }
+}
+
+TEST(PageRankTest, ScoresSumToOneWithDanglingNodes) {
+  std::vector<std::vector<std::pair<int, double>>> graph(4);
+  graph[0].emplace_back(1, 2.0);  // 1,2,3 dangling
+  auto rank = PageRank(graph);
+  double sum = 0;
+  for (double r : rank) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, EmptyGraph) { EXPECT_TRUE(PageRank({}).empty()); }
+
+// --------------------------------------------------------- Rank selectors
+
+std::vector<CandidateSentence> RepetitionCorpus() {
+  std::vector<CandidateSentence> sentences;
+  // A dominant theme (screen) and an outlier.
+  for (int i = 0; i < 6; ++i) {
+    sentences.push_back(MakeSentence("the screen display is bright and sharp",
+                                     {}, 0, i));
+  }
+  sentences.push_back(MakeSentence("shipping box arrived dented", {}, 1, 0));
+  return sentences;
+}
+
+TEST(TextRankTest, PrefersCentralSentences) {
+  TextRankSelector selector;
+  auto selected = selector.Select(RepetitionCorpus(), 1);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 1u);
+  // The central (repeated-theme) sentence outranks the outlier.
+  EXPECT_LT((*selected)[0], 6);
+}
+
+TEST(TextRankTest, ReturnsKDistinct) {
+  TextRankSelector selector;
+  auto selected = selector.Select(RepetitionCorpus(), 3);
+  ASSERT_TRUE(selected.ok());
+  std::set<int> unique(selected->begin(), selected->end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_FALSE(selector.Select(RepetitionCorpus(), -1).ok());
+}
+
+TEST(TextRankTest, KLargerThanCorpus) {
+  TextRankSelector selector;
+  auto selected = selector.Select(RepetitionCorpus(), 100);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), RepetitionCorpus().size());
+}
+
+TEST(LexRankTest, PrefersCentralSentences) {
+  LexRankSelector selector;
+  auto selected = selector.Select(RepetitionCorpus(), 1);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 1u);
+  EXPECT_LT((*selected)[0], 6);
+}
+
+TEST(LexRankTest, ThresholdOneIsolatesEverything) {
+  LexRankSelector selector(/*cosine_threshold=*/1.01);
+  auto selected = selector.Select(RepetitionCorpus(), 2);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);  // still returns top-k (uniform ranks)
+}
+
+TEST(LsaTest, SelectsFromDominantTopic) {
+  // With a single latent topic only the dominant theme survives; with more
+  // topics LSA deliberately also represents minority themes.
+  LsaSelector selector(1);
+  auto selected = selector.Select(RepetitionCorpus(), 1);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 1u);
+  EXPECT_LT((*selected)[0], 6);
+}
+
+TEST(LsaTest, HandlesEmptyAndValidatesArgs) {
+  LsaSelector selector;
+  auto selected = selector.Select({}, 3);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected->empty());
+  EXPECT_FALSE(selector.Select(RepetitionCorpus(), -1).ok());
+}
+
+// ------------------------------------------------- Opinion-based baselines
+
+std::vector<CandidateSentence> OpinionCorpus(const Ontology& onto) {
+  ConceptId screen = onto.FindByName("screen");
+  ConceptId battery = onto.FindByName("battery");
+  ConceptId price = onto.FindByName("price");
+  std::vector<CandidateSentence> sentences;
+  // screen+ is the most popular pair (4 sentences), then battery- (3),
+  // then price+ (1).
+  sentences.push_back(MakeSentence("screen is good", {{screen, 0.5}}, 0, 0));
+  sentences.push_back(MakeSentence("screen is great", {{screen, 0.75}}, 1, 0));
+  sentences.push_back(MakeSentence("screen is nice", {{screen, 0.5}}, 2, 0));
+  sentences.push_back(
+      MakeSentence("screen is excellent", {{screen, 0.95}}, 3, 0));
+  sentences.push_back(MakeSentence("battery is bad", {{battery, -0.5}}, 4, 0));
+  sentences.push_back(
+      MakeSentence("battery is awful", {{battery, -0.9}}, 5, 0));
+  sentences.push_back(MakeSentence("battery is poor", {{battery, -0.55}}, 6, 0));
+  sentences.push_back(MakeSentence("price is decent", {{price, 0.35}}, 7, 0));
+  return sentences;
+}
+
+TEST(MostPopularTest, PicksMostPopularAspectFirst) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  auto sentences = OpinionCorpus(onto);
+  MostPopularSelector selector;
+  auto selected = selector.Select(sentences, 2);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 2u);
+  // First pick: the most polarized screen+ sentence (index 3, 0.95).
+  EXPECT_EQ((*selected)[0], 3);
+  // Second pick: most polarized battery- sentence (index 5, -0.9).
+  EXPECT_EQ((*selected)[1], 5);
+}
+
+TEST(MostPopularTest, NeverRepeatsSentences) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  MostPopularSelector selector;
+  auto selected = selector.Select(OpinionCorpus(onto), 6);
+  ASSERT_TRUE(selected.ok());
+  std::set<int> unique(selected->begin(), selected->end());
+  EXPECT_EQ(unique.size(), selected->size());
+}
+
+TEST(ProportionalTest, AllocatesSlotsByFrequency) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  auto sentences = OpinionCorpus(onto);
+  ProportionalSelector selector;
+  auto selected = selector.Select(sentences, 4);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 4u);
+  // 8 pairs total: screen+ 4/8 -> 2 slots, battery- 3/8 -> 1-2, price 0-1.
+  int screen_count = 0;
+  for (int s : *selected) {
+    if (sentences[static_cast<size_t>(s)].pairs[0].concept_id ==
+        onto.FindByName("screen")) {
+      ++screen_count;
+    }
+  }
+  EXPECT_EQ(screen_count, 2);
+}
+
+TEST(ProportionalTest, EmptyPairsGiveEmptySummary) {
+  ProportionalSelector selector;
+  auto selected = selector.Select(RepetitionCorpus(), 3);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected->empty());
+}
+
+// ------------------------------------------------------- Coverage (ours)
+
+TEST(CoverageSelectorTest, SkipsPairlessSentences) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  std::vector<CandidateSentence> sentences;
+  sentences.push_back(MakeSentence("no aspects here at all", {}, 0, 0));
+  sentences.push_back(MakeSentence(
+      "screen is great", {{onto.FindByName("screen"), 0.75}}, 1, 0));
+  CoverageGreedySelector selector(&onto);
+  auto selected = selector.Select(sentences, 2);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 1u);
+  EXPECT_EQ((*selected)[0], 1);
+}
+
+TEST(CoverageSelectorTest, CoversDiverseAspects) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  auto sentences = OpinionCorpus(onto);
+  CoverageGreedySelector selector(&onto);
+  auto selected = selector.Select(sentences, 3);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 3u);
+  std::set<ConceptId> concepts;
+  for (int s : *selected) {
+    concepts.insert(sentences[static_cast<size_t>(s)].pairs[0].concept_id);
+  }
+  // One sentence per aspect beats three sentences about the screen.
+  EXPECT_EQ(concepts.size(), 3u);
+}
+
+// ---------------------------------------- Head-to-head on a real corpus
+
+TEST(BaselineComparisonTest, OursBeatsSentimentAgnosticBaselines) {
+  // Small synthetic phone corpus; ours should dominate the text-only
+  // baselines on sent-err (the Fig. 6 claim, in miniature).
+  CellPhoneCorpusOptions options;
+  options.scale = 0.04;
+  Corpus corpus = GenerateCellPhoneCorpus(options);
+  const int k = 5;
+
+  double ours_total = 0, textrank_total = 0, lexrank_total = 0;
+  for (const Item& item : corpus.items) {
+    // Cap candidate sentences to keep the quadratic baselines fast.
+    auto candidates = BuildCandidates(item);
+    if (candidates.size() > 150) candidates.resize(150);
+    std::vector<ConceptSentimentPair> all_pairs;
+    for (const auto& c : candidates) {
+      all_pairs.insert(all_pairs.end(), c.pairs.begin(), c.pairs.end());
+    }
+
+    CoverageGreedySelector ours(&corpus.ontology);
+    TextRankSelector textrank;
+    LexRankSelector lexrank;
+    for (auto* selector : std::initializer_list<SentenceSelector*>{
+             &ours, &textrank, &lexrank}) {
+      auto selected = selector->Select(candidates, k);
+      ASSERT_TRUE(selected.ok()) << selector->name();
+      double err = SentErr(corpus.ontology, all_pairs,
+                           PairsOfSelection(candidates, *selected), false);
+      if (selector == static_cast<SentenceSelector*>(&ours)) {
+        ours_total += err;
+      } else if (selector == static_cast<SentenceSelector*>(&textrank)) {
+        textrank_total += err;
+      } else {
+        lexrank_total += err;
+      }
+    }
+  }
+  EXPECT_LT(ours_total, textrank_total);
+  EXPECT_LT(ours_total, lexrank_total);
+}
+
+}  // namespace
+}  // namespace osrs

@@ -1,0 +1,408 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/indexed_heap.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+
+namespace osrs {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+        StatusCode::kInternal, StatusCode::kUnimplemented,
+        StatusCode::kResourceExhausted}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  OSRS_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, NextUint64IsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextUint64(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsApproximate) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.NextGaussian());
+  EXPECT_NEAR(Mean(samples), 0.0, 0.05);
+  EXPECT_NEAR(StdDev(samples), 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfFavorsSmallRanks) {
+  Rng rng(21);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t r = rng.NextZipf(100, 1.1);
+    ASSERT_LT(r, 100u);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[0], 10 * counts[50]);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextZipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.NextDiscrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(37);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpties) {
+  auto parts = SplitWhitespace("  hello   world \t x ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "x");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  abc \n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, ToLowerAscii) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("battery life", "battery"));
+  EXPECT_FALSE(StartsWith("batt", "battery"));
+  EXPECT_TRUE(EndsWith("battery life", "life"));
+  EXPECT_FALSE(EndsWith("life", "battery life"));
+}
+
+TEST(StringsTest, ParseInt64AcceptsWholeIntegers) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("-17", &value));
+  EXPECT_EQ(value, -17);
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("12x", &value));
+  EXPECT_FALSE(ParseInt64("x12", &value));
+  EXPECT_FALSE(ParseInt64("1 2", &value));
+  EXPECT_FALSE(ParseInt64("999999999999999999999999", &value));  // overflow
+}
+
+TEST(StringsTest, ParseDoubleAcceptsWholeNumbers) {
+  double value = 0;
+  EXPECT_TRUE(ParseDouble("0.5", &value));
+  EXPECT_DOUBLE_EQ(value, 0.5);
+  EXPECT_TRUE(ParseDouble("-1e-3", &value));
+  EXPECT_DOUBLE_EQ(value, -1e-3);
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("0.5abc", &value));
+  EXPECT_FALSE(ParseDouble("abc", &value));
+}
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("k=%d eps=%.1f", 5, 0.5), "k=5 eps=0.5");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+// ------------------------------------------------------------- MathUtil --
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MathUtilTest, PercentileInterpolates) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 2.5);
+}
+
+TEST(MathUtilTest, HarmonicNumber) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(MathUtilTest, VectorOps) {
+  std::vector<double> a{1.0, 0.0}, b{0.0, 2.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(Norm2(b), 2.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, {0.0, 0.0}), 0.0);
+}
+
+TEST(MathUtilTest, ClampAndNearlyEqual) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_TRUE(NearlyEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(NearlyEqual(1.0, 1.1));
+}
+
+// ----------------------------------------------------------- IndexedHeap --
+
+TEST(IndexedHeapTest, PopsInDescendingOrder) {
+  IndexedMaxHeap heap({3.0, 1.0, 4.0, 1.5, 9.0});
+  std::vector<int> order;
+  while (!heap.empty()) order.push_back(heap.PopMax());
+  EXPECT_EQ(order, (std::vector<int>{4, 2, 0, 3, 1}));
+}
+
+TEST(IndexedHeapTest, TieBreaksTowardSmallerId) {
+  IndexedMaxHeap heap({2.0, 2.0, 2.0});
+  EXPECT_EQ(heap.PopMax(), 0);
+  EXPECT_EQ(heap.PopMax(), 1);
+  EXPECT_EQ(heap.PopMax(), 2);
+}
+
+TEST(IndexedHeapTest, UpdateKeyMovesElement) {
+  IndexedMaxHeap heap({1.0, 2.0, 3.0});
+  heap.UpdateKey(0, 10.0);
+  EXPECT_EQ(heap.PeekMax(), 0);
+  heap.UpdateKey(0, 0.5);
+  EXPECT_EQ(heap.PeekMax(), 2);
+}
+
+TEST(IndexedHeapTest, ContainsTracksPops) {
+  IndexedMaxHeap heap({1.0, 2.0});
+  EXPECT_TRUE(heap.Contains(0));
+  int popped = heap.PopMax();
+  EXPECT_FALSE(heap.Contains(popped));
+  EXPECT_TRUE(heap.Contains(1 - popped));
+}
+
+TEST(IndexedHeapTest, RandomizedAgainstSort) {
+  Rng rng(55);
+  std::vector<double> keys(200);
+  for (double& k : keys) k = rng.NextDouble();
+  IndexedMaxHeap heap(keys);
+  // Apply random updates.
+  for (int i = 0; i < 100; ++i) {
+    int id = static_cast<int>(rng.NextUint64(200));
+    double nk = rng.NextDouble();
+    keys[static_cast<size_t>(id)] = nk;
+    heap.UpdateKey(id, nk);
+  }
+  double prev = std::numeric_limits<double>::infinity();
+  while (!heap.empty()) {
+    int id = heap.PopMax();
+    EXPECT_LE(keys[static_cast<size_t>(id)], prev + 1e-15);
+    prev = keys[static_cast<size_t>(id)];
+  }
+}
+
+// ----------------------------------------------------------- TableWriter --
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter table("demo");
+  table.SetHeader({"k", "cost"});
+  table.AddRow({"1", "3.5"});
+  table.AddRow("2", {4.25}, 2);
+  EXPECT_EQ(table.ToCsv(), "k,cost\n1,3.5\n2,4.25\n");
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+// ------------------------------------------------------------- Stopwatch --
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch watch;
+  double t1 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  watch.Reset();
+  EXPECT_GE(watch.ElapsedMillis(), 0.0);
+  EXPECT_GE(watch.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace osrs

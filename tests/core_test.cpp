@@ -1,0 +1,264 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/distance.h"
+#include "core/model.h"
+#include "core/reduction.h"
+#include "ontology/ontology.h"
+
+namespace osrs {
+namespace {
+
+/// Chain hierarchy root -> a -> b plus sibling s of a.
+Ontology BuildChain() {
+  Ontology onto;
+  ConceptId root = onto.AddConcept("root");
+  ConceptId a = onto.AddConcept("a");
+  ConceptId b = onto.AddConcept("b");
+  ConceptId s = onto.AddConcept("s");
+  EXPECT_TRUE(onto.AddEdge(root, a).ok());
+  EXPECT_TRUE(onto.AddEdge(a, b).ok());
+  EXPECT_TRUE(onto.AddEdge(root, s).ok());
+  EXPECT_TRUE(onto.Finalize().ok());
+  return onto;
+}
+
+// ------------------------------------------------------------- Definition 1
+
+TEST(PairDistanceTest, RootCoversEverythingIgnoringSentiment) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  ConceptSentimentPair root_pair{onto.root(), -1.0};
+  ConceptSentimentPair b_pair{onto.FindByName("b"), 1.0};
+  // Sentiments differ by 2.0 > eps, but the root branch ignores sentiment.
+  EXPECT_DOUBLE_EQ(d(root_pair, b_pair), 2.0);
+}
+
+TEST(PairDistanceTest, AncestorWithinEpsilonCovers) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  ConceptSentimentPair a_pair{onto.FindByName("a"), 0.3};
+  ConceptSentimentPair b_pair{onto.FindByName("b"), 0.1};
+  EXPECT_DOUBLE_EQ(d(a_pair, b_pair), 1.0);
+  EXPECT_TRUE(d.Covers(a_pair, b_pair));
+}
+
+TEST(PairDistanceTest, AncestorBeyondEpsilonDoesNotCover) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  ConceptSentimentPair a_pair{onto.FindByName("a"), 0.9};
+  ConceptSentimentPair b_pair{onto.FindByName("b"), 0.1};
+  EXPECT_EQ(d(a_pair, b_pair), kInfiniteDistance);
+  EXPECT_FALSE(d.Covers(a_pair, b_pair));
+}
+
+TEST(PairDistanceTest, DescendantNeverCoversAncestor) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 10.0);
+  ConceptSentimentPair a_pair{onto.FindByName("a"), 0.0};
+  ConceptSentimentPair b_pair{onto.FindByName("b"), 0.0};
+  EXPECT_EQ(d(b_pair, a_pair), kInfiniteDistance);
+}
+
+TEST(PairDistanceTest, SiblingsDoNotCover) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 10.0);
+  ConceptSentimentPair a_pair{onto.FindByName("a"), 0.0};
+  ConceptSentimentPair s_pair{onto.FindByName("s"), 0.0};
+  EXPECT_EQ(d(a_pair, s_pair), kInfiniteDistance);
+  EXPECT_EQ(d(s_pair, a_pair), kInfiniteDistance);
+}
+
+TEST(PairDistanceTest, SelfCoverageAtZeroWithinEpsilon) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  ConceptSentimentPair p{onto.FindByName("a"), 0.2};
+  ConceptSentimentPair q{onto.FindByName("a"), 0.6};
+  EXPECT_DOUBLE_EQ(d(p, q), 0.0);  // |0.2-0.6| <= 0.5
+  ConceptSentimentPair far{onto.FindByName("a"), 0.9};
+  EXPECT_EQ(d(p, far), kInfiniteDistance);
+}
+
+TEST(PairDistanceTest, EpsilonBoundaryIsInclusive) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  ConceptSentimentPair a_pair{onto.FindByName("a"), 0.5};
+  ConceptSentimentPair b_pair{onto.FindByName("b"), 0.0};
+  EXPECT_DOUBLE_EQ(d(a_pair, b_pair), 1.0);  // exactly eps apart
+}
+
+TEST(PairDistanceTest, FromRootEqualsDepth) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  EXPECT_DOUBLE_EQ(d.FromRoot({onto.FindByName("b"), 0.7}), 2.0);
+  EXPECT_DOUBLE_EQ(d.FromRoot({onto.root(), 0.0}), 0.0);
+}
+
+// ------------------------------------------------------------- Definition 2
+
+TEST(SummaryCostTest, EmptySummaryFallsBackToRoot) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  std::vector<ConceptSentimentPair> pairs{{onto.FindByName("a"), 0.0},
+                                          {onto.FindByName("b"), 0.0}};
+  EXPECT_DOUBLE_EQ(SummaryCost(d, {}, pairs), 1.0 + 2.0);
+}
+
+TEST(SummaryCostTest, ClosestSummaryMemberWins) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  std::vector<ConceptSentimentPair> pairs{{onto.FindByName("b"), 0.0}};
+  std::vector<ConceptSentimentPair> summary{{onto.FindByName("a"), 0.0},
+                                            {onto.FindByName("b"), 0.0}};
+  EXPECT_DOUBLE_EQ(SummaryCost(d, summary, pairs), 0.0);
+}
+
+TEST(SummaryCostTest, RootBeatsUselessSummary) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  // Summary pair is a sibling: infinite distance; root covers at depth.
+  std::vector<ConceptSentimentPair> pairs{{onto.FindByName("b"), 0.0}};
+  std::vector<ConceptSentimentPair> summary{{onto.FindByName("s"), 0.0}};
+  EXPECT_DOUBLE_EQ(SummaryCost(d, summary, pairs), 2.0);
+}
+
+TEST(SummaryCostTest, MonotoneInSummary) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  std::vector<ConceptSentimentPair> pairs{{onto.FindByName("a"), 0.2},
+                                          {onto.FindByName("b"), 0.3},
+                                          {onto.FindByName("s"), -0.4}};
+  std::vector<ConceptSentimentPair> small{{onto.FindByName("a"), 0.2}};
+  std::vector<ConceptSentimentPair> large = small;
+  large.push_back({onto.FindByName("s"), -0.4});
+  EXPECT_LE(SummaryCost(d, large, pairs), SummaryCost(d, small, pairs));
+}
+
+TEST(SummaryCostTest, CoveredFraction) {
+  Ontology onto = BuildChain();
+  PairDistance d(&onto, 0.5);
+  std::vector<ConceptSentimentPair> pairs{{onto.FindByName("a"), 0.0},
+                                          {onto.FindByName("b"), 0.0},
+                                          {onto.FindByName("s"), 0.9}};
+  std::vector<ConceptSentimentPair> summary{{onto.FindByName("a"), 0.1}};
+  EXPECT_NEAR(CoveredFraction(d, summary, pairs), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CoveredFraction(d, {}, pairs), 0.0);
+}
+
+// ------------------------------------------------------------------ Model --
+
+TEST(ModelTest, CollectPairsKeepsProvenance) {
+  Ontology onto = BuildChain();
+  Item item;
+  item.id = "doc1";
+  Review r1;
+  r1.sentences.push_back({"first", {{onto.FindByName("a"), 0.5}}});
+  r1.sentences.push_back({"second",
+                          {{onto.FindByName("b"), -0.5},
+                           {onto.FindByName("s"), 0.1}}});
+  Review r2;
+  r2.sentences.push_back({"third", {{onto.FindByName("a"), 1.0}}});
+  item.reviews = {r1, r2};
+
+  auto occurrences = CollectPairs(item);
+  ASSERT_EQ(occurrences.size(), 4u);
+  EXPECT_EQ(occurrences[0].review_index, 0);
+  EXPECT_EQ(occurrences[0].sentence_index, 0);
+  EXPECT_EQ(occurrences[1].review_index, 0);
+  EXPECT_EQ(occurrences[1].sentence_index, 1);
+  EXPECT_EQ(occurrences[3].review_index, 1);
+  EXPECT_EQ(occurrences[3].sentence_index, 0);
+
+  auto pairs = PairsOf(occurrences);
+  EXPECT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[3].sentiment, 1.0);
+}
+
+TEST(ModelTest, GranularityNames) {
+  EXPECT_STREQ(SummaryGranularityToString(SummaryGranularity::kPairs),
+               "pairs");
+  EXPECT_STREQ(SummaryGranularityToString(SummaryGranularity::kSentences),
+               "sentences");
+  EXPECT_STREQ(SummaryGranularityToString(SummaryGranularity::kReviews),
+               "reviews");
+}
+
+// -------------------------------------------------------------- Reduction --
+
+SetCoverInstance SmallInstance() {
+  // Universe {0,1,2,3}, sets {0,1}, {1,2}, {2,3}, {0,3}; k=2 is coverable
+  // (e.g. {0,1} ∪ {2,3}).
+  SetCoverInstance instance;
+  instance.universe_size = 4;
+  instance.sets = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  instance.k = 2;
+  return instance;
+}
+
+TEST(ReductionTest, StructureMatchesTheorem1) {
+  SetCoverInstance instance = SmallInstance();
+  KPairsReduction red = BuildKPairsReduction(instance);
+  const int m = 4, n = 4;
+  EXPECT_EQ(red.ontology.num_concepts(), static_cast<size_t>(1 + 2 * m + n));
+  EXPECT_EQ(red.pairs.size(), static_cast<size_t>(2 * m + n));
+  EXPECT_DOUBLE_EQ(red.target, 3.0 * m + n - 2.0 * instance.k);
+  // c_i children of root, e_i children of c_i.
+  for (int i = 0; i < m; ++i) {
+    EXPECT_EQ(red.ontology.AncestorDistance(red.ontology.root(),
+                                            red.c_nodes[static_cast<size_t>(i)]),
+              1);
+    EXPECT_EQ(red.ontology.AncestorDistance(red.c_nodes[static_cast<size_t>(i)],
+                                            red.e_nodes[static_cast<size_t>(i)]),
+              1);
+  }
+  // d_j is a child of c_i exactly for sets containing j.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      bool in_set = false;
+      for (int el : instance.sets[static_cast<size_t>(i)]) {
+        in_set |= (el == j);
+      }
+      int dist = red.ontology.AncestorDistance(
+          red.c_nodes[static_cast<size_t>(i)],
+          red.d_nodes[static_cast<size_t>(j)]);
+      EXPECT_EQ(dist == 1, in_set);
+    }
+  }
+}
+
+TEST(ReductionTest, CoverSelectionAchievesTarget) {
+  SetCoverInstance instance = SmallInstance();
+  KPairsReduction red = BuildKPairsReduction(instance);
+  PairDistance d(&red.ontology, 0.1);
+  // {0, 2} is a cover: sets {0,1} and {2,3}.
+  std::vector<ConceptSentimentPair> summary{
+      red.pairs[static_cast<size_t>(red.set_pair_index[0])],
+      red.pairs[static_cast<size_t>(red.set_pair_index[2])]};
+  EXPECT_DOUBLE_EQ(SummaryCost(d, summary, red.pairs), red.target);
+  EXPECT_TRUE(IsSetCover(instance, {0, 2}));
+}
+
+TEST(ReductionTest, NonCoverSelectionMissesTarget) {
+  SetCoverInstance instance = SmallInstance();
+  KPairsReduction red = BuildKPairsReduction(instance);
+  PairDistance d(&red.ontology, 0.1);
+  // {0, 1} covers only elements {0,1,2}: not a set cover.
+  std::vector<ConceptSentimentPair> summary{
+      red.pairs[static_cast<size_t>(red.set_pair_index[0])],
+      red.pairs[static_cast<size_t>(red.set_pair_index[1])]};
+  EXPECT_FALSE(IsSetCover(instance, {0, 1}));
+  EXPECT_GT(SummaryCost(d, summary, red.pairs), red.target);
+}
+
+TEST(ReductionTest, IsSetCoverRejectsBadIndices) {
+  SetCoverInstance instance = SmallInstance();
+  EXPECT_FALSE(IsSetCover(instance, {9}));
+  EXPECT_FALSE(IsSetCover(instance, {}));
+  EXPECT_TRUE(IsSetCover(instance, {0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace osrs

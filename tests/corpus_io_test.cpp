@@ -1,0 +1,111 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/cellphone_corpus.h"
+#include "datagen/corpus_io.h"
+#include "ontology/cellphone_hierarchy.h"
+
+namespace osrs {
+namespace {
+
+Corpus SmallCorpus() {
+  CellPhoneCorpusOptions options;
+  options.scale = 0.02;  // 1 phone, ~670 reviews
+  return GenerateCellPhoneCorpus(options);
+}
+
+TEST(CorpusIoTest, RoundTripPreservesEverything) {
+  Corpus corpus = SmallCorpus();
+  auto serialized = SaveCorpus(corpus);
+  ASSERT_TRUE(serialized.ok()) << serialized.status().ToString();
+  auto restored = LoadCorpus(*serialized);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->domain, corpus.domain);
+  EXPECT_EQ(restored->ontology.num_concepts(),
+            corpus.ontology.num_concepts());
+  EXPECT_EQ(restored->ontology.Serialize(), corpus.ontology.Serialize());
+  ASSERT_EQ(restored->items.size(), corpus.items.size());
+  for (size_t i = 0; i < corpus.items.size(); ++i) {
+    const Item& a = corpus.items[i];
+    const Item& b = restored->items[i];
+    EXPECT_EQ(a.id, b.id);
+    ASSERT_EQ(a.reviews.size(), b.reviews.size());
+    for (size_t r = 0; r < a.reviews.size(); ++r) {
+      EXPECT_DOUBLE_EQ(a.reviews[r].rating, b.reviews[r].rating);
+      ASSERT_EQ(a.reviews[r].sentences.size(), b.reviews[r].sentences.size());
+      for (size_t s = 0; s < a.reviews[r].sentences.size(); ++s) {
+        const Sentence& sa = a.reviews[r].sentences[s];
+        const Sentence& sb = b.reviews[r].sentences[s];
+        EXPECT_EQ(sa.text, sb.text);
+        ASSERT_EQ(sa.pairs.size(), sb.pairs.size());
+        for (size_t p = 0; p < sa.pairs.size(); ++p) {
+          EXPECT_EQ(sa.pairs[p].concept_id, sb.pairs[p].concept_id);
+          EXPECT_DOUBLE_EQ(sa.pairs[p].sentiment, sb.pairs[p].sentiment);
+        }
+      }
+    }
+  }
+}
+
+TEST(CorpusIoTest, FileRoundTrip) {
+  Corpus corpus = SmallCorpus();
+  std::string path = testing::TempDir() + "/osrs_corpus_io_test.tsv";
+  ASSERT_TRUE(SaveCorpusToFile(corpus, path).ok());
+  auto restored = LoadCorpusFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->items.size(), corpus.items.size());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, MissingFileFails) {
+  auto result = LoadCorpusFromFile("/nonexistent/osrs/corpus.tsv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CorpusIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(LoadCorpus("Z\tgarbage\n").ok());
+  EXPECT_FALSE(LoadCorpus("D\tphone\n").ok());  // no ontology
+  EXPECT_FALSE(LoadCorpus("R\t0.5\n").ok());    // review before item
+  // Sentence before review.
+  Corpus corpus = SmallCorpus();
+  std::string onto = corpus.ontology.Serialize();
+  for (char& c : onto) {
+    if (c == '\n') c = '|';
+  }
+  EXPECT_FALSE(LoadCorpus("O\t" + onto + "\nI\tx\nS\thello\n").ok());
+  // Pair referencing an unknown concept.
+  EXPECT_FALSE(
+      LoadCorpus("O\t" + onto + "\nI\tx\nR\t0\nS\thi\t99999:0.5\n").ok());
+}
+
+TEST(CorpusIoTest, RejectsUnserializableText) {
+  Corpus corpus;
+  corpus.domain = "phone";
+  corpus.ontology = BuildCellPhoneHierarchy();
+  Item item;
+  item.id = "x";
+  Review review;
+  review.sentences.push_back({"tab\there", {}});
+  item.reviews.push_back(review);
+  corpus.items.push_back(item);
+  EXPECT_FALSE(SaveCorpus(corpus).ok());
+}
+
+TEST(CorpusIoTest, EmptyCorpusNeedsOntology) {
+  Corpus corpus;
+  corpus.domain = "phone";
+  EXPECT_FALSE(SaveCorpus(corpus).ok());  // unfinalized ontology
+  corpus.ontology = BuildCellPhoneHierarchy();
+  auto serialized = SaveCorpus(corpus);
+  ASSERT_TRUE(serialized.ok());
+  auto restored = LoadCorpus(*serialized);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->items.empty());
+}
+
+}  // namespace
+}  // namespace osrs

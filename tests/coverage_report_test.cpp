@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "eval/coverage_report.h"
+#include "ontology/cellphone_hierarchy.h"
+
+namespace osrs {
+namespace {
+
+TEST(CoverageReportTest, EmptySummary) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  PairDistance distance(&onto, 0.5);
+  std::vector<ConceptSentimentPair> pairs{{onto.FindByName("screen"), 0.5},
+                                          {onto.FindByName("battery"), -0.3}};
+  CoverageReport report = AnalyzeCoverage(distance, {}, pairs);
+  EXPECT_DOUBLE_EQ(report.cost, report.empty_cost);
+  EXPECT_DOUBLE_EQ(report.cost_reduction, 0.0);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 0.0);
+  EXPECT_EQ(report.distinct_concepts, 2u);
+  EXPECT_EQ(report.covered_concepts, 0u);
+  EXPECT_EQ(report.num_pairs, 2u);
+}
+
+TEST(CoverageReportTest, PerfectSummary) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  PairDistance distance(&onto, 0.5);
+  std::vector<ConceptSentimentPair> pairs{{onto.FindByName("screen"), 0.5},
+                                          {onto.FindByName("battery"), -0.3}};
+  CoverageReport report = AnalyzeCoverage(distance, pairs, pairs);
+  EXPECT_DOUBLE_EQ(report.cost, 0.0);
+  EXPECT_DOUBLE_EQ(report.cost_reduction, 1.0);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_covered_distance, 0.0);
+  EXPECT_EQ(report.covered_concepts, 2u);
+}
+
+TEST(CoverageReportTest, PartialCoverageCountsDistances) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  PairDistance distance(&onto, 0.5);
+  ConceptId battery = onto.FindByName("battery");
+  ConceptId battery_life = onto.FindByName("battery life");
+  ConceptId price = onto.FindByName("price");
+  // Summary pair on "battery" covers "battery life" at distance 1; "price"
+  // stays uncovered.
+  std::vector<ConceptSentimentPair> pairs{{battery_life, 0.4},
+                                          {price, 0.9}};
+  std::vector<ConceptSentimentPair> summary{{battery, 0.4}};
+  CoverageReport report = AnalyzeCoverage(distance, summary, pairs);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(report.mean_covered_distance, 1.0);
+  // Cost: battery life at 1, price on the root at depth 1 -> 2.
+  EXPECT_DOUBLE_EQ(report.cost, 2.0);
+  EXPECT_EQ(report.covered_concepts, 1u);
+}
+
+TEST(CoverageReportTest, ToStringContainsKeyNumbers) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  PairDistance distance(&onto, 0.5);
+  std::vector<ConceptSentimentPair> pairs{{onto.FindByName("screen"), 0.5}};
+  CoverageReport report = AnalyzeCoverage(distance, pairs, pairs);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+  EXPECT_NE(text.find("1 / 1"), std::string::npos);
+}
+
+TEST(RenderPairsTest, OrdersByFrequencyAndLimits) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  std::vector<ConceptSentimentPair> pairs;
+  for (int i = 0; i < 5; ++i) pairs.push_back({onto.FindByName("screen"), 0.5});
+  pairs.push_back({onto.FindByName("price"), -0.2});
+  std::string rendered = RenderPairsOnHierarchy(onto, pairs, 1);
+  EXPECT_NE(rendered.find("screen"), std::string::npos);
+  EXPECT_EQ(rendered.find("price"), std::string::npos);  // cut by the limit
+  std::string full = RenderPairsOnHierarchy(onto, pairs, 0);
+  EXPECT_NE(full.find("price"), std::string::npos);
+}
+
+TEST(RenderPairsTest, EmptyPairs) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  EXPECT_TRUE(RenderPairsOnHierarchy(onto, {}, 5).empty());
+}
+
+}  // namespace
+}  // namespace osrs

@@ -1,0 +1,100 @@
+// Parameterized sweeps of the corpus generator: the Table 1 contracts
+// (exact counts, bounded extremes, target averages) must hold across
+// scales and seeds, and generation must stay deterministic.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "datagen/cellphone_corpus.h"
+#include "datagen/corpus_io.h"
+#include "datagen/doctor_corpus.h"
+#include "datagen/review_generator.h"
+#include "ontology/cellphone_hierarchy.h"
+
+namespace osrs {
+namespace {
+
+/// Parameter: (scale percent, seed).
+class DoctorCorpusSweep
+    : public testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(DoctorCorpusSweep, Table1ContractsHold) {
+  auto [scale_percent, seed] = GetParam();
+  DoctorCorpusOptions options;
+  options.scale = scale_percent / 1000.0;
+  options.ontology_concepts = 500;
+  options.seed = seed;
+  Corpus corpus = GenerateDoctorCorpus(options);
+  CorpusStats stats = ComputeStats(corpus);
+
+  size_t expected_items = static_cast<size_t>(
+      std::max(1L, std::lround(1000 * options.scale)));
+  int64_t expected_reviews = std::llround(68686 * options.scale);
+  // The generator clamps the total into [min*n, max*n].
+  int64_t low = 43 * static_cast<int64_t>(expected_items);
+  int64_t high = 354 * static_cast<int64_t>(expected_items);
+  expected_reviews = std::clamp(expected_reviews, low, high);
+
+  EXPECT_EQ(stats.num_items, expected_items);
+  EXPECT_EQ(static_cast<int64_t>(stats.num_reviews), expected_reviews);
+  EXPECT_GE(stats.min_reviews_per_item, 43);
+  EXPECT_LE(stats.max_reviews_per_item, 354);
+  EXPECT_NEAR(stats.avg_sentences_per_review, 4.87, 0.45);
+  EXPECT_GT(stats.num_pairs, stats.num_reviews);  // >1 pair per review
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DoctorCorpusSweep,
+    testing::Combine(testing::Values(5, 10, 20),  // 0.5%, 1%, 2%
+                     testing::Values(42u, 99u)));
+
+class GeneratorSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSweep, DeterministicAndSerializable) {
+  ReviewGeneratorSpec spec;
+  spec.domain = "phone";
+  spec.num_items = 4;
+  spec.min_reviews_per_item = 3;
+  spec.max_reviews_per_item = 30;
+  spec.total_reviews = 60;
+  spec.avg_sentences_per_review = 3.5;
+  spec.seed = GetParam();
+  Ontology onto = BuildCellPhoneHierarchy();
+  Corpus a = GenerateReviewCorpus(onto, spec);
+  Corpus b = GenerateReviewCorpus(onto, spec);
+  auto sa = SaveCorpus(a);
+  auto sb = SaveCorpus(b);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(*sa, *sb);  // bitwise-deterministic, incl. all text and pairs
+
+  // And the serialization round-trips.
+  auto restored = LoadCorpus(*sa);
+  ASSERT_TRUE(restored.ok());
+  auto sr = SaveCorpus(*restored);
+  ASSERT_TRUE(sr.ok());
+  EXPECT_EQ(*sr, *sa);
+}
+
+TEST_P(GeneratorSweep, SentenceCountExpectationTracksTarget) {
+  ReviewGeneratorSpec spec;
+  spec.domain = "doctor";
+  spec.num_items = 6;
+  spec.min_reviews_per_item = 20;
+  spec.max_reviews_per_item = 200;
+  spec.total_reviews = 600;
+  spec.avg_sentences_per_review = 5.25;  // fractional base
+  spec.seed = GetParam() * 3 + 1;
+  Ontology onto = BuildCellPhoneHierarchy();
+  Corpus corpus = GenerateReviewCorpus(onto, spec);
+  CorpusStats stats = ComputeStats(corpus);
+  EXPECT_NEAR(stats.avg_sentences_per_review, 5.25, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep,
+                         testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace osrs

@@ -1,0 +1,214 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/cellphone_corpus.h"
+#include "datagen/corpus.h"
+#include "datagen/doctor_corpus.h"
+#include "datagen/review_generator.h"
+#include "ontology/cellphone_hierarchy.h"
+
+namespace osrs {
+namespace {
+
+ReviewGeneratorSpec SmallSpec() {
+  ReviewGeneratorSpec spec;
+  spec.domain = "phone";
+  spec.num_items = 8;
+  spec.min_reviews_per_item = 5;
+  spec.max_reviews_per_item = 40;
+  spec.total_reviews = 150;
+  spec.avg_sentences_per_review = 4.0;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(ReviewGeneratorTest, HitsExactReviewCounts) {
+  Corpus corpus =
+      GenerateReviewCorpus(BuildCellPhoneHierarchy(), SmallSpec());
+  CorpusStats stats = ComputeStats(corpus);
+  EXPECT_EQ(stats.num_items, 8u);
+  EXPECT_EQ(stats.num_reviews, 150u);
+  EXPECT_EQ(stats.min_reviews_per_item, 5);
+  EXPECT_EQ(stats.max_reviews_per_item, 40);
+}
+
+TEST(ReviewGeneratorTest, SentencesPerReviewNearTarget) {
+  ReviewGeneratorSpec spec = SmallSpec();
+  spec.total_reviews = 400;
+  spec.max_reviews_per_item = 100;
+  Corpus corpus = GenerateReviewCorpus(BuildCellPhoneHierarchy(), spec);
+  CorpusStats stats = ComputeStats(corpus);
+  EXPECT_NEAR(stats.avg_sentences_per_review, 4.0, 0.25);
+}
+
+TEST(ReviewGeneratorTest, DeterministicForSeed) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  Corpus a = GenerateReviewCorpus(onto, SmallSpec());
+  Corpus b = GenerateReviewCorpus(onto, SmallSpec());
+  ASSERT_EQ(a.items.size(), b.items.size());
+  ASSERT_EQ(a.items[0].reviews.size(), b.items[0].reviews.size());
+  EXPECT_EQ(a.items[0].reviews[0].sentences[0].text,
+            b.items[0].reviews[0].sentences[0].text);
+  ReviewGeneratorSpec other = SmallSpec();
+  other.seed = 99;
+  Corpus c = GenerateReviewCorpus(onto, other);
+  // Different seed ⇒ (almost surely) different first sentence somewhere.
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.items.size(), c.items.size()); ++i) {
+    if (a.items[i].reviews.size() != c.items[i].reviews.size()) {
+      any_diff = true;
+      break;
+    }
+    if (!a.items[i].reviews.empty() && !c.items[i].reviews.empty() &&
+        a.items[i].reviews[0].sentences[0].text !=
+            c.items[i].reviews[0].sentences[0].text) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ReviewGeneratorTest, PairsReferenceValidNonRootConcepts) {
+  Corpus corpus =
+      GenerateReviewCorpus(BuildCellPhoneHierarchy(), SmallSpec());
+  for (const Item& item : corpus.items) {
+    for (const Review& review : item.reviews) {
+      for (const Sentence& sentence : review.sentences) {
+        for (const auto& pair : sentence.pairs) {
+          EXPECT_GE(pair.concept_id, 0);
+          EXPECT_LT(static_cast<size_t>(pair.concept_id),
+                    corpus.ontology.num_concepts());
+          EXPECT_NE(pair.concept_id, corpus.ontology.root());
+          EXPECT_GE(pair.sentiment, -1.0);
+          EXPECT_LE(pair.sentiment, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ReviewGeneratorTest, SentimentsClusterPerAspect) {
+  // Within one item, mentions of the same concept must be closer in
+  // sentiment than mentions of different concepts on average (the paper's
+  // premise that aspect opinions are graded but consistent).
+  ReviewGeneratorSpec spec = SmallSpec();
+  spec.total_reviews = 320;
+  spec.max_reviews_per_item = 100;
+  Corpus corpus = GenerateReviewCorpus(BuildCellPhoneHierarchy(), spec);
+  double same_gap = 0, cross_gap = 0;
+  int same_n = 0, cross_n = 0;
+  for (const Item& item : corpus.items) {
+    std::vector<ConceptSentimentPair> pairs;
+    for (const auto& occ : CollectPairs(item)) pairs.push_back(occ.pair);
+    for (size_t i = 0; i < pairs.size(); i += 7) {
+      for (size_t j = i + 1; j < std::min(pairs.size(), i + 60); ++j) {
+        double gap = std::abs(pairs[i].sentiment - pairs[j].sentiment);
+        if (pairs[i].concept_id == pairs[j].concept_id) {
+          same_gap += gap;
+          ++same_n;
+        } else {
+          cross_gap += gap;
+          ++cross_n;
+        }
+      }
+    }
+  }
+  ASSERT_GT(same_n, 20);
+  ASSERT_GT(cross_n, 20);
+  EXPECT_LT(same_gap / same_n, cross_gap / cross_n);
+}
+
+TEST(ReviewGeneratorTest, RatingsTrackSentenceSentiments) {
+  Corpus corpus =
+      GenerateReviewCorpus(BuildCellPhoneHierarchy(), SmallSpec());
+  double covariance_hits = 0;
+  int total = 0;
+  for (const Item& item : corpus.items) {
+    for (const Review& review : item.reviews) {
+      double sum = 0;
+      int n = 0;
+      for (const Sentence& sentence : review.sentences) {
+        for (const auto& pair : sentence.pairs) {
+          sum += pair.sentiment;
+          ++n;
+        }
+      }
+      if (n == 0) continue;
+      ++total;
+      if ((sum / n >= 0) == (review.rating >= 0)) ++covariance_hits;
+    }
+  }
+  ASSERT_GT(total, 50);
+  EXPECT_GT(covariance_hits / total, 0.8);
+}
+
+TEST(ReviewGeneratorTest, TemplatesEmbedConceptSurfaceForms) {
+  // The realized text must actually contain a registered surface form so
+  // the extraction pipeline can find the concept again.
+  Corpus corpus =
+      GenerateReviewCorpus(BuildCellPhoneHierarchy(), SmallSpec());
+  int checked = 0, found = 0;
+  for (const Item& item : corpus.items) {
+    for (const Review& review : item.reviews) {
+      for (const Sentence& sentence : review.sentences) {
+        if (sentence.pairs.empty()) continue;
+        ++checked;
+        // At least one concept's name or synonym appears in the text.
+        for (const auto& [term, id] : corpus.ontology.term_lexicon()) {
+          if (id == sentence.pairs[0].concept_id &&
+              sentence.text.find(term) != std::string::npos) {
+            ++found;
+            break;
+          }
+        }
+        if (checked > 200) break;
+      }
+      if (checked > 200) break;
+    }
+    if (checked > 200) break;
+  }
+  ASSERT_GT(checked, 50);
+  EXPECT_GT(static_cast<double>(found) / checked, 0.95);
+}
+
+TEST(DoctorCorpusTest, ScaledDownStatsAreConsistent) {
+  DoctorCorpusOptions options;
+  options.scale = 0.02;  // 20 doctors, ~1374 reviews
+  options.ontology_concepts = 400;
+  Corpus corpus = GenerateDoctorCorpus(options);
+  CorpusStats stats = ComputeStats(corpus);
+  EXPECT_EQ(corpus.domain, "doctor");
+  EXPECT_EQ(stats.num_items, 20u);
+  EXPECT_EQ(stats.num_reviews, 1374u);
+  EXPECT_GE(stats.min_reviews_per_item, 43);
+  EXPECT_LE(stats.max_reviews_per_item, 354);
+  EXPECT_NEAR(stats.avg_sentences_per_review, 4.87, 0.3);
+}
+
+TEST(CellPhoneCorpusTest, ScaledDownStatsAreConsistent) {
+  CellPhoneCorpusOptions options;
+  options.scale = 0.05;  // 3 phones, ~1679 reviews
+  Corpus corpus = GenerateCellPhoneCorpus(options);
+  CorpusStats stats = ComputeStats(corpus);
+  EXPECT_EQ(corpus.domain, "phone");
+  EXPECT_EQ(stats.num_items, 3u);
+  EXPECT_EQ(stats.num_reviews, 1679u);
+  EXPECT_GE(stats.min_reviews_per_item, 102);
+  EXPECT_LE(stats.max_reviews_per_item, 3200);
+  EXPECT_NEAR(stats.avg_sentences_per_review, 3.81, 0.3);
+}
+
+TEST(CorpusStatsTest, EmptyCorpus) {
+  Corpus corpus;
+  CorpusStats stats = ComputeStats(corpus);
+  EXPECT_EQ(stats.num_items, 0u);
+  EXPECT_EQ(stats.num_reviews, 0u);
+  EXPECT_EQ(stats.min_reviews_per_item, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_sentences_per_review, 0.0);
+}
+
+}  // namespace
+}  // namespace osrs

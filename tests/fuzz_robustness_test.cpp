@@ -1,0 +1,99 @@
+// Robustness "fuzz" tests: the deserializers must return a Status (never
+// crash, throw, or abort) on arbitrarily mutated inputs, and accepted
+// inputs must satisfy the class invariants.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/cellphone_corpus.h"
+#include "datagen/corpus_io.h"
+#include "ontology/ontology.h"
+#include "ontology/snomed_like.h"
+
+namespace osrs {
+namespace {
+
+/// Applies `count` random byte-level mutations (replace, insert, delete).
+std::string Mutate(std::string text, Rng& rng, int count) {
+  static constexpr char kBytes[] =
+      "CEISORD\t\n0123456789abcxyz|:.-# ";
+  for (int i = 0; i < count && !text.empty(); ++i) {
+    size_t pos = rng.NextUint64(text.size());
+    switch (rng.NextUint64(3)) {
+      case 0:
+        text[pos] = kBytes[rng.NextUint64(sizeof(kBytes) - 1)];
+        break;
+      case 1:
+        text.insert(text.begin() + static_cast<long>(pos),
+                    kBytes[rng.NextUint64(sizeof(kBytes) - 1)]);
+        break;
+      default:
+        text.erase(text.begin() + static_cast<long>(pos));
+        break;
+    }
+  }
+  return text;
+}
+
+class FuzzRobustness : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzRobustness, OntologyDeserializeNeverCrashes) {
+  SnomedLikeOptions options;
+  options.num_concepts = 60;
+  options.seed = GetParam();
+  std::string serialized = BuildSnomedLikeOntology(options).Serialize();
+  Rng rng(GetParam() * 99 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = Mutate(serialized, rng, 1 + trial % 12);
+    auto result = Ontology::Deserialize(mutated);
+    if (result.ok()) {
+      // Whatever was accepted must be a coherent finalized DAG.
+      EXPECT_TRUE(result->finalized());
+      EXPECT_GE(result->num_concepts(), 1u);
+      EXPECT_GE(result->max_depth(), 0);
+    }
+  }
+}
+
+TEST_P(FuzzRobustness, CorpusLoadNeverCrashes) {
+  CellPhoneCorpusOptions options;
+  options.scale = 0.02;
+  options.seed = GetParam();
+  Corpus corpus = GenerateCellPhoneCorpus(options);
+  // Trim to one item so mutation rounds stay fast.
+  corpus.items.resize(1);
+  corpus.items[0] = TruncateReviews(corpus.items[0], 10);
+  auto serialized = SaveCorpus(corpus);
+  ASSERT_TRUE(serialized.ok());
+  Rng rng(GetParam() * 77 + 3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = Mutate(*serialized, rng, 1 + trial % 12);
+    auto result = LoadCorpus(mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(result->ontology.finalized());
+    }
+  }
+}
+
+TEST_P(FuzzRobustness, PureGarbageIsRejectedGracefully) {
+  Rng rng(GetParam() * 1234 + 5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage;
+    size_t length = rng.NextUint64(120);
+    for (size_t i = 0; i < length; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextUint64(96) + 32));
+    }
+    (void)Ontology::Deserialize(garbage);
+    (void)LoadCorpus(garbage);
+    // Reaching here without a crash is the assertion.
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustness,
+                         testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace osrs

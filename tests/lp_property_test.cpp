@@ -1,0 +1,215 @@
+// Parameterized property tests of the LP/MIP substrate: feasibility and
+// optimality of simplex solutions on random instances, grid-certified
+// optimality in two dimensions, determinism, and row-scaling invariance.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "lp/lp_problem.h"
+#include "lp/mip.h"
+#include "lp/simplex.h"
+
+namespace osrs {
+namespace {
+
+/// Random bounded-feasible LP: x in [0, box], <= rows with nonneg rhs (so
+/// the origin is feasible and the optimum is finite).
+LpProblem RandomLp(Rng& rng, int num_vars, int num_rows) {
+  LpProblem lp;
+  for (int j = 0; j < num_vars; ++j) {
+    lp.AddVariable(0.0, rng.NextDouble(0.5, 4.0), rng.NextDouble(-3.0, 3.0));
+  }
+  for (int i = 0; i < num_rows; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < num_vars; ++j) {
+      if (rng.NextBernoulli(0.7)) {
+        terms.emplace_back(j, rng.NextDouble(-1.5, 2.5));
+      }
+    }
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    ConstraintSense sense = rng.NextBernoulli(0.25)
+                                ? ConstraintSense::kGreaterEqual
+                                : ConstraintSense::kLessEqual;
+    double rhs = sense == ConstraintSense::kLessEqual
+                     ? rng.NextDouble(0.5, 5.0)
+                     : rng.NextDouble(-5.0, -0.5);
+    EXPECT_TRUE(lp.AddConstraint(std::move(terms), sense, rhs).ok());
+  }
+  return lp;
+}
+
+class SimplexProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexProperty, OptimumIsFeasible) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    LpProblem lp = RandomLp(rng, 5 + static_cast<int>(rng.NextUint64(4)),
+                            3 + static_cast<int>(rng.NextUint64(3)));
+    LpSolution solution = RevisedSimplex().Solve(lp);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_TRUE(lp.IsFeasible(solution.values, 1e-6)) << "trial " << trial;
+    EXPECT_NEAR(solution.objective, lp.EvaluateObjective(solution.values),
+                1e-6);
+  }
+}
+
+TEST_P(SimplexProperty, NoRandomFeasiblePointBeatsOptimum) {
+  Rng rng(GetParam() * 3 + 1);
+  for (int trial = 0; trial < 6; ++trial) {
+    LpProblem lp = RandomLp(rng, 4, 3);
+    LpSolution solution = RevisedSimplex().Solve(lp);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal);
+    int tested = 0;
+    for (int sample = 0; sample < 4000 && tested < 300; ++sample) {
+      std::vector<double> point(4);
+      for (int j = 0; j < 4; ++j) {
+        point[static_cast<size_t>(j)] = rng.NextDouble(lp.lower(j), lp.upper(j));
+      }
+      if (!lp.IsFeasible(point, 1e-9)) continue;
+      ++tested;
+      EXPECT_GE(lp.EvaluateObjective(point), solution.objective - 1e-6);
+    }
+    EXPECT_GT(tested, 0);
+  }
+}
+
+TEST_P(SimplexProperty, TwoVarGridCertifiesOptimality) {
+  Rng rng(GetParam() * 7 + 5);
+  for (int trial = 0; trial < 5; ++trial) {
+    LpProblem lp = RandomLp(rng, 2, 3);
+    LpSolution solution = RevisedSimplex().Solve(lp);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal);
+    // Exhaustive grid over the box.
+    double best = std::numeric_limits<double>::infinity();
+    const int steps = 140;
+    for (int a = 0; a <= steps; ++a) {
+      for (int b = 0; b <= steps; ++b) {
+        std::vector<double> point{
+            lp.lower(0) + (lp.upper(0) - lp.lower(0)) * a / steps,
+            lp.lower(1) + (lp.upper(1) - lp.lower(1)) * b / steps};
+        if (lp.IsFeasible(point, 1e-9)) {
+          best = std::min(best, lp.EvaluateObjective(point));
+        }
+      }
+    }
+    ASSERT_TRUE(std::isfinite(best));
+    // Grid optimum can only be >= the true optimum; and it must come
+    // close (the box is small).
+    EXPECT_GE(best, solution.objective - 1e-6);
+    EXPECT_LE(best, solution.objective + 0.4);
+  }
+}
+
+TEST_P(SimplexProperty, DeterministicResolve) {
+  Rng rng(GetParam() * 11 + 3);
+  LpProblem lp = RandomLp(rng, 6, 4);
+  LpSolution a = RevisedSimplex().Solve(lp);
+  LpSolution b = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(a.status, LpStatus::kOptimal);
+  ASSERT_EQ(b.status, LpStatus::kOptimal);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST_P(SimplexProperty, RowScalingDoesNotChangeOptimum) {
+  Rng rng(GetParam() * 13 + 7);
+  LpProblem lp = RandomLp(rng, 5, 3);
+  LpSolution base = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+
+  // Rebuild with every row multiplied by a positive constant.
+  LpProblem scaled;
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    scaled.AddVariable(lp.lower(j), lp.upper(j), lp.objective(j));
+  }
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    double factor = rng.NextDouble(0.2, 8.0);
+    std::vector<std::pair<int, double>> terms;
+    for (const auto& [var, coeff] : lp.row_terms(i)) {
+      terms.emplace_back(var, coeff * factor);
+    }
+    ASSERT_TRUE(
+        scaled.AddConstraint(std::move(terms), lp.sense(i), lp.rhs(i) * factor)
+            .ok());
+  }
+  LpSolution rescaled = RevisedSimplex().Solve(scaled);
+  ASSERT_EQ(rescaled.status, LpStatus::kOptimal);
+  EXPECT_NEAR(rescaled.objective, base.objective, 1e-6);
+}
+
+class MipProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(MipProperty, BinaryProblemsMatchBruteForce) {
+  Rng rng(GetParam() * 17 + 9);
+  for (int trial = 0; trial < 6; ++trial) {
+    LpProblem lp;
+    const int n = 7;
+    for (int j = 0; j < n; ++j) {
+      lp.AddVariable(0, 1, rng.NextDouble(-3, 3), /*is_integer=*/true);
+    }
+    for (int i = 0; i < 3; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.NextBernoulli(0.5)) terms.emplace_back(j, rng.NextDouble(0, 2));
+      }
+      if (terms.empty()) continue;
+      ASSERT_TRUE(lp.AddConstraint(std::move(terms),
+                                   ConstraintSense::kLessEqual,
+                                   rng.NextDouble(1, 4))
+                      .ok());
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      std::vector<double> x(static_cast<size_t>(n));
+      for (int j = 0; j < n; ++j) x[static_cast<size_t>(j)] = (mask >> j) & 1;
+      if (lp.IsFeasible(x)) best = std::min(best, lp.EvaluateObjective(x));
+    }
+    MipSolution solution = MipSolver().Solve(lp);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal);
+    EXPECT_NEAR(solution.objective, best, 1e-5);
+    EXPECT_TRUE(lp.IsFeasible(solution.values, 1e-6));
+  }
+}
+
+TEST_P(MipProperty, MipNeverBeatsRelaxation) {
+  Rng rng(GetParam() * 19 + 11);
+  for (int trial = 0; trial < 6; ++trial) {
+    LpProblem relaxed = RandomLp(rng, 6, 4);
+    LpProblem integral = relaxed;
+    // Flag a random subset of variables integral by rebuilding.
+    LpProblem mip;
+    for (int j = 0; j < relaxed.num_variables(); ++j) {
+      mip.AddVariable(relaxed.lower(j), relaxed.upper(j),
+                      relaxed.objective(j), rng.NextBernoulli(0.5));
+    }
+    for (int i = 0; i < relaxed.num_constraints(); ++i) {
+      ASSERT_TRUE(mip.AddConstraint(relaxed.row_terms(i), relaxed.sense(i),
+                                    relaxed.rhs(i))
+                      .ok());
+    }
+    LpSolution lp_solution = RevisedSimplex().Solve(relaxed);
+    MipSolution mip_solution = MipSolver().Solve(mip);
+    ASSERT_EQ(lp_solution.status, LpStatus::kOptimal);
+    if (mip_solution.status != LpStatus::kOptimal) continue;  // infeasible ok
+    EXPECT_GE(mip_solution.objective, lp_solution.objective - 1e-6);
+    // Integral variables really are integral.
+    for (int j = 0; j < mip.num_variables(); ++j) {
+      if (mip.is_integer(j)) {
+        double v = mip_solution.values[static_cast<size_t>(j)];
+        EXPECT_NEAR(v, std::round(v), 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProperty,
+                         testing::Values(1u, 2u, 3u, 4u, 5u));
+INSTANTIATE_TEST_SUITE_P(Seeds, MipProperty,
+                         testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace osrs

@@ -1,0 +1,340 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/lp_problem.h"
+#include "lp/mip.h"
+#include "lp/simplex.h"
+
+namespace osrs {
+namespace {
+
+// -------------------------------------------------------------- LpProblem --
+
+TEST(LpProblemTest, MergesDuplicateTerms) {
+  LpProblem lp;
+  int x = lp.AddVariable(0, 10, 1.0);
+  auto row = lp.AddConstraint({{x, 1.0}, {x, 2.0}}, ConstraintSense::kLessEqual,
+                              5.0);
+  ASSERT_TRUE(row.ok());
+  ASSERT_EQ(lp.row_terms(*row).size(), 1u);
+  EXPECT_DOUBLE_EQ(lp.row_terms(*row)[0].second, 3.0);
+}
+
+TEST(LpProblemTest, RejectsUnknownVariable) {
+  LpProblem lp;
+  lp.AddVariable(0, 1, 0.0);
+  EXPECT_FALSE(lp.AddConstraint({{7, 1.0}}, ConstraintSense::kEqual, 1.0).ok());
+}
+
+TEST(LpProblemTest, FeasibilityCheck) {
+  LpProblem lp;
+  int x = lp.AddVariable(0, 1, 0.0);
+  int y = lp.AddVariable(0, 1, 0.0);
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, 1.0}, {y, 1.0}}, ConstraintSense::kEqual, 1.0)
+          .ok());
+  EXPECT_TRUE(lp.IsFeasible({0.5, 0.5}));
+  EXPECT_FALSE(lp.IsFeasible({1.0, 1.0}));
+  EXPECT_FALSE(lp.IsFeasible({-0.5, 1.5}));
+  EXPECT_FALSE(lp.IsFeasible({0.5}));
+}
+
+TEST(LpProblemTest, EvaluateObjective) {
+  LpProblem lp;
+  lp.AddVariable(0, 1, 2.0);
+  lp.AddVariable(0, 1, -1.0);
+  EXPECT_DOUBLE_EQ(lp.EvaluateObjective({1.0, 0.5}), 1.5);
+}
+
+// ---------------------------------------------------------------- Simplex --
+
+TEST(SimplexTest, SolvesTextbookLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Dantzig's example).
+  // Optimum (2, 6) with value 36; as minimization: -36.
+  LpProblem lp;
+  int x = lp.AddVariable(0, kLpInfinity, -3.0);
+  int y = lp.AddVariable(0, kLpInfinity, -5.0);
+  ASSERT_TRUE(lp.AddConstraint({{x, 1.0}}, ConstraintSense::kLessEqual, 4.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{y, 2.0}}, ConstraintSense::kLessEqual, 12.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{x, 3.0}, {y, 2.0}},
+                               ConstraintSense::kLessEqual, 18.0)
+                  .ok());
+  LpSolution sol = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraintsViaPhaseOne) {
+  // min x + 2y s.t. x + y = 10, x - y = 2  ->  x=6, y=4, obj 14.
+  LpProblem lp;
+  int x = lp.AddVariable(0, kLpInfinity, 1.0);
+  int y = lp.AddVariable(0, kLpInfinity, 2.0);
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, 1.0}, {y, 1.0}}, ConstraintSense::kEqual, 10.0)
+          .ok());
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, 1.0}, {y, -1.0}}, ConstraintSense::kEqual, 2.0)
+          .ok());
+  LpSolution sol = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 14.0, 1e-7);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(x)], 6.0, 1e-7);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(y)], 4.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x >= 5 and x <= 2 with x in [0, 10].
+  LpProblem lp;
+  int x = lp.AddVariable(0, 10, 1.0);
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, 1.0}}, ConstraintSense::kGreaterEqual, 5.0).ok());
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, 1.0}}, ConstraintSense::kLessEqual, 2.0).ok());
+  EXPECT_EQ(RevisedSimplex().Solve(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  // min -x s.t. x >= 1, x unbounded above.
+  LpProblem lp;
+  int x = lp.AddVariable(0, kLpInfinity, -1.0);
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, 1.0}}, ConstraintSense::kGreaterEqual, 1.0).ok());
+  EXPECT_EQ(RevisedSimplex().Solve(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, UpperBoundedVariablesFlip) {
+  // min -x - y s.t. x + y <= 1.5, x,y in [0,1] -> obj -1.5.
+  LpProblem lp;
+  int x = lp.AddVariable(0, 1, -1.0);
+  int y = lp.AddVariable(0, 1, -1.0);
+  ASSERT_TRUE(lp.AddConstraint({{x, 1.0}, {y, 1.0}},
+                               ConstraintSense::kLessEqual, 1.5)
+                  .ok());
+  LpSolution sol = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -1.5, 1e-7);
+}
+
+TEST(SimplexTest, FreeVariable) {
+  // min x s.t. x >= -7 with x free -> -7.
+  LpProblem lp;
+  int x = lp.AddVariable(-kLpInfinity, kLpInfinity, 1.0);
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, 1.0}}, ConstraintSense::kGreaterEqual, -7.0).ok());
+  LpSolution sol = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -7.0, 1e-7);
+}
+
+TEST(SimplexTest, NegativeRhsEquality) {
+  // min |ish| with b < 0 exercises the sign-flipped artificial basis.
+  // min x + y s.t. -x - y = -4, x,y >= 0 -> obj 4.
+  LpProblem lp;
+  int x = lp.AddVariable(0, kLpInfinity, 1.0);
+  int y = lp.AddVariable(0, kLpInfinity, 1.0);
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, -1.0}, {y, -1.0}}, ConstraintSense::kEqual, -4.0)
+          .ok());
+  LpSolution sol = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-7);
+}
+
+TEST(SimplexTest, NoConstraintsPureBounds) {
+  LpProblem lp;
+  int x = lp.AddVariable(-2, 3, 1.0);
+  int y = lp.AddVariable(-2, 3, -1.0);
+  int z = lp.AddVariable(-2, 3, 0.0);
+  LpSolution sol = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(sol.values[static_cast<size_t>(x)], -2.0);
+  EXPECT_DOUBLE_EQ(sol.values[static_cast<size_t>(y)], 3.0);
+  EXPECT_DOUBLE_EQ(sol.values[static_cast<size_t>(z)], -2.0);
+}
+
+TEST(SimplexTest, NoConstraintsUnbounded) {
+  LpProblem lp;
+  lp.AddVariable(0, kLpInfinity, -1.0);
+  EXPECT_EQ(RevisedSimplex().Solve(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Beale's classic cycling example (terminates thanks to Bland fallback).
+  // min -0.75x4 + 150x5 - 0.02x6 + 6x7
+  // s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+  //      0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+  //      x6 <= 1         -> optimum -0.05.
+  LpProblem lp;
+  int x4 = lp.AddVariable(0, kLpInfinity, -0.75);
+  int x5 = lp.AddVariable(0, kLpInfinity, 150.0);
+  int x6 = lp.AddVariable(0, kLpInfinity, -0.02);
+  int x7 = lp.AddVariable(0, kLpInfinity, 6.0);
+  ASSERT_TRUE(lp.AddConstraint(
+                    {{x4, 0.25}, {x5, -60.0}, {x6, -0.04}, {x7, 9.0}},
+                    ConstraintSense::kLessEqual, 0.0)
+                  .ok());
+  ASSERT_TRUE(lp.AddConstraint(
+                    {{x4, 0.5}, {x5, -90.0}, {x6, -0.02}, {x7, 3.0}},
+                    ConstraintSense::kLessEqual, 0.0)
+                  .ok());
+  ASSERT_TRUE(
+      lp.AddConstraint({{x6, 1.0}}, ConstraintSense::kLessEqual, 1.0).ok());
+  LpSolution sol = RevisedSimplex().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-7);
+}
+
+TEST(SimplexTest, SolutionSatisfiesConstraints) {
+  // Random feasible LPs: optimal point must be feasible.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpProblem lp;
+    const int n = 6;
+    for (int j = 0; j < n; ++j) {
+      lp.AddVariable(0.0, rng.NextDouble(0.5, 3.0),
+                     rng.NextDouble(-2.0, 2.0));
+    }
+    for (int i = 0; i < 4; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.NextBernoulli(0.6)) {
+          terms.emplace_back(j, rng.NextDouble(-1.0, 2.0));
+        }
+      }
+      if (terms.empty()) continue;
+      // rhs >= 0 keeps the all-zeros point feasible for <= rows.
+      ASSERT_TRUE(lp.AddConstraint(std::move(terms),
+                                   ConstraintSense::kLessEqual,
+                                   rng.NextDouble(0.5, 4.0))
+                      .ok());
+    }
+    LpSolution sol = RevisedSimplex().Solve(lp);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal);
+    EXPECT_TRUE(lp.IsFeasible(sol.values, 1e-6));
+    EXPECT_NEAR(sol.objective, lp.EvaluateObjective(sol.values), 1e-6);
+  }
+}
+
+// -------------------------------------------------------------------- MIP --
+
+/// Brute-force optimum of a pure-binary problem by subset enumeration.
+double BruteForceBinaryOptimum(const LpProblem& lp) {
+  int n = lp.num_variables();
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) x[static_cast<size_t>(j)] = (mask >> j) & 1;
+    if (lp.IsFeasible(x)) best = std::min(best, lp.EvaluateObjective(x));
+  }
+  return best;
+}
+
+TEST(MipTest, SolvesKnapsack) {
+  // max value subject to a weight budget: min -v.x, w.x <= W, x binary.
+  LpProblem lp;
+  std::vector<double> values{10, 13, 7, 8, 4, 9};
+  std::vector<double> weights{5, 6, 3, 4, 2, 5};
+  for (size_t j = 0; j < values.size(); ++j) {
+    lp.AddVariable(0, 1, -values[j], /*is_integer=*/true);
+  }
+  std::vector<std::pair<int, double>> terms;
+  for (size_t j = 0; j < weights.size(); ++j) {
+    terms.emplace_back(static_cast<int>(j), weights[j]);
+  }
+  ASSERT_TRUE(
+      lp.AddConstraint(terms, ConstraintSense::kLessEqual, 12.0).ok());
+
+  double expected = BruteForceBinaryOptimum(lp);
+  MipSolution sol = MipSolver().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, expected, 1e-6);
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    double v = sol.values[static_cast<size_t>(j)];
+    EXPECT_NEAR(v, std::round(v), 1e-6);
+  }
+}
+
+TEST(MipTest, RandomBinaryProblemsMatchBruteForce) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 15; ++trial) {
+    LpProblem lp;
+    const int n = 8;
+    for (int j = 0; j < n; ++j) {
+      lp.AddVariable(0, 1, rng.NextDouble(-3.0, 3.0), /*is_integer=*/true);
+    }
+    for (int i = 0; i < 3; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.NextBernoulli(0.5)) {
+          terms.emplace_back(j, rng.NextDouble(0.0, 2.0));
+        }
+      }
+      if (terms.empty()) continue;
+      ASSERT_TRUE(lp.AddConstraint(std::move(terms),
+                                   ConstraintSense::kLessEqual,
+                                   rng.NextDouble(1.0, 5.0))
+                      .ok());
+    }
+    double expected = BruteForceBinaryOptimum(lp);
+    MipSolution sol = MipSolver().Solve(lp);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(sol.objective, expected, 1e-5) << "trial " << trial;
+  }
+}
+
+TEST(MipTest, InfeasibleIntegerProblem) {
+  // 2x = 1 with x binary has a feasible relaxation (x=0.5) but no integer
+  // solution.
+  LpProblem lp;
+  int x = lp.AddVariable(0, 1, 1.0, /*is_integer=*/true);
+  ASSERT_TRUE(lp.AddConstraint({{x, 2.0}}, ConstraintSense::kEqual, 1.0).ok());
+  MipSolution sol = MipSolver().Solve(lp);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+  EXPECT_FALSE(sol.has_incumbent);
+}
+
+TEST(MipTest, MixedIntegerKeepsContinuousFree) {
+  // min -x - y, x binary, y in [0, 0.5]; x + y <= 1.2 -> x=1, y=0.2.
+  LpProblem lp;
+  int x = lp.AddVariable(0, 1, -1.0, /*is_integer=*/true);
+  int y = lp.AddVariable(0, 0.5, -1.0);
+  ASSERT_TRUE(lp.AddConstraint({{x, 1.0}, {y, 1.0}},
+                               ConstraintSense::kLessEqual, 1.2)
+                  .ok());
+  MipSolution sol = MipSolver().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(x)], 1.0, 1e-6);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(y)], 0.2, 1e-6);
+}
+
+TEST(MipTest, GeneralIntegerVariable) {
+  // min -x with x integer in [0, 10], 3x <= 17 -> x = 5.
+  LpProblem lp;
+  int x = lp.AddVariable(0, 10, -1.0, /*is_integer=*/true);
+  ASSERT_TRUE(
+      lp.AddConstraint({{x, 3.0}}, ConstraintSense::kLessEqual, 17.0).ok());
+  MipSolution sol = MipSolver().Solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(x)], 5.0, 1e-6);
+}
+
+TEST(MipTest, NodeBudgetReturnsIterationLimit) {
+  MipOptions options;
+  options.max_nodes = 1;
+  LpProblem lp;
+  int x = lp.AddVariable(0, 1, -1.0, true);
+  int y = lp.AddVariable(0, 1, -1.0, true);
+  ASSERT_TRUE(lp.AddConstraint({{x, 1.0}, {y, 1.0}},
+                               ConstraintSense::kLessEqual, 1.5)
+                  .ok());
+  MipSolution sol = MipSolver(options).Solve(lp);
+  EXPECT_EQ(sol.status, LpStatus::kIterationLimit);
+}
+
+}  // namespace
+}  // namespace osrs

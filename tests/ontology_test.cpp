@@ -1,0 +1,334 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ontology/cellphone_hierarchy.h"
+#include "ontology/ontology.h"
+#include "ontology/snomed_like.h"
+
+namespace osrs {
+namespace {
+
+/// Small diamond DAG used across tests: root has children a and b;
+/// a has children c and d; b also parents d (the diamond); c parents e.
+Ontology BuildDiamond() {
+  Ontology onto;
+  ConceptId root = onto.AddConcept("root");
+  ConceptId a = onto.AddConcept("a");
+  ConceptId b = onto.AddConcept("b");
+  ConceptId c = onto.AddConcept("c");
+  ConceptId d = onto.AddConcept("d");
+  ConceptId e = onto.AddConcept("e");
+  EXPECT_TRUE(onto.AddEdge(root, a).ok());
+  EXPECT_TRUE(onto.AddEdge(root, b).ok());
+  EXPECT_TRUE(onto.AddEdge(a, c).ok());
+  EXPECT_TRUE(onto.AddEdge(a, d).ok());
+  EXPECT_TRUE(onto.AddEdge(b, d).ok());
+  EXPECT_TRUE(onto.AddEdge(c, e).ok());
+  EXPECT_TRUE(onto.Finalize().ok());
+  return onto;
+}
+
+TEST(OntologyTest, BasicAccessors) {
+  Ontology onto = BuildDiamond();
+  EXPECT_EQ(onto.num_concepts(), 6u);
+  EXPECT_EQ(onto.num_edges(), 6u);
+  EXPECT_EQ(onto.root(), onto.FindByName("root"));
+  EXPECT_EQ(onto.name(onto.root()), "root");
+  EXPECT_EQ(onto.max_depth(), 3);
+}
+
+TEST(OntologyTest, FindByNameMissing) {
+  Ontology onto = BuildDiamond();
+  EXPECT_EQ(onto.FindByName("nope"), kInvalidConcept);
+}
+
+TEST(OntologyTest, ParentsAndChildren) {
+  Ontology onto = BuildDiamond();
+  ConceptId d = onto.FindByName("d");
+  EXPECT_EQ(onto.parents(d).size(), 2u);
+  ConceptId a = onto.FindByName("a");
+  EXPECT_EQ(onto.children(a).size(), 2u);
+}
+
+TEST(OntologyTest, SelfLoopRejected) {
+  Ontology onto;
+  ConceptId x = onto.AddConcept("x");
+  EXPECT_FALSE(onto.AddEdge(x, x).ok());
+}
+
+TEST(OntologyTest, DuplicateEdgeIgnored) {
+  Ontology onto;
+  ConceptId r = onto.AddConcept("r");
+  ConceptId x = onto.AddConcept("x");
+  EXPECT_TRUE(onto.AddEdge(r, x).ok());
+  EXPECT_TRUE(onto.AddEdge(r, x).ok());
+  EXPECT_EQ(onto.num_edges(), 1u);
+}
+
+TEST(OntologyTest, CycleDetected) {
+  Ontology onto;
+  ConceptId r = onto.AddConcept("r");
+  ConceptId a = onto.AddConcept("a");
+  ConceptId b = onto.AddConcept("b");
+  EXPECT_TRUE(onto.AddEdge(r, a).ok());
+  EXPECT_TRUE(onto.AddEdge(a, b).ok());
+  EXPECT_TRUE(onto.AddEdge(b, a).ok());  // creates cycle a->b->a
+  EXPECT_FALSE(onto.Finalize().ok());
+}
+
+TEST(OntologyTest, MultipleRootsRejected) {
+  Ontology onto;
+  onto.AddConcept("r1");
+  onto.AddConcept("r2");
+  EXPECT_FALSE(onto.Finalize().ok());
+}
+
+TEST(OntologyTest, EmptyRejected) {
+  Ontology onto;
+  EXPECT_FALSE(onto.Finalize().ok());
+}
+
+TEST(OntologyTest, AncestorDistanceShortestPath) {
+  Ontology onto = BuildDiamond();
+  ConceptId root = onto.root();
+  ConceptId a = onto.FindByName("a");
+  ConceptId b = onto.FindByName("b");
+  ConceptId d = onto.FindByName("d");
+  ConceptId e = onto.FindByName("e");
+  EXPECT_EQ(onto.AncestorDistance(root, e), 3);
+  EXPECT_EQ(onto.AncestorDistance(root, d), 2);
+  EXPECT_EQ(onto.AncestorDistance(a, d), 1);
+  EXPECT_EQ(onto.AncestorDistance(b, d), 1);
+  EXPECT_EQ(onto.AncestorDistance(a, a), 0);
+  // Not an ancestor:
+  EXPECT_EQ(onto.AncestorDistance(b, e), -1);
+  EXPECT_EQ(onto.AncestorDistance(e, a), -1);  // descendant, not ancestor
+}
+
+TEST(OntologyTest, IsAncestorOrSelf) {
+  Ontology onto = BuildDiamond();
+  ConceptId a = onto.FindByName("a");
+  ConceptId e = onto.FindByName("e");
+  EXPECT_TRUE(onto.IsAncestorOrSelf(a, e));
+  EXPECT_TRUE(onto.IsAncestorOrSelf(e, e));
+  EXPECT_FALSE(onto.IsAncestorOrSelf(e, a));
+}
+
+TEST(OntologyTest, AncestorsWithDistanceIncludesSelfAndAll) {
+  Ontology onto = BuildDiamond();
+  ConceptId d = onto.FindByName("d");
+  auto ancestors = onto.AncestorsWithDistance(d);
+  std::set<ConceptId> ids;
+  for (const auto& [id, dist] : ancestors) {
+    ids.insert(id);
+    EXPECT_EQ(dist, onto.AncestorDistance(id, d));
+  }
+  EXPECT_EQ(ids.size(), 4u);  // d, a, b, root
+  EXPECT_TRUE(ids.count(d));
+  EXPECT_TRUE(ids.count(onto.root()));
+}
+
+TEST(OntologyTest, DepthFromRootMatchesAncestorDistance) {
+  Ontology onto = BuildDiamond();
+  for (ConceptId id = 0; id < static_cast<ConceptId>(onto.num_concepts());
+       ++id) {
+    EXPECT_EQ(onto.DepthFromRoot(id), onto.AncestorDistance(onto.root(), id));
+  }
+}
+
+TEST(OntologyTest, TopologicalOrderRespectsEdges) {
+  Ontology onto = BuildDiamond();
+  const auto& order = onto.topological_order();
+  ASSERT_EQ(order.size(), onto.num_concepts());
+  std::vector<int> position(onto.num_concepts());
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (ConceptId c = 0; c < static_cast<ConceptId>(onto.num_concepts()); ++c) {
+    for (ConceptId child : onto.children(c)) {
+      EXPECT_LT(position[static_cast<size_t>(c)],
+                position[static_cast<size_t>(child)]);
+    }
+  }
+}
+
+TEST(OntologyTest, SynonymLookupIsCaseInsensitive) {
+  Ontology onto;
+  ConceptId r = onto.AddConcept("r");
+  ConceptId x = onto.AddConcept("battery life");
+  EXPECT_TRUE(onto.AddEdge(r, x).ok());
+  EXPECT_TRUE(onto.AddSynonym(x, "Battery Life").ok());
+  EXPECT_TRUE(onto.Finalize().ok());
+  EXPECT_EQ(onto.FindByTerm("battery life"), x);
+  EXPECT_EQ(onto.FindByTerm("BATTERY LIFE"), x);
+  EXPECT_EQ(onto.FindByTerm("battery"), kInvalidConcept);
+}
+
+TEST(OntologyTest, ConflictingSynonymRejected) {
+  Ontology onto;
+  ConceptId x = onto.AddConcept("x");
+  ConceptId y = onto.AddConcept("y");
+  EXPECT_TRUE(onto.AddSynonym(x, "term").ok());
+  EXPECT_FALSE(onto.AddSynonym(y, "term").ok());
+  EXPECT_TRUE(onto.AddSynonym(x, "term").ok());  // idempotent re-registration
+}
+
+TEST(OntologyTest, SerializeDeserializeRoundTrip) {
+  Ontology onto = BuildDiamond();
+  std::string text = onto.Serialize();
+  auto restored = Ontology::Deserialize(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_concepts(), onto.num_concepts());
+  EXPECT_EQ(restored->num_edges(), onto.num_edges());
+  EXPECT_EQ(restored->max_depth(), onto.max_depth());
+  for (ConceptId id = 0; id < static_cast<ConceptId>(onto.num_concepts());
+       ++id) {
+    EXPECT_EQ(restored->name(id), onto.name(id));
+  }
+}
+
+TEST(OntologyTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Ontology::Deserialize("Z\t0\t0\n").ok());
+  EXPECT_FALSE(Ontology::Deserialize("C\t5\tname\n").ok());
+}
+
+TEST(OntologyTest, ToTreeStringMentionsEveryConcept) {
+  Ontology onto = BuildDiamond();
+  std::string tree = onto.ToTreeString();
+  for (ConceptId id = 0; id < static_cast<ConceptId>(onto.num_concepts());
+       ++id) {
+    EXPECT_NE(tree.find(onto.name(id)), std::string::npos);
+  }
+}
+
+TEST(OntologyTest, DescendantsOfCoverSubtree) {
+  Ontology onto = BuildDiamond();
+  ConceptId a = onto.FindByName("a");
+  auto descendants = onto.DescendantsOf(a);
+  std::set<ConceptId> ids(descendants.begin(), descendants.end());
+  // a's subtree: a, c, d, e.
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_TRUE(ids.count(a));
+  EXPECT_TRUE(ids.count(onto.FindByName("c")));
+  EXPECT_TRUE(ids.count(onto.FindByName("d")));
+  EXPECT_TRUE(ids.count(onto.FindByName("e")));
+  EXPECT_EQ(onto.SubtreeSize(a), 4u);
+  EXPECT_EQ(onto.SubtreeSize(onto.root()), onto.num_concepts());
+}
+
+TEST(OntologyTest, LeafDetection) {
+  Ontology onto = BuildDiamond();
+  EXPECT_TRUE(onto.IsLeaf(onto.FindByName("e")));
+  EXPECT_TRUE(onto.IsLeaf(onto.FindByName("d")));
+  EXPECT_FALSE(onto.IsLeaf(onto.FindByName("a")));
+  EXPECT_FALSE(onto.IsLeaf(onto.root()));
+  EXPECT_EQ(onto.SubtreeSize(onto.FindByName("e")), 1u);
+}
+
+TEST(OntologyTest, AverageAncestorCountDiamond) {
+  Ontology onto = BuildDiamond();
+  // root:1 a:2 b:2 c:3 d:4 e:4 -> 16/6
+  EXPECT_NEAR(onto.AverageAncestorCount(), 16.0 / 6.0, 1e-12);
+}
+
+// ----------------------------------------------------- Cell phone (Fig 3) --
+
+TEST(CellPhoneHierarchyTest, BuildsValidDag) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  EXPECT_TRUE(onto.finalized());
+  EXPECT_GE(onto.num_concepts(), 70u);  // ~100 popular aspects
+  EXPECT_EQ(onto.name(onto.root()), "phone");
+  EXPECT_GE(onto.max_depth(), 3);
+}
+
+TEST(CellPhoneHierarchyTest, KnownAspectsPresent) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  for (const char* aspect : {"screen", "battery", "camera", "price",
+                             "battery life", "screen resolution"}) {
+    EXPECT_NE(onto.FindByName(aspect), kInvalidConcept) << aspect;
+  }
+}
+
+TEST(CellPhoneHierarchyTest, SubAspectUnderParent) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  ConceptId battery = onto.FindByName("battery");
+  ConceptId battery_life = onto.FindByName("battery life");
+  EXPECT_TRUE(onto.IsAncestorOrSelf(battery, battery_life));
+  EXPECT_EQ(onto.AncestorDistance(battery, battery_life), 1);
+}
+
+TEST(CellPhoneHierarchyTest, SynonymsResolve) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  EXPECT_EQ(onto.FindByTerm("display"), onto.FindByName("screen"));
+  EXPECT_EQ(onto.FindByTerm("ram"), onto.FindByName("memory"));
+}
+
+// ------------------------------------------------------------ SNOMED-like --
+
+TEST(SnomedLikeTest, GeneratesRequestedSize) {
+  SnomedLikeOptions options;
+  options.num_concepts = 500;
+  Ontology onto = BuildSnomedLikeOntology(options);
+  EXPECT_EQ(onto.num_concepts(), 500u);
+  EXPECT_TRUE(onto.finalized());
+}
+
+TEST(SnomedLikeTest, DeterministicForSeed) {
+  SnomedLikeOptions options;
+  options.num_concepts = 300;
+  Ontology a = BuildSnomedLikeOntology(options);
+  Ontology b = BuildSnomedLikeOntology(options);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+TEST(SnomedLikeTest, DifferentSeedsDiffer) {
+  SnomedLikeOptions options;
+  options.num_concepts = 300;
+  Ontology a = BuildSnomedLikeOntology(options);
+  options.seed = 123;
+  Ontology b = BuildSnomedLikeOntology(options);
+  EXPECT_NE(a.Serialize(), b.Serialize());
+}
+
+TEST(SnomedLikeTest, RespectsMaxDepth) {
+  SnomedLikeOptions options;
+  options.num_concepts = 1000;
+  options.max_depth = 5;
+  Ontology onto = BuildSnomedLikeOntology(options);
+  EXPECT_LE(onto.max_depth(), 5);
+  EXPECT_GE(onto.max_depth(), 3);  // should actually use the depth budget
+}
+
+TEST(SnomedLikeTest, ShallowAverageAncestors) {
+  // §4.1's linearity claim: the average number of ancestors is small.
+  SnomedLikeOptions options;
+  options.num_concepts = 2000;
+  Ontology onto = BuildSnomedLikeOntology(options);
+  EXPECT_LT(onto.AverageAncestorCount(), 20.0);
+}
+
+TEST(SnomedLikeTest, MultiParentDiamondsExist) {
+  SnomedLikeOptions options;
+  options.num_concepts = 2000;
+  options.multi_parent_prob = 0.3;
+  Ontology onto = BuildSnomedLikeOntology(options);
+  int multi_parent = 0;
+  for (ConceptId id = 0; id < static_cast<ConceptId>(onto.num_concepts());
+       ++id) {
+    if (onto.parents(id).size() >= 2) ++multi_parent;
+  }
+  EXPECT_GT(multi_parent, 10);
+}
+
+TEST(SnomedLikeTest, TermLexiconPopulated) {
+  SnomedLikeOptions options;
+  options.num_concepts = 200;
+  options.synonyms_per_concept = 2;
+  Ontology onto = BuildSnomedLikeOntology(options);
+  EXPECT_GE(onto.term_lexicon().size(), 350u);  // ~2 per non-root concept
+}
+
+}  // namespace
+}  // namespace osrs

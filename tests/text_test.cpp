@@ -1,0 +1,182 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/porter_stemmer.h"
+#include "text/sentence_splitter.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace osrs {
+namespace {
+
+// --------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, LowercasesAndDropsPunctuation) {
+  EXPECT_EQ(Tokenize("The Battery, is GREAT!"),
+            (std::vector<std::string>{"the", "battery", "is", "great"}));
+}
+
+TEST(TokenizerTest, KeepsInnerApostrophes) {
+  EXPECT_EQ(Tokenize("don't stop"),
+            (std::vector<std::string>{"don't", "stop"}));
+  // Leading apostrophe is not part of a token.
+  EXPECT_EQ(Tokenize("'quoted'"), (std::vector<std::string>{"quoted"}));
+}
+
+TEST(TokenizerTest, SplitsOnHyphens) {
+  EXPECT_EQ(Tokenize("wi-fi"), (std::vector<std::string>{"wi", "fi"}));
+}
+
+TEST(TokenizerTest, DigitsAreTokens) {
+  EXPECT_EQ(Tokenize("camera 12 mp"),
+            (std::vector<std::string>{"camera", "12", "mp"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ... ---").empty());
+}
+
+TEST(TokenizerTest, OffsetsPointIntoSource) {
+  std::string text = "Good phone!";
+  auto spans = TokenizeWithOffsets(text);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].offset, 0u);
+  EXPECT_EQ(spans[1].offset, 5u);
+  EXPECT_EQ(text.substr(spans[1].offset, 5), "phone");
+}
+
+// --------------------------------------------------------- SentenceSplitter
+
+TEST(SentenceSplitterTest, SplitsOnTerminators) {
+  auto sents = SplitSentences("Great phone. Battery lasts long! Why not?");
+  ASSERT_EQ(sents.size(), 3u);
+  EXPECT_EQ(sents[0], "Great phone");
+  EXPECT_EQ(sents[1], "Battery lasts long");
+  EXPECT_EQ(sents[2], "Why not");
+}
+
+TEST(SentenceSplitterTest, KeepsAbbreviations) {
+  auto sents = SplitSentences("Dr. Smith was great. I will return.");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "Dr. Smith was great");
+}
+
+TEST(SentenceSplitterTest, HandlesEllipsisAndRuns) {
+  auto sents = SplitSentences("Really bad... Would not buy!!");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "Really bad");
+  EXPECT_EQ(sents[1], "Would not buy");
+}
+
+TEST(SentenceSplitterTest, NewlinesSplit) {
+  auto sents = SplitSentences("line one\nline two");
+  ASSERT_EQ(sents.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, TrailingTextWithoutTerminator) {
+  auto sents = SplitSentences("no punctuation at all");
+  ASSERT_EQ(sents.size(), 1u);
+  EXPECT_EQ(sents[0], "no punctuation at all");
+}
+
+TEST(SentenceSplitterTest, EmptyInput) {
+  EXPECT_TRUE(SplitSentences("").empty());
+  EXPECT_TRUE(SplitSentences("   \n ").empty());
+}
+
+// ------------------------------------------------------------------ Porter
+
+TEST(PorterStemmerTest, ClassicExamples) {
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+  EXPECT_EQ(PorterStem("agreed"), "agre");
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("conflated"), "conflat");
+  EXPECT_EQ(PorterStem("troubled"), "troubl");
+  EXPECT_EQ(PorterStem("sized"), "size");
+  EXPECT_EQ(PorterStem("hopping"), "hop");
+  EXPECT_EQ(PorterStem("falling"), "fall");
+  EXPECT_EQ(PorterStem("hissing"), "hiss");
+  EXPECT_EQ(PorterStem("happy"), "happi");
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("conditional"), "condit");
+  EXPECT_EQ(PorterStem("digitizer"), "digit");
+  EXPECT_EQ(PorterStem("hopefulness"), "hope");
+  EXPECT_EQ(PorterStem("triplicate"), "triplic");
+  EXPECT_EQ(PorterStem("formative"), "form");
+  EXPECT_EQ(PorterStem("revival"), "reviv");
+  EXPECT_EQ(PorterStem("adjustment"), "adjust");
+  EXPECT_EQ(PorterStem("effective"), "effect");
+  EXPECT_EQ(PorterStem("probate"), "probat");
+  EXPECT_EQ(PorterStem("controll"), "control");
+}
+
+TEST(PorterStemmerTest, DomainWordsNormalize) {
+  // The extractor relies on variants mapping to the same stem.
+  EXPECT_EQ(PorterStem("charging"), PorterStem("charge"));
+  EXPECT_EQ(PorterStem("batteries"), PorterStem("battery"));
+  EXPECT_EQ(PorterStem("screens"), PorterStem("screen"));
+}
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("by"), "by");
+}
+
+// --------------------------------------------------------------- Stopwords
+
+TEST(StopwordsTest, CommonFunctionWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("was"));
+  EXPECT_FALSE(IsStopword("battery"));
+  EXPECT_FALSE(IsStopword("doctor"));
+}
+
+// -------------------------------------------------------------- Vocabulary
+
+TEST(VocabularyTest, InterningAndCounts) {
+  Vocabulary vocab;
+  int a1 = vocab.Add("phone");
+  int b = vocab.Add("screen");
+  int a2 = vocab.Add("phone");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(vocab.CountOf(a1), 2);
+  EXPECT_EQ(vocab.WordOf(b), "screen");
+  EXPECT_EQ(vocab.IdOf("phone"), a1);
+  EXPECT_EQ(vocab.IdOf("missing"), kUnknownWord);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, DocumentFrequencies) {
+  Vocabulary vocab;
+  vocab.AddDocument({"good", "phone", "good"});
+  vocab.AddDocument({"bad", "phone"});
+  EXPECT_EQ(vocab.num_documents(), 2);
+  EXPECT_EQ(vocab.DocFrequencyOf(vocab.IdOf("phone")), 2);
+  EXPECT_EQ(vocab.DocFrequencyOf(vocab.IdOf("good")), 1);
+  // More common words get lower idf.
+  EXPECT_LT(vocab.Idf(vocab.IdOf("phone")), vocab.Idf(vocab.IdOf("bad")));
+}
+
+TEST(VocabularyTest, MostFrequentOrdering) {
+  Vocabulary vocab;
+  for (int i = 0; i < 5; ++i) vocab.Add("common");
+  for (int i = 0; i < 3; ++i) vocab.Add("medium");
+  vocab.Add("rare");
+  auto top = vocab.MostFrequent(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(vocab.WordOf(top[0]), "common");
+  EXPECT_EQ(vocab.WordOf(top[1]), "medium");
+}
+
+}  // namespace
+}  // namespace osrs
