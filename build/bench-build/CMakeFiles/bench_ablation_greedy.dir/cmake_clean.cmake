@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_greedy"
+  "../bench/bench_ablation_greedy.pdb"
+  "CMakeFiles/bench_ablation_greedy.dir/bench_ablation_greedy.cpp.o"
+  "CMakeFiles/bench_ablation_greedy.dir/bench_ablation_greedy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_init"
+  "../bench/bench_ablation_init.pdb"
+  "CMakeFiles/bench_ablation_init.dir/bench_ablation_init.cpp.o"
+  "CMakeFiles/bench_ablation_init.dir/bench_ablation_init.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

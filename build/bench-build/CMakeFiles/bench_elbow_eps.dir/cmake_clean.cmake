@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_elbow_eps"
+  "../bench/bench_elbow_eps.pdb"
+  "CMakeFiles/bench_elbow_eps.dir/bench_elbow_eps.cpp.o"
+  "CMakeFiles/bench_elbow_eps.dir/bench_elbow_eps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elbow_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_algorithms"
+  "../bench/bench_ext_algorithms.pdb"
+  "CMakeFiles/bench_ext_algorithms.dir/bench_ext_algorithms.cpp.o"
+  "CMakeFiles/bench_ext_algorithms.dir/bench_ext_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_cost"
+  "../bench/bench_fig5_cost.pdb"
+  "CMakeFiles/bench_fig5_cost.dir/bench_fig5_cost.cpp.o"
+  "CMakeFiles/bench_fig5_cost.dir/bench_fig5_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_senterr"
+  "../bench/bench_fig6_senterr.pdb"
+  "CMakeFiles/bench_fig6_senterr.dir/bench_fig6_senterr.cpp.o"
+  "CMakeFiles/bench_fig6_senterr.dir/bench_fig6_senterr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_senterr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

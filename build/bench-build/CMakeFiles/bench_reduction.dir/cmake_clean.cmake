@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reduction"
+  "../bench/bench_reduction.pdb"
+  "CMakeFiles/bench_reduction.dir/bench_reduction.cpp.o"
+  "CMakeFiles/bench_reduction.dir/bench_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

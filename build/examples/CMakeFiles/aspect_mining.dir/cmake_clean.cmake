@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_mining.dir/aspect_mining.cpp.o"
+  "CMakeFiles/aspect_mining.dir/aspect_mining.cpp.o.d"
+  "aspect_mining"
+  "aspect_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellphone_reviews.dir/cellphone_reviews.cpp.o"
+  "CMakeFiles/cellphone_reviews.dir/cellphone_reviews.cpp.o.d"
+  "cellphone_reviews"
+  "cellphone_reviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellphone_reviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

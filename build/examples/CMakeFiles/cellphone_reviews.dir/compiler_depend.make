@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cellphone_reviews.
+# This may be replaced when dependencies are built.

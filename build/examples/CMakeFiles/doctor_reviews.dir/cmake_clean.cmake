@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doctor_reviews.dir/doctor_reviews.cpp.o"
+  "CMakeFiles/doctor_reviews.dir/doctor_reviews.cpp.o.d"
+  "doctor_reviews"
+  "doctor_reviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doctor_reviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for doctor_reviews.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarize_file.dir/summarize_file.cpp.o"
+  "CMakeFiles/summarize_file.dir/summarize_file.cpp.o.d"
+  "summarize_file"
+  "summarize_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarize_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ontology")
+subdirs("core")
+subdirs("coverage")
+subdirs("lp")
+subdirs("solver")
+subdirs("text")
+subdirs("sentiment")
+subdirs("extraction")
+subdirs("baselines")
+subdirs("eval")
+subdirs("datagen")
+subdirs("api")

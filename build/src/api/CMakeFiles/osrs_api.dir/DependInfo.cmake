@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/annotator.cpp" "src/api/CMakeFiles/osrs_api.dir/annotator.cpp.o" "gcc" "src/api/CMakeFiles/osrs_api.dir/annotator.cpp.o.d"
+  "/root/repo/src/api/batch_summarizer.cpp" "src/api/CMakeFiles/osrs_api.dir/batch_summarizer.cpp.o" "gcc" "src/api/CMakeFiles/osrs_api.dir/batch_summarizer.cpp.o.d"
+  "/root/repo/src/api/review_summarizer.cpp" "src/api/CMakeFiles/osrs_api.dir/review_summarizer.cpp.o" "gcc" "src/api/CMakeFiles/osrs_api.dir/review_summarizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/osrs_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/osrs_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/osrs_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/extraction/CMakeFiles/osrs_extraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentiment/CMakeFiles/osrs_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/osrs_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/osrs_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/osrs_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

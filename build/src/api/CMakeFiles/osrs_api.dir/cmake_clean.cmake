@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_api.dir/annotator.cpp.o"
+  "CMakeFiles/osrs_api.dir/annotator.cpp.o.d"
+  "CMakeFiles/osrs_api.dir/batch_summarizer.cpp.o"
+  "CMakeFiles/osrs_api.dir/batch_summarizer.cpp.o.d"
+  "CMakeFiles/osrs_api.dir/review_summarizer.cpp.o"
+  "CMakeFiles/osrs_api.dir/review_summarizer.cpp.o.d"
+  "libosrs_api.a"
+  "libosrs_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

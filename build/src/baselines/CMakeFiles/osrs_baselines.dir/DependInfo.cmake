@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/coverage_selector.cpp" "src/baselines/CMakeFiles/osrs_baselines.dir/coverage_selector.cpp.o" "gcc" "src/baselines/CMakeFiles/osrs_baselines.dir/coverage_selector.cpp.o.d"
+  "/root/repo/src/baselines/lexrank.cpp" "src/baselines/CMakeFiles/osrs_baselines.dir/lexrank.cpp.o" "gcc" "src/baselines/CMakeFiles/osrs_baselines.dir/lexrank.cpp.o.d"
+  "/root/repo/src/baselines/lsa.cpp" "src/baselines/CMakeFiles/osrs_baselines.dir/lsa.cpp.o" "gcc" "src/baselines/CMakeFiles/osrs_baselines.dir/lsa.cpp.o.d"
+  "/root/repo/src/baselines/most_popular.cpp" "src/baselines/CMakeFiles/osrs_baselines.dir/most_popular.cpp.o" "gcc" "src/baselines/CMakeFiles/osrs_baselines.dir/most_popular.cpp.o.d"
+  "/root/repo/src/baselines/pagerank.cpp" "src/baselines/CMakeFiles/osrs_baselines.dir/pagerank.cpp.o" "gcc" "src/baselines/CMakeFiles/osrs_baselines.dir/pagerank.cpp.o.d"
+  "/root/repo/src/baselines/proportional.cpp" "src/baselines/CMakeFiles/osrs_baselines.dir/proportional.cpp.o" "gcc" "src/baselines/CMakeFiles/osrs_baselines.dir/proportional.cpp.o.d"
+  "/root/repo/src/baselines/sentence_selector.cpp" "src/baselines/CMakeFiles/osrs_baselines.dir/sentence_selector.cpp.o" "gcc" "src/baselines/CMakeFiles/osrs_baselines.dir/sentence_selector.cpp.o.d"
+  "/root/repo/src/baselines/textrank.cpp" "src/baselines/CMakeFiles/osrs_baselines.dir/textrank.cpp.o" "gcc" "src/baselines/CMakeFiles/osrs_baselines.dir/textrank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coverage/CMakeFiles/osrs_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/osrs_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/osrs_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/osrs_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/osrs_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_baselines.dir/coverage_selector.cpp.o"
+  "CMakeFiles/osrs_baselines.dir/coverage_selector.cpp.o.d"
+  "CMakeFiles/osrs_baselines.dir/lexrank.cpp.o"
+  "CMakeFiles/osrs_baselines.dir/lexrank.cpp.o.d"
+  "CMakeFiles/osrs_baselines.dir/lsa.cpp.o"
+  "CMakeFiles/osrs_baselines.dir/lsa.cpp.o.d"
+  "CMakeFiles/osrs_baselines.dir/most_popular.cpp.o"
+  "CMakeFiles/osrs_baselines.dir/most_popular.cpp.o.d"
+  "CMakeFiles/osrs_baselines.dir/pagerank.cpp.o"
+  "CMakeFiles/osrs_baselines.dir/pagerank.cpp.o.d"
+  "CMakeFiles/osrs_baselines.dir/proportional.cpp.o"
+  "CMakeFiles/osrs_baselines.dir/proportional.cpp.o.d"
+  "CMakeFiles/osrs_baselines.dir/sentence_selector.cpp.o"
+  "CMakeFiles/osrs_baselines.dir/sentence_selector.cpp.o.d"
+  "CMakeFiles/osrs_baselines.dir/textrank.cpp.o"
+  "CMakeFiles/osrs_baselines.dir/textrank.cpp.o.d"
+  "libosrs_baselines.a"
+  "libosrs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/math_util.cpp" "src/common/CMakeFiles/osrs_common.dir/math_util.cpp.o" "gcc" "src/common/CMakeFiles/osrs_common.dir/math_util.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/osrs_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/osrs_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/osrs_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/osrs_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/osrs_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/osrs_common.dir/strings.cpp.o.d"
+  "/root/repo/src/common/table_writer.cpp" "src/common/CMakeFiles/osrs_common.dir/table_writer.cpp.o" "gcc" "src/common/CMakeFiles/osrs_common.dir/table_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_common.dir/math_util.cpp.o"
+  "CMakeFiles/osrs_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/osrs_common.dir/rng.cpp.o"
+  "CMakeFiles/osrs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/osrs_common.dir/status.cpp.o"
+  "CMakeFiles/osrs_common.dir/status.cpp.o.d"
+  "CMakeFiles/osrs_common.dir/strings.cpp.o"
+  "CMakeFiles/osrs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/osrs_common.dir/table_writer.cpp.o"
+  "CMakeFiles/osrs_common.dir/table_writer.cpp.o.d"
+  "libosrs_common.a"
+  "libosrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

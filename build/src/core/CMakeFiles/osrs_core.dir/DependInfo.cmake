@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/osrs_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/osrs_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/distance.cpp" "src/core/CMakeFiles/osrs_core.dir/distance.cpp.o" "gcc" "src/core/CMakeFiles/osrs_core.dir/distance.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/osrs_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/osrs_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/core/CMakeFiles/osrs_core.dir/reduction.cpp.o" "gcc" "src/core/CMakeFiles/osrs_core.dir/reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/osrs_ontology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

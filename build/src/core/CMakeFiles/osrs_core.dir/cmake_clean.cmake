@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_core.dir/cost.cpp.o"
+  "CMakeFiles/osrs_core.dir/cost.cpp.o.d"
+  "CMakeFiles/osrs_core.dir/distance.cpp.o"
+  "CMakeFiles/osrs_core.dir/distance.cpp.o.d"
+  "CMakeFiles/osrs_core.dir/model.cpp.o"
+  "CMakeFiles/osrs_core.dir/model.cpp.o.d"
+  "CMakeFiles/osrs_core.dir/reduction.cpp.o"
+  "CMakeFiles/osrs_core.dir/reduction.cpp.o.d"
+  "libosrs_core.a"
+  "libosrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_coverage.dir/coverage_graph.cpp.o"
+  "CMakeFiles/osrs_coverage.dir/coverage_graph.cpp.o.d"
+  "CMakeFiles/osrs_coverage.dir/item_graph.cpp.o"
+  "CMakeFiles/osrs_coverage.dir/item_graph.cpp.o.d"
+  "libosrs_coverage.a"
+  "libosrs_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

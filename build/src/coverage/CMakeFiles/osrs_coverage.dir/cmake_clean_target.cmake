@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosrs_coverage.a"
+)

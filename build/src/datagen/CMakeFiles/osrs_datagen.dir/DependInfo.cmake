@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/cellphone_corpus.cpp" "src/datagen/CMakeFiles/osrs_datagen.dir/cellphone_corpus.cpp.o" "gcc" "src/datagen/CMakeFiles/osrs_datagen.dir/cellphone_corpus.cpp.o.d"
+  "/root/repo/src/datagen/corpus.cpp" "src/datagen/CMakeFiles/osrs_datagen.dir/corpus.cpp.o" "gcc" "src/datagen/CMakeFiles/osrs_datagen.dir/corpus.cpp.o.d"
+  "/root/repo/src/datagen/corpus_io.cpp" "src/datagen/CMakeFiles/osrs_datagen.dir/corpus_io.cpp.o" "gcc" "src/datagen/CMakeFiles/osrs_datagen.dir/corpus_io.cpp.o.d"
+  "/root/repo/src/datagen/doctor_corpus.cpp" "src/datagen/CMakeFiles/osrs_datagen.dir/doctor_corpus.cpp.o" "gcc" "src/datagen/CMakeFiles/osrs_datagen.dir/doctor_corpus.cpp.o.d"
+  "/root/repo/src/datagen/review_generator.cpp" "src/datagen/CMakeFiles/osrs_datagen.dir/review_generator.cpp.o" "gcc" "src/datagen/CMakeFiles/osrs_datagen.dir/review_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sentiment/CMakeFiles/osrs_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/osrs_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/osrs_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

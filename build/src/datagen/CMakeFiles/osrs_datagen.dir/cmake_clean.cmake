@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_datagen.dir/cellphone_corpus.cpp.o"
+  "CMakeFiles/osrs_datagen.dir/cellphone_corpus.cpp.o.d"
+  "CMakeFiles/osrs_datagen.dir/corpus.cpp.o"
+  "CMakeFiles/osrs_datagen.dir/corpus.cpp.o.d"
+  "CMakeFiles/osrs_datagen.dir/corpus_io.cpp.o"
+  "CMakeFiles/osrs_datagen.dir/corpus_io.cpp.o.d"
+  "CMakeFiles/osrs_datagen.dir/doctor_corpus.cpp.o"
+  "CMakeFiles/osrs_datagen.dir/doctor_corpus.cpp.o.d"
+  "CMakeFiles/osrs_datagen.dir/review_generator.cpp.o"
+  "CMakeFiles/osrs_datagen.dir/review_generator.cpp.o.d"
+  "libosrs_datagen.a"
+  "libosrs_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/coverage_report.cpp" "src/eval/CMakeFiles/osrs_eval.dir/coverage_report.cpp.o" "gcc" "src/eval/CMakeFiles/osrs_eval.dir/coverage_report.cpp.o.d"
+  "/root/repo/src/eval/elbow.cpp" "src/eval/CMakeFiles/osrs_eval.dir/elbow.cpp.o" "gcc" "src/eval/CMakeFiles/osrs_eval.dir/elbow.cpp.o.d"
+  "/root/repo/src/eval/sent_err.cpp" "src/eval/CMakeFiles/osrs_eval.dir/sent_err.cpp.o" "gcc" "src/eval/CMakeFiles/osrs_eval.dir/sent_err.cpp.o.d"
+  "/root/repo/src/eval/sentiment_eval.cpp" "src/eval/CMakeFiles/osrs_eval.dir/sentiment_eval.cpp.o" "gcc" "src/eval/CMakeFiles/osrs_eval.dir/sentiment_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/osrs_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/osrs_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentiment/CMakeFiles/osrs_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/osrs_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/osrs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/osrs_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

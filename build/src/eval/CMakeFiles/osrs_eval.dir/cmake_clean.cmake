@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_eval.dir/coverage_report.cpp.o"
+  "CMakeFiles/osrs_eval.dir/coverage_report.cpp.o.d"
+  "CMakeFiles/osrs_eval.dir/elbow.cpp.o"
+  "CMakeFiles/osrs_eval.dir/elbow.cpp.o.d"
+  "CMakeFiles/osrs_eval.dir/sent_err.cpp.o"
+  "CMakeFiles/osrs_eval.dir/sent_err.cpp.o.d"
+  "CMakeFiles/osrs_eval.dir/sentiment_eval.cpp.o"
+  "CMakeFiles/osrs_eval.dir/sentiment_eval.cpp.o.d"
+  "libosrs_eval.a"
+  "libosrs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extraction/aho_corasick.cpp" "src/extraction/CMakeFiles/osrs_extraction.dir/aho_corasick.cpp.o" "gcc" "src/extraction/CMakeFiles/osrs_extraction.dir/aho_corasick.cpp.o.d"
+  "/root/repo/src/extraction/dictionary_extractor.cpp" "src/extraction/CMakeFiles/osrs_extraction.dir/dictionary_extractor.cpp.o" "gcc" "src/extraction/CMakeFiles/osrs_extraction.dir/dictionary_extractor.cpp.o.d"
+  "/root/repo/src/extraction/double_propagation.cpp" "src/extraction/CMakeFiles/osrs_extraction.dir/double_propagation.cpp.o" "gcc" "src/extraction/CMakeFiles/osrs_extraction.dir/double_propagation.cpp.o.d"
+  "/root/repo/src/extraction/hierarchy_induction.cpp" "src/extraction/CMakeFiles/osrs_extraction.dir/hierarchy_induction.cpp.o" "gcc" "src/extraction/CMakeFiles/osrs_extraction.dir/hierarchy_induction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ontology/CMakeFiles/osrs_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentiment/CMakeFiles/osrs_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/osrs_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

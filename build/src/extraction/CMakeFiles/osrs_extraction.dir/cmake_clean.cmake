@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_extraction.dir/aho_corasick.cpp.o"
+  "CMakeFiles/osrs_extraction.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/osrs_extraction.dir/dictionary_extractor.cpp.o"
+  "CMakeFiles/osrs_extraction.dir/dictionary_extractor.cpp.o.d"
+  "CMakeFiles/osrs_extraction.dir/double_propagation.cpp.o"
+  "CMakeFiles/osrs_extraction.dir/double_propagation.cpp.o.d"
+  "CMakeFiles/osrs_extraction.dir/hierarchy_induction.cpp.o"
+  "CMakeFiles/osrs_extraction.dir/hierarchy_induction.cpp.o.d"
+  "libosrs_extraction.a"
+  "libosrs_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_lp.dir/lp_problem.cpp.o"
+  "CMakeFiles/osrs_lp.dir/lp_problem.cpp.o.d"
+  "CMakeFiles/osrs_lp.dir/mip.cpp.o"
+  "CMakeFiles/osrs_lp.dir/mip.cpp.o.d"
+  "CMakeFiles/osrs_lp.dir/simplex.cpp.o"
+  "CMakeFiles/osrs_lp.dir/simplex.cpp.o.d"
+  "libosrs_lp.a"
+  "libosrs_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/cellphone_hierarchy.cpp" "src/ontology/CMakeFiles/osrs_ontology.dir/cellphone_hierarchy.cpp.o" "gcc" "src/ontology/CMakeFiles/osrs_ontology.dir/cellphone_hierarchy.cpp.o.d"
+  "/root/repo/src/ontology/ontology.cpp" "src/ontology/CMakeFiles/osrs_ontology.dir/ontology.cpp.o" "gcc" "src/ontology/CMakeFiles/osrs_ontology.dir/ontology.cpp.o.d"
+  "/root/repo/src/ontology/snomed_like.cpp" "src/ontology/CMakeFiles/osrs_ontology.dir/snomed_like.cpp.o" "gcc" "src/ontology/CMakeFiles/osrs_ontology.dir/snomed_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

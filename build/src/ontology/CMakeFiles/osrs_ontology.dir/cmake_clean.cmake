@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_ontology.dir/cellphone_hierarchy.cpp.o"
+  "CMakeFiles/osrs_ontology.dir/cellphone_hierarchy.cpp.o.d"
+  "CMakeFiles/osrs_ontology.dir/ontology.cpp.o"
+  "CMakeFiles/osrs_ontology.dir/ontology.cpp.o.d"
+  "CMakeFiles/osrs_ontology.dir/snomed_like.cpp.o"
+  "CMakeFiles/osrs_ontology.dir/snomed_like.cpp.o.d"
+  "libosrs_ontology.a"
+  "libosrs_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for osrs_ontology.
+# This may be replaced when dependencies are built.

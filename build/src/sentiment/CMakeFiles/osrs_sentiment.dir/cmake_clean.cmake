@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_sentiment.dir/embeddings.cpp.o"
+  "CMakeFiles/osrs_sentiment.dir/embeddings.cpp.o.d"
+  "CMakeFiles/osrs_sentiment.dir/estimator.cpp.o"
+  "CMakeFiles/osrs_sentiment.dir/estimator.cpp.o.d"
+  "CMakeFiles/osrs_sentiment.dir/lexicon.cpp.o"
+  "CMakeFiles/osrs_sentiment.dir/lexicon.cpp.o.d"
+  "CMakeFiles/osrs_sentiment.dir/regression.cpp.o"
+  "CMakeFiles/osrs_sentiment.dir/regression.cpp.o.d"
+  "libosrs_sentiment.a"
+  "libosrs_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/exhaustive.cpp" "src/solver/CMakeFiles/osrs_solver.dir/exhaustive.cpp.o" "gcc" "src/solver/CMakeFiles/osrs_solver.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/solver/greedy.cpp" "src/solver/CMakeFiles/osrs_solver.dir/greedy.cpp.o" "gcc" "src/solver/CMakeFiles/osrs_solver.dir/greedy.cpp.o.d"
+  "/root/repo/src/solver/ilp_summarizer.cpp" "src/solver/CMakeFiles/osrs_solver.dir/ilp_summarizer.cpp.o" "gcc" "src/solver/CMakeFiles/osrs_solver.dir/ilp_summarizer.cpp.o.d"
+  "/root/repo/src/solver/kmedian_model.cpp" "src/solver/CMakeFiles/osrs_solver.dir/kmedian_model.cpp.o" "gcc" "src/solver/CMakeFiles/osrs_solver.dir/kmedian_model.cpp.o.d"
+  "/root/repo/src/solver/local_search.cpp" "src/solver/CMakeFiles/osrs_solver.dir/local_search.cpp.o" "gcc" "src/solver/CMakeFiles/osrs_solver.dir/local_search.cpp.o.d"
+  "/root/repo/src/solver/randomized_rounding.cpp" "src/solver/CMakeFiles/osrs_solver.dir/randomized_rounding.cpp.o" "gcc" "src/solver/CMakeFiles/osrs_solver.dir/randomized_rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coverage/CMakeFiles/osrs_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/osrs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/osrs_ontology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

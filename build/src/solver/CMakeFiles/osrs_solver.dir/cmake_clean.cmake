@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_solver.dir/exhaustive.cpp.o"
+  "CMakeFiles/osrs_solver.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/osrs_solver.dir/greedy.cpp.o"
+  "CMakeFiles/osrs_solver.dir/greedy.cpp.o.d"
+  "CMakeFiles/osrs_solver.dir/ilp_summarizer.cpp.o"
+  "CMakeFiles/osrs_solver.dir/ilp_summarizer.cpp.o.d"
+  "CMakeFiles/osrs_solver.dir/kmedian_model.cpp.o"
+  "CMakeFiles/osrs_solver.dir/kmedian_model.cpp.o.d"
+  "CMakeFiles/osrs_solver.dir/local_search.cpp.o"
+  "CMakeFiles/osrs_solver.dir/local_search.cpp.o.d"
+  "CMakeFiles/osrs_solver.dir/randomized_rounding.cpp.o"
+  "CMakeFiles/osrs_solver.dir/randomized_rounding.cpp.o.d"
+  "libosrs_solver.a"
+  "libosrs_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/porter_stemmer.cpp" "src/text/CMakeFiles/osrs_text.dir/porter_stemmer.cpp.o" "gcc" "src/text/CMakeFiles/osrs_text.dir/porter_stemmer.cpp.o.d"
+  "/root/repo/src/text/sentence_splitter.cpp" "src/text/CMakeFiles/osrs_text.dir/sentence_splitter.cpp.o" "gcc" "src/text/CMakeFiles/osrs_text.dir/sentence_splitter.cpp.o.d"
+  "/root/repo/src/text/stopwords.cpp" "src/text/CMakeFiles/osrs_text.dir/stopwords.cpp.o" "gcc" "src/text/CMakeFiles/osrs_text.dir/stopwords.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/text/CMakeFiles/osrs_text.dir/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/osrs_text.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "src/text/CMakeFiles/osrs_text.dir/vocabulary.cpp.o" "gcc" "src/text/CMakeFiles/osrs_text.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/osrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

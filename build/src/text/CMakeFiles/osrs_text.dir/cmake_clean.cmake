@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrs_text.dir/porter_stemmer.cpp.o"
+  "CMakeFiles/osrs_text.dir/porter_stemmer.cpp.o.d"
+  "CMakeFiles/osrs_text.dir/sentence_splitter.cpp.o"
+  "CMakeFiles/osrs_text.dir/sentence_splitter.cpp.o.d"
+  "CMakeFiles/osrs_text.dir/stopwords.cpp.o"
+  "CMakeFiles/osrs_text.dir/stopwords.cpp.o.d"
+  "CMakeFiles/osrs_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/osrs_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/osrs_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/osrs_text.dir/vocabulary.cpp.o.d"
+  "libosrs_text.a"
+  "libosrs_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrs_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_io_test.dir/corpus_io_test.cpp.o"
+  "CMakeFiles/corpus_io_test.dir/corpus_io_test.cpp.o.d"
+  "corpus_io_test"
+  "corpus_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

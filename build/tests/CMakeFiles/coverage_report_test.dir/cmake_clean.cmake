@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_report_test.dir/coverage_report_test.cpp.o"
+  "CMakeFiles/coverage_report_test.dir/coverage_report_test.cpp.o.d"
+  "coverage_report_test"
+  "coverage_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_property_test.dir/datagen_property_test.cpp.o"
+  "CMakeFiles/datagen_property_test.dir/datagen_property_test.cpp.o.d"
+  "datagen_property_test"
+  "datagen_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

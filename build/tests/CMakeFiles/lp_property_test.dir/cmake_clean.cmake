@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_property_test.dir/lp_property_test.cpp.o"
+  "CMakeFiles/lp_property_test.dir/lp_property_test.cpp.o.d"
+  "lp_property_test"
+  "lp_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_property_test.dir/nlp_property_test.cpp.o"
+  "CMakeFiles/nlp_property_test.dir/nlp_property_test.cpp.o.d"
+  "nlp_property_test"
+  "nlp_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_test.dir/ontology_test.cpp.o"
+  "CMakeFiles/ontology_test.dir/ontology_test.cpp.o.d"
+  "ontology_test"
+  "ontology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentiment_test.dir/sentiment_test.cpp.o"
+  "CMakeFiles/sentiment_test.dir/sentiment_test.cpp.o.d"
+  "sentiment_test"
+  "sentiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

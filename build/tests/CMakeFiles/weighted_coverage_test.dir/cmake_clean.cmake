@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_coverage_test.dir/weighted_coverage_test.cpp.o"
+  "CMakeFiles/weighted_coverage_test.dir/weighted_coverage_test.cpp.o.d"
+  "weighted_coverage_test"
+  "weighted_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
