@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI driver: the tier-1 suite in the default configuration, the full suite
+# under ASan+UBSan, and a TSan pass over the multi-threaded BatchSummarizer
+# tests. Usage: ./ci.sh [--skip-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@" > /dev/null
+  cmake --build "$build_dir" -j "$JOBS"
+}
+
+echo "== default build + full test suite =="
+run_suite build
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+  echo "== sanitizer passes skipped =="
+  exit 0
+fi
+
+echo "== ASan+UBSan build + full test suite =="
+run_suite build-asan -DOSRS_SANITIZE=address,undefined
+(cd build-asan && \
+ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+ ctest --output-on-failure -j "$JOBS")
+
+echo "== TSan build + batch/budget tests =="
+run_suite build-tsan -DOSRS_SANITIZE=thread
+(cd build-tsan && \
+ TSAN_OPTIONS=halt_on_error=1 \
+ ctest --output-on-failure -j "$JOBS" \
+       -R 'budget_test|api_test|fuzz_robustness_test|integration_test')
+
+echo "== ci.sh: all passes green =="

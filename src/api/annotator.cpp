@@ -54,6 +54,9 @@ Result<Item> ReviewAnnotator::AnnotateTexts(
     }
     item.reviews.push_back(std::move(review));
   }
+  // A misbehaving estimator (NaN, out-of-scale score) must surface here,
+  // at the ingestion boundary, not deep inside a later cost sum.
+  OSRS_RETURN_IF_ERROR(ValidateItem(item));
   return item;
 }
 

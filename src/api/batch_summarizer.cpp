@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace osrs {
 
@@ -22,6 +23,22 @@ std::vector<BatchEntry> BatchSummarizer::SummarizeAll(
   std::vector<BatchEntry> entries(items.size());
   if (items.empty()) return entries;
 
+  if (options_.num_threads < 0) {
+    Status status = Status::InvalidArgument(
+        StrFormat("num_threads=%d negative", options_.num_threads));
+    for (BatchEntry& entry : entries) entry.status = status;
+    return entries;
+  }
+
+  // Whole-batch budget, shared by every worker. Per-item deadlines and
+  // cancellation from the summarizer options compose with it inside
+  // ReviewSummarizer::Summarize via TightenedBy.
+  ExecutionBudget batch_budget;
+  if (options_.batch_deadline_ms > 0.0) {
+    batch_budget.SetDeadlineMs(options_.batch_deadline_ms);
+  }
+  batch_budget.AddCancellation(options_.cancellation);
+
   unsigned hardware = std::thread::hardware_concurrency();
   int num_threads = options_.num_threads > 0
                         ? options_.num_threads
@@ -30,13 +47,21 @@ std::vector<BatchEntry> BatchSummarizer::SummarizeAll(
 
   // Work stealing via a shared atomic cursor; each worker owns its own
   // ReviewSummarizer (they are stateless but this keeps options private).
+  // Once the batch budget trips, remaining claimed items are stamped with
+  // the budget's verdict instead of being solved, so the batch drains
+  // quickly and still returns one entry per item.
   std::atomic<size_t> cursor{0};
   auto worker = [&]() {
     ReviewSummarizer summarizer(ontology_, options_.summarizer);
     while (true) {
       size_t index = cursor.fetch_add(1);
       if (index >= items.size()) break;
-      auto result = summarizer.Summarize(items[index], k);
+      Status batch_status = batch_budget.Check();
+      if (!batch_status.ok()) {
+        entries[index].status = std::move(batch_status);
+        continue;
+      }
+      auto result = summarizer.Summarize(items[index], k, batch_budget);
       if (result.ok()) {
         entries[index].summary = std::move(result).value();
       } else {

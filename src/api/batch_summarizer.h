@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "api/review_summarizer.h"
+#include "common/execution_budget.h"
 
 namespace osrs {
 
@@ -12,8 +13,17 @@ struct BatchSummarizerOptions {
   ReviewSummarizerOptions summarizer;
   /// Worker threads; 0 = std::thread::hardware_concurrency(). Items are
   /// independent, so results are identical to a serial run regardless of
-  /// thread count (verified by tests).
+  /// thread count (verified by tests). Negative values are rejected: every
+  /// entry comes back kInvalidArgument.
   int num_threads = 0;
+  /// Wall-clock budget for the whole batch in milliseconds; <= 0 disables
+  /// it. Once it trips, items not yet started are stamped
+  /// kDeadlineExceeded without being solved, and items in flight stop at
+  /// their next budget check (degrading per the per-item fallback chain).
+  double batch_deadline_ms = 0.0;
+  /// Optional cooperative cancellation covering the whole batch; the flag
+  /// must outlive SummarizeAll. Unstarted items are stamped kCancelled.
+  const CancellationFlag* cancellation = nullptr;
 };
 
 /// One item's outcome in a batch.
@@ -25,6 +35,13 @@ struct BatchEntry {
 /// Summarizes every item of a corpus (e.g. all 1000 doctors) in parallel —
 /// the workload of the paper's §5.2 evaluation, packaged as a library
 /// call.
+///
+/// Failure semantics: SummarizeAll always returns exactly one entry per
+/// item, in item order, never throws, and never blocks past the batch
+/// deadline plus one solver check interval. Per-item failures (invalid
+/// sentiments, k < 0, budget trips that exhausted the fallback chain) are
+/// confined to their entry's Status; k == 0 is valid and yields empty
+/// summaries.
 class BatchSummarizer {
  public:
   /// `ontology` must outlive the batch summarizer.

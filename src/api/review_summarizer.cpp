@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "core/distance.h"
 #include "coverage/item_graph.h"
@@ -34,33 +36,27 @@ const char* SummaryAlgorithmToString(SummaryAlgorithm algorithm) {
 
 namespace {
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out.push_back(c);
-        }
+std::unique_ptr<Summarizer> MakeSolver(SummaryAlgorithm algorithm,
+                                       uint64_t seed) {
+  switch (algorithm) {
+    case SummaryAlgorithm::kGreedy:
+      return std::make_unique<GreedySummarizer>();
+    case SummaryAlgorithm::kGreedyLazy: {
+      GreedyOptions greedy_options;
+      greedy_options.heap = GreedyOptions::Heap::kLazy;
+      return std::make_unique<GreedySummarizer>(greedy_options);
     }
+    case SummaryAlgorithm::kIlp:
+      return std::make_unique<IlpSummarizer>();
+    case SummaryAlgorithm::kRandomizedRounding: {
+      RandomizedRoundingOptions rr_options;
+      rr_options.seed = seed;
+      return std::make_unique<RandomizedRoundingSummarizer>(rr_options);
+    }
+    case SummaryAlgorithm::kLocalSearch:
+      return std::make_unique<LocalSearchSummarizer>();
   }
-  return out;
+  return std::make_unique<GreedySummarizer>();
 }
 
 }  // namespace
@@ -70,8 +66,13 @@ std::string ItemSummary::ToJson() const {
   out += StrFormat(
       "\"cost\":%.6g,\"epsilon\":%.6g,\"solver_seconds\":%.6g,"
       "\"num_pairs\":%zu,\"num_candidates\":%zu,\"num_edges\":%zu,"
+      "\"degraded\":%s,\"algorithm\":\"%s\",\"stop_reason\":\"%s\","
+      "\"budget_spent_ms\":%.3f,"
       "\"entries\":[",
-      cost, epsilon, solver_seconds, num_pairs, num_candidates, num_edges);
+      cost, epsilon, solver_seconds, num_pairs, num_candidates, num_edges,
+      degraded ? "true" : "false",
+      JsonEscape(SummaryAlgorithmToString(algorithm_used)).c_str(),
+      StatusCodeToString(stop_reason), budget_spent_ms);
   for (size_t i = 0; i < entries.size(); ++i) {
     if (i > 0) out += ',';
     out += StrFormat(
@@ -95,7 +96,24 @@ ReviewSummarizer::ReviewSummarizer(const Ontology* ontology,
 
 Result<ItemSummary> ReviewSummarizer::Summarize(const Item& item,
                                                 int k) const {
+  return Summarize(item, k, ExecutionBudget::Unlimited());
+}
+
+Result<ItemSummary> ReviewSummarizer::Summarize(
+    const Item& item, int k, const ExecutionBudget& external) const {
   if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+  OSRS_RETURN_IF_ERROR(ValidateItem(item));
+
+  Stopwatch total_watch;
+  ExecutionBudget budget;
+  if (options_.deadline_ms > 0.0) budget.SetDeadlineMs(options_.deadline_ms);
+  if (options_.max_solver_work > 0) budget.SetMaxWork(options_.max_solver_work);
+  budget.AddCancellation(options_.cancellation);
+  budget = budget.TightenedBy(external);
+  // A budget already expired at entry (e.g. a batch deadline that tripped
+  // before this item was claimed) is an error, not a degradation: no work
+  // has been done, so there is nothing to degrade to.
+  OSRS_RETURN_IF_ERROR(budget.Check());
 
   double epsilon = options_.epsilon;
   if (options_.auto_epsilon) {
@@ -111,46 +129,74 @@ Result<ItemSummary> ReviewSummarizer::Summarize(const Item& item,
   PairDistance distance(ontology_, epsilon);
   ItemGraph item_graph =
       BuildItemGraph(distance, item, options_.granularity);
+  int effective_k = std::min<int>(k, item_graph.graph.num_candidates());
 
-  std::unique_ptr<Summarizer> solver;
-  switch (options_.algorithm) {
-    case SummaryAlgorithm::kGreedy:
-      solver = std::make_unique<GreedySummarizer>();
-      break;
-    case SummaryAlgorithm::kGreedyLazy: {
-      GreedyOptions greedy_options;
-      greedy_options.heap = GreedyOptions::Heap::kLazy;
-      solver = std::make_unique<GreedySummarizer>(greedy_options);
+  // The primary algorithm followed by the fallback chain, attempted
+  // verbatim (repeats retry with a fresh seed). Each attempt gets the full
+  // work budget; the wall-clock deadline is absolute and therefore shared,
+  // which is why the last fallback drops everything but cancellation.
+  std::vector<SummaryAlgorithm> attempts;
+  attempts.reserve(1 + options_.fallback_chain.size());
+  attempts.push_back(options_.algorithm);
+  attempts.insert(attempts.end(), options_.fallback_chain.begin(),
+                  options_.fallback_chain.end());
+
+  SummaryResult result;
+  SummaryAlgorithm algorithm_used = options_.algorithm;
+  bool solved = false;
+  bool degraded = false;
+  StatusCode stop_reason = StatusCode::kOk;
+  Status last_error = Status::OK();
+
+  for (size_t attempt = 0; attempt < attempts.size(); ++attempt) {
+    const bool final_fallback = attempt > 0 && attempt + 1 == attempts.size();
+    const ExecutionBudget attempt_budget =
+        final_fallback ? budget.CancellationOnly() : budget;
+    std::unique_ptr<Summarizer> solver =
+        MakeSolver(attempts[attempt], options_.seed + attempt);
+    auto attempt_result =
+        solver->Summarize(item_graph.graph, effective_k, attempt_budget);
+    if (attempt_result.ok()) {
+      result = std::move(*attempt_result);
+      algorithm_used = attempts[attempt];
+      solved = true;
+      if (result.approximate && attempt + 1 < attempts.size()) {
+        // A budget-tripped incumbent with fallbacks still in the chain:
+        // keep it as the answer of record but let a later attempt replace
+        // it with a complete solution.
+        degraded = true;
+        if (stop_reason == StatusCode::kOk) stop_reason = result.stop_reason;
+        continue;
+      }
       break;
     }
-    case SummaryAlgorithm::kIlp:
-      solver = std::make_unique<IlpSummarizer>();
-      break;
-    case SummaryAlgorithm::kRandomizedRounding: {
-      RandomizedRoundingOptions rr_options;
-      rr_options.seed = options_.seed;
-      solver = std::make_unique<RandomizedRoundingSummarizer>(rr_options);
-      break;
+    last_error = attempt_result.status();
+    if (last_error.code() == StatusCode::kCancelled ||
+        last_error.code() == StatusCode::kInvalidArgument) {
+      return last_error;  // fallbacks never absorb these
     }
-    case SummaryAlgorithm::kLocalSearch:
-      solver = std::make_unique<LocalSearchSummarizer>();
-      break;
+    degraded = true;
+    if (stop_reason == StatusCode::kOk) stop_reason = last_error.code();
+  }
+  if (!solved) return last_error;
+  if (result.approximate) {
+    degraded = true;
+    if (stop_reason == StatusCode::kOk) stop_reason = result.stop_reason;
   }
 
-  int effective_k = std::min<int>(k, item_graph.graph.num_candidates());
-  auto result = solver->Summarize(item_graph.graph, effective_k);
-  OSRS_RETURN_IF_ERROR(result.status());
-
   ItemSummary summary;
-  summary.cost = result->cost;
-  summary.solver_seconds = result->seconds;
+  summary.cost = result.cost;
+  summary.solver_seconds = result.seconds;
   summary.epsilon = epsilon;
+  summary.degraded = degraded;
+  summary.algorithm_used = algorithm_used;
+  summary.stop_reason = stop_reason;
   summary.num_pairs = item_graph.occurrences.size();
   summary.num_candidates =
       static_cast<size_t>(item_graph.graph.num_candidates());
   summary.num_edges = item_graph.graph.num_edges();
 
-  for (int candidate : result->selected) {
+  for (int candidate : result.selected) {
     SummaryEntry entry;
     if (options_.granularity == SummaryGranularity::kPairs) {
       const PairOccurrence& occ =
@@ -187,6 +233,7 @@ Result<ItemSummary> ReviewSummarizer::Summarize(const Item& item,
     }
     summary.entries.push_back(std::move(entry));
   }
+  summary.budget_spent_ms = total_watch.ElapsedSeconds() * 1000.0;
   return summary;
 }
 

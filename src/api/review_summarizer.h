@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_budget.h"
 #include "common/status.h"
 #include "core/model.h"
 #include "ontology/ontology.h"
@@ -33,7 +34,32 @@ struct ReviewSummarizerOptions {
   SummaryAlgorithm algorithm = SummaryAlgorithm::kGreedy;
   SummaryGranularity granularity = SummaryGranularity::kSentences;
   /// Seed of the randomized-rounding draw (unused by other algorithms).
+  /// Fallback attempts reseed deterministically (seed + attempt index) so a
+  /// retried randomized rounding draws a fresh sample.
   uint64_t seed = 7;
+
+  /// Wall-clock budget per Summarize call in milliseconds; <= 0 disables
+  /// the deadline. When the deadline trips mid-solve the facade degrades
+  /// along `fallback_chain` instead of failing (see below).
+  double deadline_ms = 0.0;
+  /// Deterministic work budget per solve attempt (same solver-defined unit
+  /// as SummaryResult::work: B&B nodes, simplex iterations, greedy key
+  /// updates, ...); <= 0 means unlimited. Unlike the wall-clock deadline
+  /// this is reproducible, so tests can exercise degradation
+  /// deterministically.
+  int64_t max_solver_work = 0;
+  /// Optional cooperative cancellation; the flag must outlive the call.
+  /// Cancellation always surfaces as a kCancelled error — it is the one
+  /// budget trip the fallback chain does not absorb.
+  const CancellationFlag* cancellation = nullptr;
+  /// Algorithms tried, in order, after the primary `algorithm` trips its
+  /// budget (or fails for any reason other than cancellation / invalid
+  /// arguments). Entries are attempted verbatim — repeating the primary
+  /// algorithm retries it (useful for randomized rounding, which reseeds
+  /// per attempt). The final fallback attempt runs with only the
+  /// cancellation flags attached, so unless cancelled the facade always
+  /// returns a summary, flagged `degraded`.
+  std::vector<SummaryAlgorithm> fallback_chain = {SummaryAlgorithm::kGreedy};
 };
 
 /// One representative in a summary.
@@ -63,6 +89,20 @@ struct ItemSummary {
   size_t num_candidates = 0;
   size_t num_edges = 0;
 
+  /// True when the summary is not the configured algorithm's full-budget
+  /// answer: a budget tripped and either a fallback algorithm produced the
+  /// result or the primary stopped early with its best incumbent.
+  bool degraded = false;
+  /// The algorithm that produced `entries` (differs from the configured
+  /// one after a fallback).
+  SummaryAlgorithm algorithm_used = SummaryAlgorithm::kGreedy;
+  /// Why degradation happened (kOk when `degraded` is false): typically
+  /// kDeadlineExceeded or kResourceExhausted.
+  StatusCode stop_reason = StatusCode::kOk;
+  /// Total wall-clock milliseconds spent in Summarize, across every
+  /// attempt (includes graph construction, unlike `solver_seconds`).
+  double budget_spent_ms = 0.0;
+
   /// Compact JSON rendering (entries, cost, diagnostics) for tooling.
   std::string ToJson() const;
 };
@@ -86,8 +126,20 @@ class ReviewSummarizer {
                    ReviewSummarizerOptions options = {});
 
   /// Summarizes `item` with (up to) k representatives. k larger than the
-  /// candidate count is truncated; k < 0 is an error.
+  /// candidate count is truncated; k < 0 is an error, as are non-finite or
+  /// out-of-range sentiments anywhere in the item.
+  ///
+  /// Budgets come from the options (deadline_ms / max_solver_work /
+  /// cancellation). When a budget trips the facade walks `fallback_chain`;
+  /// only cancellation (kCancelled), invalid input, or an already-expired
+  /// budget at entry surface as errors.
   Result<ItemSummary> Summarize(const Item& item, int k) const;
+
+  /// As above, additionally tightened by `external` — used by
+  /// BatchSummarizer to impose a whole-batch deadline and cancellation on
+  /// top of the per-item options.
+  Result<ItemSummary> Summarize(const Item& item, int k,
+                                const ExecutionBudget& external) const;
 
   const ReviewSummarizerOptions& options() const { return options_; }
 

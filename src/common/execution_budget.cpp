@@ -1,0 +1,49 @@
+#include "common/execution_budget.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace osrs {
+
+double ExecutionBudget::RemainingMs() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(deadline_ - Clock::now())
+      .count();
+}
+
+ExecutionBudget ExecutionBudget::TightenedBy(
+    const ExecutionBudget& other) const {
+  ExecutionBudget merged = *this;
+  if (other.has_deadline_) {
+    merged.SetDeadline(merged.has_deadline_
+                           ? std::min(merged.deadline_, other.deadline_)
+                           : other.deadline_);
+  }
+  if (other.max_work_ > 0) {
+    merged.max_work_ = merged.max_work_ > 0
+                           ? std::min(merged.max_work_, other.max_work_)
+                           : other.max_work_;
+  }
+  for (const CancellationFlag* flag : other.cancellations_) {
+    merged.AddCancellation(flag);
+  }
+  return merged;
+}
+
+Status ExecutionBudget::CheckSlow(int64_t work_done) const {
+  if (cancelled()) return Status::Cancelled("cancellation flag set");
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("wall-clock deadline exceeded");
+  }
+  if (max_work_ > 0 && work_done >= max_work_) {
+    return Status::ResourceExhausted(
+        StrFormat("work budget exhausted (%lld >= %lld)",
+                  static_cast<long long>(work_done),
+                  static_cast<long long>(max_work_)));
+  }
+  return Status::OK();
+}
+
+}  // namespace osrs

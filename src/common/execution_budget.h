@@ -1,0 +1,141 @@
+#ifndef OSRS_COMMON_EXECUTION_BUDGET_H_
+#define OSRS_COMMON_EXECUTION_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace osrs {
+
+/// Thread-safe cooperative cancellation flag. One flag may be shared by any
+/// number of concurrent solves (e.g. every worker of a batch); `Cancel()`
+/// from any thread asks all of them to stop at their next budget check.
+/// The flag must outlive every ExecutionBudget referencing it.
+class CancellationFlag {
+ public:
+  CancellationFlag() = default;
+  CancellationFlag(const CancellationFlag&) = delete;
+  CancellationFlag& operator=(const CancellationFlag&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Rearms the flag for reuse. Only call while no solve is in flight.
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Cooperative execution budget threaded through every solver loop: an
+/// optional wall-clock deadline, an optional deterministic work budget
+/// (branch-and-bound nodes, simplex iterations, greedy rounds, ...), and
+/// any number of shared cancellation flags.
+///
+/// Budgets are cheap values; solvers receive them by const reference and
+/// call `Check(work_done)` every check interval (each outer round, every
+/// few dozen inner iterations). A non-OK check means the solver must stop
+/// promptly and either return the Status or its best incumbent so far
+/// flagged as approximate. Check order: cancellation (kCancelled), then
+/// deadline (kDeadlineExceeded), then work (kResourceExhausted), so a
+/// cancelled solve is always reported as cancelled.
+///
+/// The default-constructed budget is unlimited and every check is OK, so
+/// budget-aware loops cost one branch per check interval when unused.
+class ExecutionBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited budget: never expires, never cancelled.
+  ExecutionBudget() = default;
+
+  static ExecutionBudget Unlimited() { return ExecutionBudget(); }
+
+  /// Budget expiring `deadline_ms` milliseconds from now.
+  static ExecutionBudget FromDeadlineMs(double deadline_ms) {
+    ExecutionBudget budget;
+    budget.SetDeadlineMs(deadline_ms);
+    return budget;
+  }
+
+  /// Sets the deadline to `deadline_ms` milliseconds from now. Values <= 0
+  /// produce an already-expired deadline.
+  void SetDeadlineMs(double deadline_ms) {
+    SetDeadline(Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(deadline_ms)));
+  }
+
+  void SetDeadline(Clock::time_point deadline) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+  }
+
+  /// Deterministic work budget; `max_work` <= 0 means unlimited. The unit
+  /// is solver-defined (the same unit as SummaryResult::work).
+  void SetMaxWork(int64_t max_work) { max_work_ = max_work; }
+
+  /// Registers a cancellation flag; may be called more than once (e.g. a
+  /// whole-batch flag plus a per-item flag). Null pointers are ignored.
+  void AddCancellation(const CancellationFlag* flag) {
+    if (flag != nullptr) cancellations_.push_back(flag);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  int64_t max_work() const { return max_work_; }
+
+  /// True when no deadline, work bound, or cancellation flag is attached.
+  bool IsUnlimited() const {
+    return !has_deadline_ && max_work_ <= 0 && cancellations_.empty();
+  }
+
+  /// Milliseconds until the deadline (negative once expired); +infinity
+  /// when no deadline is set.
+  double RemainingMs() const;
+
+  /// Returns the tighter combination of this budget and `other`: earlier
+  /// deadline, smaller work bound, union of cancellation flags.
+  ExecutionBudget TightenedBy(const ExecutionBudget& other) const;
+
+  /// Copy of this budget with deadline and work bound stripped, keeping
+  /// only the cancellation flags. Last-resort fallbacks run under this so
+  /// they always produce a summary yet stay cancellable.
+  ExecutionBudget CancellationOnly() const {
+    ExecutionBudget out;
+    out.cancellations_ = cancellations_;
+    return out;
+  }
+
+  bool cancelled() const {
+    for (const CancellationFlag* flag : cancellations_) {
+      if (flag->cancelled()) return true;
+    }
+    return false;
+  }
+
+  /// The budget check solver loops call each interval. `work_done` is the
+  /// solver's progress counter compared against the work budget.
+  Status Check(int64_t work_done = 0) const {
+    if (IsUnlimited()) return Status::OK();
+    return CheckSlow(work_done);
+  }
+
+ private:
+  Status CheckSlow(int64_t work_done) const;
+
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  int64_t max_work_ = 0;
+  std::vector<const CancellationFlag*> cancellations_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_COMMON_EXECUTION_BUDGET_H_

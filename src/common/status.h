@@ -19,6 +19,10 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  /// A wall-clock deadline expired before the operation completed.
+  kDeadlineExceeded,
+  /// The operation was stopped by a cooperative cancellation flag.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -57,6 +61,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

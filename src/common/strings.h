@@ -31,6 +31,13 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 std::string StrFormat(const char* format, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `text` for embedding inside a JSON string literal (RFC 8259):
+/// quotes, backslashes, and the two-character escapes \b \f \n \r \t, with
+/// every remaining control character below 0x20 rendered as \u00XX. Bytes
+/// >= 0x80 pass through untouched (the output stays valid for UTF-8
+/// input). Returns the escaped body without surrounding quotes.
+std::string JsonEscape(std::string_view text);
+
 /// Parses a whole string as a base-10 integer. Returns false (leaving
 /// `out` untouched) on empty input, trailing garbage, or overflow — unlike
 /// std::stol it never throws, so it is safe on untrusted input.

@@ -1,8 +1,33 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
 
 namespace osrs {
+
+Status ValidateItem(const Item& item) {
+  for (size_t r = 0; r < item.reviews.size(); ++r) {
+    const Review& review = item.reviews[r];
+    for (size_t s = 0; s < review.sentences.size(); ++s) {
+      for (const ConceptSentimentPair& pair : review.sentences[s].pairs) {
+        if (!std::isfinite(pair.sentiment)) {
+          return Status::InvalidArgument(StrFormat(
+              "item '%s' review %zu sentence %zu: non-finite sentiment",
+              item.id.c_str(), r, s));
+        }
+        if (pair.sentiment < -1.0 || pair.sentiment > 1.0) {
+          return Status::InvalidArgument(StrFormat(
+              "item '%s' review %zu sentence %zu: sentiment %g outside "
+              "[-1, 1]",
+              item.id.c_str(), r, s, pair.sentiment));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
 
 std::vector<PairOccurrence> CollectPairs(const Item& item) {
   std::vector<PairOccurrence> out;

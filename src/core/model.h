@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "ontology/ontology.h"
 
 namespace osrs {
@@ -47,6 +48,13 @@ struct PairOccurrence {
   int review_index = -1;
   int sentence_index = -1;  // within the review
 };
+
+/// Validates the sentiment values of every pair in `item`: each must be
+/// finite and inside [-1, 1] (the §2 model's sentiment scale). Returns
+/// InvalidArgument naming the offending review/sentence otherwise. Called
+/// at the ingestion boundaries (annotator output, summarizer input) so a
+/// NaN can never silently propagate through the Definition-2 cost sums.
+Status ValidateItem(const Item& item);
 
 /// Flattens all pairs of `item` in reading order, recording provenance.
 std::vector<PairOccurrence> CollectPairs(const Item& item);

@@ -14,7 +14,13 @@ struct SearchState {
   RevisedSimplex* simplex;
   const MipOptions* options;
   MipSolution* solution;
+  /// Caller budget with its work bound stripped (node accounting happens
+  /// here, not in iteration units inside the LP); null when unbudgeted.
+  const ExecutionBudget* lp_budget = nullptr;
+  /// Caller budget as given, checked per node against `nodes`.
+  const ExecutionBudget* budget = nullptr;
   bool budget_exhausted = false;
+  bool interrupted = false;
 };
 
 /// Index of the integer variable whose LP value is most fractional, or -1
@@ -43,10 +49,20 @@ void Dfs(SearchState& state) {
     state.budget_exhausted = true;
     return;
   }
+  if (state.budget != nullptr && !state.budget->Check(out.nodes).ok()) {
+    state.budget_exhausted = true;
+    state.interrupted = true;
+    return;
+  }
   ++out.nodes;
 
-  LpSolution lp = state.simplex->Solve(*state.problem);
+  LpSolution lp = state.simplex->Solve(*state.problem, state.lp_budget);
   out.lp_iterations += lp.iterations;
+  if (lp.status == LpStatus::kInterrupted) {
+    state.budget_exhausted = true;
+    state.interrupted = true;
+    return;
+  }
   if (lp.status == LpStatus::kInfeasible) return;
   if (lp.status == LpStatus::kUnbounded) {
     // A bounded-below MIP cannot have an unbounded node unless the root is
@@ -110,14 +126,24 @@ void Dfs(SearchState& state) {
 
 MipSolver::MipSolver(MipOptions options) : options_(options) {}
 
-MipSolution MipSolver::Solve(LpProblem problem) {
+MipSolution MipSolver::Solve(LpProblem problem,
+                             const ExecutionBudget* budget) {
   MipSolution solution;
   RevisedSimplex simplex(options_.lp);
-  SearchState state{&problem, &simplex, &options_, &solution, false};
+  SearchState state{&problem, &simplex, &options_, &solution};
+  ExecutionBudget lp_budget;
+  if (budget != nullptr) {
+    state.budget = budget;
+    lp_budget = *budget;
+    lp_budget.SetMaxWork(0);  // node budget must not bind LP iterations
+    state.lp_budget = &lp_budget;
+  }
   Dfs(state);
 
   if (solution.status == LpStatus::kUnbounded) return solution;
-  if (state.budget_exhausted) {
+  if (state.interrupted) {
+    solution.status = LpStatus::kInterrupted;
+  } else if (state.budget_exhausted) {
     solution.status = LpStatus::kIterationLimit;
   } else {
     solution.status =

@@ -26,8 +26,9 @@ struct MipOptions {
 /// Outcome of a MIP solve.
 struct MipSolution {
   /// kOptimal: incumbent proven optimal. kIterationLimit: node/iteration
-  /// budget exhausted, incumbent (if any) returned. kInfeasible/kUnbounded
-  /// as usual.
+  /// budget exhausted, incumbent (if any) returned. kInterrupted: an
+  /// ExecutionBudget fired mid-search, incumbent (if any) returned.
+  /// kInfeasible/kUnbounded as usual.
   LpStatus status = LpStatus::kIterationLimit;
   bool has_incumbent = false;
   double objective = 0.0;
@@ -49,8 +50,11 @@ class MipSolver {
   explicit MipSolver(MipOptions options = {});
 
   /// Solves min c^T x with the integrality constraints. `problem` is taken
-  /// by value: branching mutates variable bounds internally.
-  MipSolution Solve(LpProblem problem);
+  /// by value: branching mutates variable bounds internally. A non-null
+  /// `budget` is checked at every node (its work unit is nodes expanded)
+  /// and inside each LP sub-solve (deadline/cancellation only); when it
+  /// fires the search stops with kInterrupted, keeping any incumbent.
+  MipSolution Solve(LpProblem problem, const ExecutionBudget* budget = nullptr);
 
  private:
   MipOptions options_;

@@ -18,6 +18,8 @@ const char* LpStatusToString(LpStatus status) {
       return "Unbounded";
     case LpStatus::kIterationLimit:
       return "IterationLimit";
+    case LpStatus::kInterrupted:
+      return "Interrupted";
   }
   return "Unknown";
 }
@@ -38,8 +40,11 @@ struct Eta {
 /// (structural variables + slacks + artificials; all rows equalities).
 class SimplexEngine {
  public:
-  SimplexEngine(const LpProblem& problem, const SimplexOptions& options)
-      : options_(options), num_structural_(problem.num_variables()) {
+  SimplexEngine(const LpProblem& problem, const SimplexOptions& options,
+                const ExecutionBudget* budget)
+      : options_(options),
+        budget_(budget),
+        num_structural_(problem.num_variables()) {
     BuildStandardForm(problem);
   }
 
@@ -53,8 +58,10 @@ class SimplexEngine {
       LpStatus status = Optimize(&solution.iterations);
       if (status != LpStatus::kOptimal) {
         // Phase-1 LPs are bounded below by 0, so non-optimal means the
-        // iteration limit was hit.
-        solution.status = LpStatus::kIterationLimit;
+        // iteration limit was hit — or the caller's budget ran out.
+        solution.status = status == LpStatus::kInterrupted
+                              ? LpStatus::kInterrupted
+                              : LpStatus::kIterationLimit;
         return solution;
       }
       double infeasibility = CurrentObjective();
@@ -79,6 +86,8 @@ class SimplexEngine {
     if (status != LpStatus::kOptimal && status != LpStatus::kIterationLimit) {
       return solution;
     }
+    // (kInterrupted returns above: a budget-aborted basis can be anywhere,
+    // so no point values are extracted for it.)
 
     // Extract structural values.
     solution.values.assign(static_cast<size_t>(num_structural_), 0.0);
@@ -283,9 +292,18 @@ class SimplexEngine {
     std::vector<double> pi(static_cast<size_t>(num_rows_));
     std::vector<double> direction(static_cast<size_t>(num_rows_));
 
+    // Budget poll period: rare enough that Clock::now() is invisible next
+    // to a pricing pass, frequent enough that deadlines bind within a few
+    // iterations even on large instances.
+    constexpr int64_t kBudgetCheckPeriod = 8;
+
     for (int64_t iter = 0; iter < options_.max_iterations; ++iter) {
       if (iter > 0 && iter % options_.resync_period == 0) {
         ResyncBasicValues();
+      }
+      if (budget_ != nullptr && iter % kBudgetCheckPeriod == 0 &&
+          !budget_->Check(*iteration_counter).ok()) {
+        return LpStatus::kInterrupted;
       }
       ++*iteration_counter;
       const bool bland = degenerate_streak >= options_.bland_trigger;
@@ -454,6 +472,7 @@ class SimplexEngine {
   }
 
   const SimplexOptions options_;
+  const ExecutionBudget* const budget_;  // may be null (unbudgeted solve)
   const int num_structural_;
   int num_rows_ = 0;
   int first_artificial_ = 0;
@@ -478,7 +497,8 @@ class SimplexEngine {
 
 RevisedSimplex::RevisedSimplex(SimplexOptions options) : options_(options) {}
 
-LpSolution RevisedSimplex::Solve(const LpProblem& problem) {
+LpSolution RevisedSimplex::Solve(const LpProblem& problem,
+                                 const ExecutionBudget* budget) {
   if (problem.num_constraints() == 0) {
     // Pure bound minimization: each variable sits at the bound favoring its
     // cost (unbounded if the favorable side is infinite with nonzero cost).
@@ -506,7 +526,7 @@ LpSolution RevisedSimplex::Solve(const LpProblem& problem) {
     solution.objective = problem.EvaluateObjective(solution.values);
     return solution;
   }
-  SimplexEngine engine(problem, options_);
+  SimplexEngine engine(problem, options_, budget);
   return engine.Run(problem);
 }
 

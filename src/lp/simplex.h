@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/execution_budget.h"
 #include "lp/lp_problem.h"
 
 namespace osrs {
@@ -14,6 +15,9 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  /// Stopped early by an ExecutionBudget (deadline, work bound, or
+  /// cancellation); ask the budget itself which one fired.
+  kInterrupted,
 };
 
 const char* LpStatusToString(LpStatus status);
@@ -59,8 +63,11 @@ class RevisedSimplex {
  public:
   explicit RevisedSimplex(SimplexOptions options = {});
 
-  /// Solves min c^T x over `problem`'s constraints and bounds.
-  LpSolution Solve(const LpProblem& problem);
+  /// Solves min c^T x over `problem`'s constraints and bounds. When
+  /// `budget` is non-null it is polled every few iterations; an exhausted
+  /// budget aborts the solve with LpStatus::kInterrupted.
+  LpSolution Solve(const LpProblem& problem,
+                   const ExecutionBudget* budget = nullptr);
 
  private:
   SimplexOptions options_;

@@ -27,7 +27,7 @@ ExhaustiveSummarizer::ExhaustiveSummarizer(int64_t max_subsets)
     : max_subsets_(max_subsets) {}
 
 Result<SummaryResult> ExhaustiveSummarizer::Summarize(
-    const CoverageGraph& graph, int k) {
+    const CoverageGraph& graph, int k, const ExecutionBudget& budget) {
   const int n = graph.num_candidates();
   if (k < 0 || k > n) {
     return Status::InvalidArgument(StrFormat("k=%d outside [0, %d]", k, n));
@@ -39,6 +39,7 @@ Result<SummaryResult> ExhaustiveSummarizer::Summarize(
                   static_cast<long long>(max_subsets_)));
   }
 
+  OSRS_RETURN_IF_ERROR(budget.Check());
   Stopwatch watch;
   SummaryResult result;
   result.cost = graph.EmptySummaryCost();
@@ -50,7 +51,13 @@ Result<SummaryResult> ExhaustiveSummarizer::Summarize(
   int64_t evaluated = k == 0 ? 0 : 1;
 
   // Lexicographic enumeration of k-combinations of [0, n).
+  constexpr int64_t kBudgetCheckPeriod = 1024;
   while (k > 0) {
+    if (evaluated % kBudgetCheckPeriod == 0) {
+      // Exact-or-error: a partial enumeration proves nothing, so the oracle
+      // reports the budget verdict instead of a bogus "optimum".
+      OSRS_RETURN_IF_ERROR(budget.Check(evaluated));
+    }
     int i = k - 1;
     while (i >= 0 &&
            combo[static_cast<size_t>(i)] == n - k + i) {

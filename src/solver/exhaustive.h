@@ -12,11 +12,18 @@ namespace osrs {
 /// Exponential — intended only as the ground-truth oracle in tests and for
 /// the NP-hardness reduction experiments on tiny instances. Refuses
 /// instances whose subset count exceeds `max_subsets`.
+///
+/// Because the enumerator is the exact oracle, it never degrades: a tripped
+/// execution budget surfaces as an error Status (kCancelled,
+/// kDeadlineExceeded, or kResourceExhausted), never as an approximate
+/// incumbent masquerading as the optimum.
 class ExhaustiveSummarizer : public Summarizer {
  public:
   explicit ExhaustiveSummarizer(int64_t max_subsets = 20'000'000);
 
-  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+  using Summarizer::Summarize;
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k,
+                                  const ExecutionBudget& budget) override;
 
   std::string name() const override { return "Exhaustive"; }
 

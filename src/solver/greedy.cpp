@@ -32,6 +32,9 @@ Status ValidateK(const CoverageGraph& graph, int k) {
   return Status::OK();
 }
 
+/// Candidates between budget polls while scanning the initial gains.
+constexpr int kInitCheckPeriod = 256;
+
 }  // namespace
 
 GreedySummarizer::GreedySummarizer(GreedyOptions options)
@@ -42,16 +45,16 @@ std::string GreedySummarizer::name() const {
                                                       : "Greedy(lazy)";
 }
 
-Result<SummaryResult> GreedySummarizer::Summarize(const CoverageGraph& graph,
-                                                  int k) {
+Result<SummaryResult> GreedySummarizer::Summarize(
+    const CoverageGraph& graph, int k, const ExecutionBudget& budget) {
   OSRS_RETURN_IF_ERROR(ValidateK(graph, k));
   return options_.heap == GreedyOptions::Heap::kEager
-             ? SummarizeEager(graph, k)
-             : SummarizeLazy(graph, k);
+             ? SummarizeEager(graph, k, budget)
+             : SummarizeLazy(graph, k, budget);
 }
 
 Result<SummaryResult> GreedySummarizer::SummarizeEager(
-    const CoverageGraph& graph, int k) {
+    const CoverageGraph& graph, int k, const ExecutionBudget& budget) {
   Stopwatch watch;
   const int num_targets = graph.num_targets();
   std::vector<double> best(static_cast<size_t>(num_targets));
@@ -59,10 +62,13 @@ Result<SummaryResult> GreedySummarizer::SummarizeEager(
     best[static_cast<size_t>(w)] = graph.root_distance(w);
   }
 
-  // Initialize the max-heap with δ(p, {r}) for every candidate.
+  // Initialize the max-heap with δ(p, {r}) for every candidate. Before any
+  // selection there is no incumbent, so a tripped budget here is a plain
+  // error.
   std::vector<double> initial_gain(
       static_cast<size_t>(graph.num_candidates()));
   for (int u = 0; u < graph.num_candidates(); ++u) {
+    if (u % kInitCheckPeriod == 0) OSRS_RETURN_IF_ERROR(budget.Check());
     initial_gain[static_cast<size_t>(u)] = GainOf(graph, best, u);
   }
   IndexedMaxHeap heap(std::move(initial_gain));
@@ -76,6 +82,17 @@ Result<SummaryResult> GreedySummarizer::SummarizeEager(
   std::unordered_map<int, double> pending_delta;
 
   for (int round = 0; round < k && !heap.empty(); ++round) {
+    Status budget_status = budget.Check(key_updates);
+    if (!budget_status.ok()) {
+      if (budget_status.code() == StatusCode::kCancelled) {
+        return budget_status;
+      }
+      // The partial selection is a valid (smaller) summary: return it as
+      // the incumbent instead of discarding the rounds already done.
+      result.approximate = true;
+      result.stop_reason = budget_status.code();
+      break;
+    }
     int chosen = heap.PopMax();
     result.selected.push_back(chosen);
     pending_delta.clear();
@@ -113,7 +130,7 @@ Result<SummaryResult> GreedySummarizer::SummarizeEager(
 }
 
 Result<SummaryResult> GreedySummarizer::SummarizeLazy(
-    const CoverageGraph& graph, int k) {
+    const CoverageGraph& graph, int k, const ExecutionBudget& budget) {
   Stopwatch watch;
   const int num_targets = graph.num_targets();
   std::vector<double> best(static_cast<size_t>(num_targets));
@@ -133,6 +150,7 @@ Result<SummaryResult> GreedySummarizer::SummarizeLazy(
   std::vector<bool> selected_flag(
       static_cast<size_t>(graph.num_candidates()), false);
   for (int u = 0; u < graph.num_candidates(); ++u) {
+    if (u % kInitCheckPeriod == 0) OSRS_RETURN_IF_ERROR(budget.Check());
     heap.push({GainOf(graph, best, u), u});
   }
 
@@ -141,6 +159,15 @@ Result<SummaryResult> GreedySummarizer::SummarizeLazy(
   int64_t recomputes = 0;
 
   for (int round = 0; round < k && !heap.empty(); ++round) {
+    Status budget_status = budget.Check(recomputes);
+    if (!budget_status.ok()) {
+      if (budget_status.code() == StatusCode::kCancelled) {
+        return budget_status;
+      }
+      result.approximate = true;
+      result.stop_reason = budget_status.code();
+      break;
+    }
     while (true) {
       const int u = heap.top().second;
       heap.pop();

@@ -30,13 +30,17 @@ class GreedySummarizer : public Summarizer {
  public:
   explicit GreedySummarizer(GreedyOptions options = {});
 
-  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+  using Summarizer::Summarize;
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k,
+                                  const ExecutionBudget& budget) override;
 
   std::string name() const override;
 
  private:
-  Result<SummaryResult> SummarizeEager(const CoverageGraph& graph, int k);
-  Result<SummaryResult> SummarizeLazy(const CoverageGraph& graph, int k);
+  Result<SummaryResult> SummarizeEager(const CoverageGraph& graph, int k,
+                                       const ExecutionBudget& budget);
+  Result<SummaryResult> SummarizeLazy(const CoverageGraph& graph, int k,
+                                      const ExecutionBudget& budget);
 
   GreedyOptions options_;
 };

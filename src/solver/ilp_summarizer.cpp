@@ -11,21 +11,37 @@ namespace osrs {
 IlpSummarizer::IlpSummarizer(MipOptions options) : options_(options) {}
 
 Result<SummaryResult> IlpSummarizer::Summarize(const CoverageGraph& graph,
-                                               int k) {
+                                               int k,
+                                               const ExecutionBudget& budget) {
   if (k < 0 || k > graph.num_candidates()) {
     return Status::InvalidArgument(
         StrFormat("k=%d outside [0, %d]", k, graph.num_candidates()));
   }
+  OSRS_RETURN_IF_ERROR(budget.Check());
   Stopwatch watch;
   KMedianModel model = BuildKMedianModel(graph, k, /*integral_x=*/true);
   MipOptions options = options_;
   options.objective_is_integral = model.integral_costs;
   MipSolver solver(options);
-  MipSolution mip = solver.Solve(std::move(model.problem));
+  MipSolution mip = solver.Solve(std::move(model.problem),
+                                 budget.IsUnlimited() ? nullptr : &budget);
 
   if (mip.status == LpStatus::kInfeasible || mip.status == LpStatus::kUnbounded) {
     return Status::Internal(StrFormat("k-median ILP reported %s",
                                       LpStatusToString(mip.status)));
+  }
+  bool approximate = false;
+  StatusCode stop_reason = StatusCode::kOk;
+  if (mip.status == LpStatus::kInterrupted) {
+    Status cause = budget.Check(mip.nodes);
+    if (cause.code() == StatusCode::kCancelled) return cause;
+    if (!mip.has_incumbent) {
+      return cause.ok() ? Status::ResourceExhausted(
+                              "execution budget tripped with no incumbent")
+                        : cause;
+    }
+    approximate = true;
+    stop_reason = cause.ok() ? StatusCode::kResourceExhausted : cause.code();
   }
   if (!mip.has_incumbent) {
     return Status::ResourceExhausted(
@@ -38,6 +54,8 @@ Result<SummaryResult> IlpSummarizer::Summarize(const CoverageGraph& graph,
   }
 
   SummaryResult result;
+  result.approximate = approximate;
+  result.stop_reason = stop_reason;
   for (size_t u = 0; u < model.x_vars.size(); ++u) {
     if (mip.values[static_cast<size_t>(model.x_vars[u])] > 0.5) {
       result.selected.push_back(static_cast<int>(u));

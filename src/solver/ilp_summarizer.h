@@ -12,12 +12,17 @@ namespace osrs {
 /// uses Gurobi; here the bundled branch-and-bound MipSolver plays that role
 /// (see DESIGN.md's substitution table). Returns the provably optimal
 /// selection; fails with ResourceExhausted when the node budget runs out
-/// before optimality is proven.
+/// before optimality is proven. Under an ExecutionBudget the search stops
+/// cooperatively: if an incumbent exists it is returned flagged
+/// approximate, otherwise the budget's Status (kDeadlineExceeded /
+/// kCancelled / kResourceExhausted) comes back.
 class IlpSummarizer : public Summarizer {
  public:
   explicit IlpSummarizer(MipOptions options = {});
 
-  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+  using Summarizer::Summarize;
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k,
+                                  const ExecutionBudget& budget) override;
 
   std::string name() const override { return "ILP"; }
 

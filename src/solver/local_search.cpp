@@ -45,10 +45,15 @@ LocalSearchSummarizer::LocalSearchSummarizer(LocalSearchOptions options)
     : options_(options) {}
 
 Result<SummaryResult> LocalSearchSummarizer::Summarize(
-    const CoverageGraph& graph, int k) {
+    const CoverageGraph& graph, int k, const ExecutionBudget& budget) {
   Stopwatch watch;
-  auto seed = greedy_.Summarize(graph, k);
+  auto seed = greedy_.Summarize(graph, k, budget);
   OSRS_RETURN_IF_ERROR(seed.status());
+  if (seed->approximate) {
+    // The budget already ran out inside the greedy seed; polishing is off
+    // the table, so hand the partial greedy incumbent through unchanged.
+    return seed;
+  }
   std::vector<int> selected = seed->selected;
   double cost = seed->cost;
 
@@ -63,13 +68,24 @@ Result<SummaryResult> LocalSearchSummarizer::Summarize(
   std::vector<double> in_distance(static_cast<size_t>(graph.num_targets()),
                                   kInfiniteDistance);
 
-  for (int pass = 0; pass < options_.max_passes; ++pass) {
+  // Non-OK once the budget fires mid-polish; the greedy-seeded solution in
+  // `selected` stays valid at every point, so it becomes the incumbent.
+  Status budget_status = Status::OK();
+
+  for (int pass = 0;
+       pass < options_.max_passes && budget_status.ok(); ++pass) {
+    budget_status = budget.Check(swaps_applied);
+    if (!budget_status.ok()) break;
     state.Rebuild(graph, selected);
     double best_delta = -options_.min_improvement;
     size_t best_out_pos = 0;
     int best_in = -1;
 
     for (int u_in = 0; u_in < graph.num_candidates(); ++u_in) {
+      if (u_in % 64 == 0) {
+        budget_status = budget.Check(swaps_applied);
+        if (!budget_status.ok()) break;
+      }
       if (is_selected[static_cast<size_t>(u_in)]) continue;
       for (const CoverageGraph::Edge& e : graph.EdgesOf(u_in)) {
         in_distance[static_cast<size_t>(e.endpoint)] = e.weight;
@@ -112,11 +128,18 @@ Result<SummaryResult> LocalSearchSummarizer::Summarize(
     cost = graph.CostOfSelection(selected);  // exact, avoids delta drift
   }
 
+  if (!budget_status.ok()) {
+    if (budget_status.code() == StatusCode::kCancelled) return budget_status;
+    // Deadline/work trip mid-polish: the greedy-seeded selection is a valid
+    // incumbent at every point, but the polish is incomplete.
+  }
   SummaryResult result;
   result.selected = std::move(selected);
   result.cost = cost;
   result.seconds = watch.ElapsedSeconds();
   result.work = swaps_applied;
+  result.approximate = !budget_status.ok();
+  result.stop_reason = budget_status.code();
   return result;
 }
 

@@ -33,7 +33,9 @@ class LocalSearchSummarizer : public Summarizer {
  public:
   explicit LocalSearchSummarizer(LocalSearchOptions options = {});
 
-  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+  using Summarizer::Summarize;
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k,
+                                  const ExecutionBudget& budget) override;
 
   std::string name() const override { return "Greedy+swap"; }
 

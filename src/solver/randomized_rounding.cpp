@@ -16,15 +16,25 @@ RandomizedRoundingSummarizer::RandomizedRoundingSummarizer(
     : options_(options) {}
 
 Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
-    const CoverageGraph& graph, int k) {
+    const CoverageGraph& graph, int k, const ExecutionBudget& budget) {
   if (k < 0 || k > graph.num_candidates()) {
     return Status::InvalidArgument(
         StrFormat("k=%d outside [0, %d]", k, graph.num_candidates()));
   }
+  OSRS_RETURN_IF_ERROR(budget.Check());
   Stopwatch watch;
   KMedianModel model = BuildKMedianModel(graph, k, /*integral_x=*/false);
   RevisedSimplex simplex(options_.lp);
-  LpSolution lp = simplex.Solve(model.problem);
+  LpSolution lp =
+      simplex.Solve(model.problem, budget.IsUnlimited() ? nullptr : &budget);
+  if (lp.status == LpStatus::kInterrupted) {
+    // No fractional point yet, so there is nothing to round: surface the
+    // budget's own verdict (deadline, cancellation, or work bound).
+    Status cause = budget.Check(lp.iterations);
+    return cause.ok()
+               ? Status::ResourceExhausted("LP relaxation budget tripped")
+               : cause;
+  }
   if (lp.status != LpStatus::kOptimal) {
     return Status::Internal(StrFormat("k-median LP relaxation reported %s",
                                       LpStatusToString(lp.status)));
@@ -62,6 +72,16 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
   SummaryResult best;
   bool have_best = false;
   for (int trial = 0; trial < std::max(1, options_.trials); ++trial) {
+    Status budget_status = budget.Check(lp.iterations + trial);
+    if (!budget_status.ok()) {
+      if (budget_status.code() == StatusCode::kCancelled || !have_best) {
+        return budget_status;
+      }
+      // Keep the cheapest draw completed so far as the incumbent.
+      best.approximate = true;
+      best.stop_reason = budget_status.code();
+      break;
+    }
     std::vector<double> weights = base_weights;
     std::vector<int> selected;
     selected.reserve(static_cast<size_t>(k));

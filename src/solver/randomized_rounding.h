@@ -39,7 +39,9 @@ class RandomizedRoundingSummarizer : public Summarizer {
  public:
   explicit RandomizedRoundingSummarizer(RandomizedRoundingOptions options = {});
 
-  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) override;
+  using Summarizer::Summarize;
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k,
+                                  const ExecutionBudget& budget) override;
 
   std::string name() const override {
     return options_.strategy == RoundingStrategy::kSample ? "RR" : "LP-top-k";

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_budget.h"
 #include "common/status.h"
 #include "coverage/coverage_graph.h"
 
@@ -19,21 +20,44 @@ struct SummaryResult {
   /// Wall-clock seconds spent inside Summarize (excludes graph building).
   double seconds = 0.0;
   /// Solver-specific diagnostics (LP iterations, B&B nodes, ...); 0 when
-  /// not applicable.
+  /// not applicable. This is the counter the ExecutionBudget work bound is
+  /// compared against.
   int64_t work = 0;
+  /// True when the ExecutionBudget ran out mid-solve and the result is the
+  /// best incumbent found so far (possibly with fewer than k selections)
+  /// rather than the algorithm's full answer.
+  bool approximate = false;
+  /// Why the solve stopped early (kDeadlineExceeded or kResourceExhausted)
+  /// when `approximate` is set; kOk for a complete run. Cancellation never
+  /// yields a result — it surfaces as a kCancelled Status instead.
+  StatusCode stop_reason = StatusCode::kOk;
 };
 
 /// Common interface of the paper's three algorithms (§4) and the exact
 /// reference solver. Implementations are stateless across calls unless
 /// documented otherwise and may be reused for many graphs.
+///
+/// Budget contract (every implementation): the ExecutionBudget is polled
+/// at least once per outer loop round and every few dozen inner-loop
+/// steps, so a cancellation flag set mid-solve stops the solve within one
+/// check interval. On a tripped budget the solver returns either a
+/// well-formed error Status (always kCancelled for cancellation) or, when
+/// it holds a meaningful incumbent, that incumbent with
+/// `SummaryResult::approximate` set and `stop_reason` recording the cause.
 class Summarizer {
  public:
   virtual ~Summarizer() = default;
 
   /// Selects (up to) k of the graph's candidates minimizing the coverage
   /// cost. Fails with InvalidArgument when k < 0 or k > |U|.
-  virtual Result<SummaryResult> Summarize(const CoverageGraph& graph,
-                                          int k) = 0;
+  Result<SummaryResult> Summarize(const CoverageGraph& graph, int k) {
+    return Summarize(graph, k, ExecutionBudget::Unlimited());
+  }
+
+  /// As above, stopping cooperatively when `budget` runs out (see the
+  /// budget contract in the class comment).
+  virtual Result<SummaryResult> Summarize(const CoverageGraph& graph, int k,
+                                          const ExecutionBudget& budget) = 0;
 
   /// Short display name, e.g. "Greedy", "ILP", "RR".
   virtual std::string name() const = 0;

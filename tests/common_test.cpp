@@ -1,10 +1,13 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/execution_budget.h"
 #include "common/indexed_heap.h"
 #include "common/math_util.h"
 #include "common/rng.h"
@@ -402,6 +405,123 @@ TEST(StopwatchTest, MeasuresNonNegativeTime) {
   watch.Reset();
   EXPECT_GE(watch.ElapsedMillis(), 0.0);
   EXPECT_GE(watch.ElapsedMicros(), 0.0);
+}
+
+// ------------------------------------------------------------ JsonEscape --
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("battery life"), "battery life");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("C:\\path"), "C:\\\\path");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape("\b\f"), "\\b\\f");
+  // Control chars without a shorthand use \u00XX.
+  EXPECT_EQ(JsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  // NUL must not truncate the string.
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscapeTest, LeavesUtf8BytesAlone) {
+  // Multi-byte UTF-8 (é) passes through unescaped; \u00e9 would be wrong
+  // byte-wise and escaping is optional above 0x1f anyway.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+// ------------------------------------------------------- ExecutionBudget --
+
+TEST(ExecutionBudgetTest, DefaultIsUnlimited) {
+  ExecutionBudget budget;
+  EXPECT_TRUE(budget.IsUnlimited());
+  EXPECT_TRUE(budget.Check().ok());
+  EXPECT_TRUE(budget.Check(1'000'000'000).ok());
+  EXPECT_EQ(budget.RemainingMs(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ExecutionBudgetTest, ExpiredDeadlineTripsWithDeadlineExceeded) {
+  ExecutionBudget budget = ExecutionBudget::FromDeadlineMs(-1.0);
+  Status status = budget.Check();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(budget.RemainingMs(), 0.0);
+}
+
+TEST(ExecutionBudgetTest, FutureDeadlinePassesChecks) {
+  ExecutionBudget budget = ExecutionBudget::FromDeadlineMs(60'000.0);
+  EXPECT_TRUE(budget.Check().ok());
+  EXPECT_GT(budget.RemainingMs(), 0.0);
+}
+
+TEST(ExecutionBudgetTest, WorkBudgetTripsWithResourceExhausted) {
+  ExecutionBudget budget;
+  budget.SetMaxWork(100);
+  EXPECT_TRUE(budget.Check(99).ok());
+  EXPECT_EQ(budget.Check(100).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.Check(101).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecutionBudgetTest, CancellationWinsOverEverything) {
+  CancellationFlag flag;
+  ExecutionBudget budget = ExecutionBudget::FromDeadlineMs(-1.0);
+  budget.SetMaxWork(1);
+  budget.AddCancellation(&flag);
+  EXPECT_EQ(budget.Check(5).code(), StatusCode::kDeadlineExceeded);
+  flag.Cancel();
+  EXPECT_EQ(budget.Check(5).code(), StatusCode::kCancelled);
+  flag.Reset();
+  EXPECT_EQ(budget.Check(5).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecutionBudgetTest, AnyOfSeveralFlagsCancels) {
+  CancellationFlag a;
+  CancellationFlag b;
+  ExecutionBudget budget;
+  budget.AddCancellation(&a);
+  budget.AddCancellation(&b);
+  budget.AddCancellation(nullptr);  // ignored
+  EXPECT_TRUE(budget.Check().ok());
+  b.Cancel();
+  EXPECT_EQ(budget.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionBudgetTest, TightenedByTakesTheStricterOfEach) {
+  CancellationFlag flag;
+  ExecutionBudget a = ExecutionBudget::FromDeadlineMs(60'000.0);
+  a.SetMaxWork(500);
+  ExecutionBudget b;
+  b.SetMaxWork(100);
+  b.AddCancellation(&flag);
+  ExecutionBudget merged = a.TightenedBy(b);
+  EXPECT_TRUE(merged.has_deadline());
+  EXPECT_EQ(merged.max_work(), 100);
+  EXPECT_TRUE(merged.Check(99).ok());
+  flag.Cancel();
+  EXPECT_EQ(merged.Check(0).code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionBudgetTest, CancellationOnlyDropsDeadlineAndWork) {
+  CancellationFlag flag;
+  ExecutionBudget budget = ExecutionBudget::FromDeadlineMs(-1.0);
+  budget.SetMaxWork(1);
+  budget.AddCancellation(&flag);
+  ExecutionBudget relaxed = budget.CancellationOnly();
+  EXPECT_TRUE(relaxed.Check(1'000'000).ok());
+  flag.Cancel();
+  EXPECT_EQ(relaxed.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, NewBudgetCodesRoundTrip) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("stop").code(), StatusCode::kCancelled);
+  EXPECT_NE(std::string(StatusCodeToString(StatusCode::kDeadlineExceeded)),
+            std::string(StatusCodeToString(StatusCode::kCancelled)));
 }
 
 }  // namespace
