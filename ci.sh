@@ -1,11 +1,26 @@
 #!/usr/bin/env bash
-# CI driver: the tier-1 suite in the default configuration, the full suite
-# under ASan+UBSan, and a TSan pass over the multi-threaded BatchSummarizer
-# tests. Usage: ./ci.sh [--skip-sanitizers]
+# CI driver: the tier-1 suite in the default configuration, a lint stage
+# (tools/lint.sh conventions + osrs_lint over the shipped example data +
+# clang-tidy when installed), the full suite under ASan+UBSan, and a TSan
+# pass over the multi-threaded BatchSummarizer tests.
+# Usage: ./ci.sh [--skip-sanitizers] [--skip-lint]
 set -euo pipefail
 
 cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+SKIP_SANITIZERS=0
+SKIP_LINT=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
+    --skip-lint) SKIP_LINT=1 ;;
+    *)
+      echo "usage: ./ci.sh [--skip-sanitizers] [--skip-lint]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 run_suite() {
   local build_dir="$1"
@@ -18,7 +33,18 @@ echo "== default build + full test suite =="
 run_suite build
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+if [[ "$SKIP_LINT" == "1" ]]; then
+  echo "== lint stage skipped =="
+else
+  echo "== lint stage =="
+  # Repo conventions plus, when clang-tidy is on PATH, the .clang-tidy
+  # pass over src/ against the compile_commands.json of the build above.
+  ./tools/lint.sh
+  ./build/tools/osrs_lint examples/data/sample_reviews.tsv \
+                          examples/data/sample_corpus.txt
+fi
+
+if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "== sanitizer passes skipped =="
   exit 0
 fi

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "validate/model_validator.h"
 
 namespace osrs {
 
@@ -28,6 +29,22 @@ std::vector<BatchEntry> BatchSummarizer::SummarizeAll(
         StrFormat("num_threads=%d negative", options_.num_threads));
     for (BatchEntry& entry : entries) entry.status = status;
     return entries;
+  }
+
+  // Strict mode checks the shared ontology once up front rather than per
+  // item per worker; per-item strict checks still run inside
+  // ReviewSummarizer::Summarize.
+  if (options_.summarizer.strict_validation) {
+    ModelValidator validator;
+    ValidationReport report = validator.MakeReport();
+    validator.CheckOntology(*ontology_, &report);
+    if (!report.ok()) {
+      Status status = Status::InvalidArgument(
+          "strict validation failed for the shared ontology:\n" +
+          report.ToString());
+      for (BatchEntry& entry : entries) entry.status = status;
+      return entries;
+    }
   }
 
   // Whole-batch budget, shared by every worker. Per-item deadlines and

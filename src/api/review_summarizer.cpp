@@ -15,6 +15,7 @@
 #include "solver/local_search.h"
 #include "solver/randomized_rounding.h"
 #include "solver/summarizer.h"
+#include "validate/model_validator.h"
 
 namespace osrs {
 
@@ -59,6 +60,11 @@ std::unique_ptr<Summarizer> MakeSolver(SummaryAlgorithm algorithm,
   return std::make_unique<GreedySummarizer>();
 }
 
+Status StrictValidationError(const ValidationReport& report) {
+  return Status::InvalidArgument("strict validation failed:\n" +
+                                 report.ToString());
+}
+
 }  // namespace
 
 std::string ItemSummary::ToJson() const {
@@ -82,6 +88,13 @@ std::string ItemSummary::ToJson() const {
         entries[i].sentence_index, entries[i].pair.concept_id,
         entries[i].pair.sentiment);
   }
+  out += "],\"validation_warnings\":[";
+  for (size_t i = 0; i < validation_warnings.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += JsonEscape(validation_warnings[i]);
+    out += '"';
+  }
   out += "]}";
   return out;
 }
@@ -102,6 +115,16 @@ Result<ItemSummary> ReviewSummarizer::Summarize(const Item& item,
 Result<ItemSummary> ReviewSummarizer::Summarize(
     const Item& item, int k, const ExecutionBudget& external) const {
   if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+
+  // Strict mode front-loads the corpus-integrity checks so a dangling
+  // concept reference surfaces as a structured report instead of tripping
+  // an OSRS_CHECK deep inside the ontology walk.
+  ModelValidator validator;
+  ValidationReport strict_report = validator.MakeReport();
+  if (options_.strict_validation) {
+    validator.CheckItem(item, ontology_->num_concepts(), &strict_report);
+    if (!strict_report.ok()) return StrictValidationError(strict_report);
+  }
   OSRS_RETURN_IF_ERROR(ValidateItem(item));
 
   Stopwatch total_watch;
@@ -130,6 +153,15 @@ Result<ItemSummary> ReviewSummarizer::Summarize(
   ItemGraph item_graph =
       BuildItemGraph(distance, item, options_.granularity);
   int effective_k = std::min<int>(k, item_graph.graph.num_candidates());
+
+  if (options_.strict_validation) {
+    validator.CheckSolverConfig(
+        k, epsilon, static_cast<size_t>(item_graph.graph.num_candidates()),
+        &strict_report);
+    validator.CheckGroups(item_graph.groups, item_graph.occurrences.size(),
+                          &strict_report);
+    if (!strict_report.ok()) return StrictValidationError(strict_report);
+  }
 
   // The primary algorithm followed by the fallback chain, attempted
   // verbatim (repeats retry with a fresh seed). Each attempt gets the full
@@ -192,6 +224,11 @@ Result<ItemSummary> ReviewSummarizer::Summarize(
   summary.algorithm_used = algorithm_used;
   summary.stop_reason = stop_reason;
   summary.num_pairs = item_graph.occurrences.size();
+  // Any finding still in the report passed the error gates above, so all
+  // that is left to surface are warnings.
+  for (const ValidationFinding& finding : strict_report.findings()) {
+    summary.validation_warnings.push_back(finding.ToString());
+  }
   summary.num_candidates =
       static_cast<size_t>(item_graph.graph.num_candidates());
   summary.num_edges = item_graph.graph.num_edges();

@@ -52,6 +52,14 @@ struct ReviewSummarizerOptions {
   /// Cancellation always surfaces as a kCancelled error — it is the one
   /// budget trip the fallback chain does not absorb.
   const CancellationFlag* cancellation = nullptr;
+  /// When true, a ModelValidator pass (see validate/model_validator.h)
+  /// runs before solving: the item's pairs, the sentence grouping, and the
+  /// solver configuration are checked against the §2 model invariants.
+  /// Error-severity findings fail the call with kInvalidArgument carrying
+  /// the rendered report; warning findings are attached to
+  /// ItemSummary::validation_warnings. Off by default because a trusted
+  /// serving path should not pay the extra corpus walk per request.
+  bool strict_validation = false;
   /// Algorithms tried, in order, after the primary `algorithm` trips its
   /// budget (or fails for any reason other than cancellation / invalid
   /// arguments). Entries are attempted verbatim — repeating the primary
@@ -102,6 +110,10 @@ struct ItemSummary {
   /// Total wall-clock milliseconds spent in Summarize, across every
   /// attempt (includes graph construction, unlike `solver_seconds`).
   double budget_spent_ms = 0.0;
+  /// Warning-severity findings of the strict-validation pass, rendered as
+  /// "warning OSRS-XXX-NNN [location]: message" lines. Always empty unless
+  /// ReviewSummarizerOptions::strict_validation is set.
+  std::vector<std::string> validation_warnings;
 
   /// Compact JSON rendering (entries, cost, diagnostics) for tooling.
   std::string ToJson() const;

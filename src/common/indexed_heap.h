@@ -14,6 +14,10 @@ namespace osrs {
 /// pop-max, and UpdateKey for ids whose marginal gain changed when a
 /// neighbor-of-neighbor was selected. Ids removed by PopMax stay out.
 /// Ties break toward the smaller id so runs are deterministic.
+///
+/// Precondition checks on the per-operation paths are OSRS_DCHECKs: they
+/// run in Debug builds only, because this heap sits in the greedy solver's
+/// innermost loop (one Update per touched neighbor per selection).
 class IndexedMaxHeap {
  public:
   /// Builds a heap containing every id in [0, keys.size()) in O(n).
@@ -39,19 +43,19 @@ class IndexedMaxHeap {
 
   /// Current key of `id` (valid while Contains(id)).
   double KeyOf(int id) const {
-    OSRS_CHECK(Contains(id));
+    OSRS_DCHECK(Contains(id));
     return keys_[static_cast<size_t>(id)];
   }
 
   /// Id with the maximum key (smallest id on ties), without removing it.
   int PeekMax() const {
-    OSRS_CHECK(!heap_.empty());
+    OSRS_DCHECK(!heap_.empty());
     return heap_[0];
   }
 
   /// Removes and returns the id with the maximum key.
   int PopMax() {
-    OSRS_CHECK(!heap_.empty());
+    OSRS_DCHECK(!heap_.empty());
     int top = heap_[0];
     SwapNodes(0, heap_.size() - 1);
     heap_.pop_back();
@@ -62,7 +66,7 @@ class IndexedMaxHeap {
 
   /// Changes the key of a contained id and restores the heap property.
   void UpdateKey(int id, double new_key) {
-    OSRS_CHECK(Contains(id));
+    OSRS_DCHECK(Contains(id));
     double old_key = keys_[static_cast<size_t>(id)];
     keys_[static_cast<size_t>(id)] = new_key;
     size_t pos = static_cast<size_t>(position_[static_cast<size_t>(id)]);

@@ -51,4 +51,30 @@ namespace internal_logging {
 #define OSRS_CHECK_GT(a, b) OSRS_CHECK_MSG((a) > (b), (a) << " vs " << (b))
 #define OSRS_CHECK_GE(a, b) OSRS_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
 
+/// Debug-only variants for hot-path invariants (heap sifts, per-edge graph
+/// accessors) where an always-on OSRS_CHECK costs measurable time. Active
+/// in Debug builds (and any build compiled without NDEBUG); compiled to
+/// nothing under NDEBUG, including the default RelWithDebInfo
+/// configuration. The condition is not evaluated when disabled, so it must
+/// be side-effect free.
+#ifndef NDEBUG
+#define OSRS_DCHECK(condition) OSRS_CHECK(condition)
+#define OSRS_DCHECK_MSG(condition, stream_expr) \
+  OSRS_CHECK_MSG(condition, stream_expr)
+#else
+#define OSRS_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#define OSRS_DCHECK_MSG(condition, stream_expr) \
+  do {                                          \
+  } while (false)
+#endif
+
+#define OSRS_DCHECK_EQ(a, b) OSRS_DCHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define OSRS_DCHECK_NE(a, b) OSRS_DCHECK_MSG((a) != (b), (a) << " vs " << (b))
+#define OSRS_DCHECK_LT(a, b) OSRS_DCHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define OSRS_DCHECK_LE(a, b) OSRS_DCHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define OSRS_DCHECK_GT(a, b) OSRS_DCHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define OSRS_DCHECK_GE(a, b) OSRS_DCHECK_MSG((a) >= (b), (a) << " vs " << (b))
+
 #endif  // OSRS_COMMON_LOGGING_H_

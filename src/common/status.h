@@ -33,7 +33,12 @@ const char* StatusCodeToString(StatusCode code);
 /// The library does not throw exceptions on its main paths; operations that
 /// can fail for reasons other than programmer error return Status (or
 /// Result<T> when they also produce a value).
-class Status {
+///
+/// [[nodiscard]]: ignoring a returned Status silently drops an error, the
+/// exact failure mode the static verification layer exists to prevent.
+/// Call sites that genuinely do not care must say so with an explicit
+/// `(void)` cast and a comment justifying it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,9 +87,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Accessing the value of an
-/// errored Result is a fatal programmer error (checked).
+/// errored Result is a fatal programmer error (checked). [[nodiscard]] for
+/// the same reason as Status: a dropped Result drops its error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Intentionally implicit so `return value;` and `return status;` both work
   /// in functions returning Result<T>.

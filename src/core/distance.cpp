@@ -15,6 +15,15 @@ PairDistance::PairDistance(const Ontology* ontology, double epsilon)
 
 double PairDistance::operator()(const ConceptSentimentPair& p1,
                                 const ConceptSentimentPair& p2) const {
+  // Debug-only: this is the O(|pairs|^2)-call distance kernel, and id
+  // validity is a caller contract (strict mode verifies it up front via
+  // ModelValidator, release builds must not pay per-call).
+  OSRS_DCHECK_GE(p1.concept_id, 0);
+  OSRS_DCHECK_LT(static_cast<size_t>(p1.concept_id),
+                 ontology_->num_concepts());
+  OSRS_DCHECK_GE(p2.concept_id, 0);
+  OSRS_DCHECK_LT(static_cast<size_t>(p2.concept_id),
+                 ontology_->num_concepts());
   if (p1.concept_id == ontology_->root()) {
     return static_cast<double>(ontology_->DepthFromRoot(p2.concept_id));
   }

@@ -127,10 +127,10 @@ CoverageGraph CoverageGraph::BuildForGroups(
   std::vector<int> group_of(pairs.size(), -1);
   for (size_t g = 0; g < groups.size(); ++g) {
     for (int pair_index : groups[g]) {
-      OSRS_CHECK_GE(pair_index, 0);
-      OSRS_CHECK_LT(static_cast<size_t>(pair_index), pairs.size());
-      OSRS_CHECK_MSG(group_of[static_cast<size_t>(pair_index)] == -1,
-                     "pair " << pair_index << " assigned to two groups");
+      OSRS_DCHECK_GE(pair_index, 0);
+      OSRS_DCHECK_LT(static_cast<size_t>(pair_index), pairs.size());
+      OSRS_DCHECK_MSG(group_of[static_cast<size_t>(pair_index)] == -1,
+                      "pair " << pair_index << " assigned to two groups");
       group_of[static_cast<size_t>(pair_index)] = static_cast<int>(g);
     }
   }
@@ -208,16 +208,16 @@ void CoverageGraph::Assemble(int num_candidates, int num_targets,
 }
 
 std::span<const CoverageGraph::Edge> CoverageGraph::EdgesOf(int u) const {
-  OSRS_CHECK_GE(u, 0);
-  OSRS_CHECK_LT(u, num_candidates());
+  OSRS_DCHECK_GE(u, 0);
+  OSRS_DCHECK_LT(u, num_candidates());
   return {forward_edges_.data() + forward_offsets_[static_cast<size_t>(u)],
           forward_offsets_[static_cast<size_t>(u) + 1] -
               forward_offsets_[static_cast<size_t>(u)]};
 }
 
 std::span<const CoverageGraph::Edge> CoverageGraph::CoveringOf(int w) const {
-  OSRS_CHECK_GE(w, 0);
-  OSRS_CHECK_LT(w, num_targets());
+  OSRS_DCHECK_GE(w, 0);
+  OSRS_DCHECK_LT(w, num_targets());
   return {backward_edges_.data() + backward_offsets_[static_cast<size_t>(w)],
           backward_offsets_[static_cast<size_t>(w) + 1] -
               backward_offsets_[static_cast<size_t>(w)]};

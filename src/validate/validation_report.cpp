@@ -1,0 +1,104 @@
+#include "validate/validation_report.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace osrs {
+
+const char* FindingSeverityToString(FindingSeverity severity) {
+  switch (severity) {
+    case FindingSeverity::kWarning:
+      return "warning";
+    case FindingSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string ValidationFinding::ToString() const {
+  std::string out = FindingSeverityToString(severity);
+  out += ' ';
+  out += code;
+  if (!location.empty()) {
+    out += " [";
+    out += location;
+    out += ']';
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void ValidationReport::Add(ValidationFinding finding) {
+  if (finding.severity == FindingSeverity::kError) {
+    ++error_count_;
+  } else {
+    ++warning_count_;
+  }
+  if (findings_.size() >= max_findings_) {
+    ++dropped_;
+    return;
+  }
+  findings_.push_back(std::move(finding));
+}
+
+void ValidationReport::AddError(std::string code, std::string location,
+                                std::string message) {
+  Add({FindingSeverity::kError, std::move(code), std::move(location),
+       std::move(message)});
+}
+
+void ValidationReport::AddWarning(std::string code, std::string location,
+                                  std::string message) {
+  Add({FindingSeverity::kWarning, std::move(code), std::move(location),
+       std::move(message)});
+}
+
+void ValidationReport::Merge(const ValidationReport& other) {
+  size_t stored_errors = 0;
+  for (const ValidationFinding& finding : other.findings_) {
+    if (finding.severity == FindingSeverity::kError) ++stored_errors;
+    Add(finding);
+  }
+  // Findings the source report dropped at its cap were still tallied there;
+  // carry those tallies over so the merged counts reflect everything seen.
+  dropped_ += other.dropped_;
+  error_count_ += other.error_count_ - stored_errors;
+  warning_count_ +=
+      other.warning_count_ - (other.findings_.size() - stored_errors);
+}
+
+std::string ValidationReport::ToString() const {
+  if (empty()) return "clean";
+  std::string out;
+  for (const ValidationFinding& finding : findings_) {
+    out += finding.ToString();
+    out += '\n';
+  }
+  if (dropped_ > 0) {
+    out += StrFormat("(%zu further finding(s) dropped at the cap)\n", dropped_);
+  }
+  out += StrFormat("%zu error(s), %zu warning(s)", error_count_,
+                   warning_count_);
+  return out;
+}
+
+std::string ValidationReport::ToJson() const {
+  std::string out = StrFormat("{\"errors\":%zu,\"warnings\":%zu,\"dropped\":%zu,\"findings\":[",
+                              error_count_, warning_count_, dropped_);
+  for (size_t i = 0; i < findings_.size(); ++i) {
+    const ValidationFinding& finding = findings_[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"severity\":\"%s\",\"code\":\"%s\",\"location\":\"%s\","
+        "\"message\":\"%s\"}",
+        FindingSeverityToString(finding.severity),
+        JsonEscape(finding.code).c_str(), JsonEscape(finding.location).c_str(),
+        JsonEscape(finding.message).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace osrs

@@ -1,0 +1,86 @@
+#ifndef OSRS_VALIDATE_VALIDATION_REPORT_H_
+#define OSRS_VALIDATE_VALIDATION_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace osrs {
+
+/// How bad a validation finding is. Errors make the validated input
+/// unusable (solving on it would crash, loop, or produce meaningless
+/// costs); warnings flag suspicious-but-servable data.
+enum class FindingSeverity {
+  kWarning,
+  kError,
+};
+
+/// Stable lowercase name ("warning" / "error") for rendering.
+const char* FindingSeverityToString(FindingSeverity severity);
+
+/// One structured diagnostic produced by the static verification layer.
+///
+/// `code` is a stable machine-readable identifier of the shape
+/// OSRS-<AREA>-<NNN> (e.g. "OSRS-ONT-001" = ontology cycle). Codes are
+/// documented in README.md and never reused for a different meaning, so
+/// tooling may match on them.
+struct ValidationFinding {
+  FindingSeverity severity = FindingSeverity::kError;
+  std::string code;      // e.g. "OSRS-ONT-001"
+  std::string location;  // e.g. "edge 3->7", "item 'd12' review 4 sentence 2"
+  std::string message;   // human-readable explanation
+
+  /// Renders "error OSRS-ONT-001 [edge 3->7]: message".
+  std::string ToString() const;
+};
+
+/// An ordered collection of findings with severity tallies.
+///
+/// Reports stay bounded on pathological inputs: at most `max_findings`
+/// findings are stored; additional ones still count toward error_count() /
+/// warning_count() but are dropped (see dropped()). ok() therefore reflects
+/// every error seen, stored or not.
+class ValidationReport {
+ public:
+  static constexpr size_t kDefaultMaxFindings = 1000;
+
+  explicit ValidationReport(size_t max_findings = kDefaultMaxFindings)
+      : max_findings_(max_findings) {}
+
+  void Add(ValidationFinding finding);
+  void AddError(std::string code, std::string location, std::string message);
+  void AddWarning(std::string code, std::string location, std::string message);
+
+  /// Appends every finding of `other` (subject to this report's cap).
+  void Merge(const ValidationReport& other);
+
+  const std::vector<ValidationFinding>& findings() const { return findings_; }
+  size_t error_count() const { return error_count_; }
+  size_t warning_count() const { return warning_count_; }
+  /// Findings counted but not stored because the cap was reached.
+  size_t dropped() const { return dropped_; }
+
+  /// True when no error-severity finding was recorded (warnings allowed).
+  bool ok() const { return error_count_ == 0; }
+  /// True when nothing at all was recorded.
+  bool empty() const { return error_count_ == 0 && warning_count_ == 0; }
+
+  /// One line per finding plus a trailing "N error(s), M warning(s)"
+  /// summary; "clean" for an empty report.
+  std::string ToString() const;
+
+  /// {"errors":N,"warnings":N,"dropped":N,"findings":[{"severity":...,
+  /// "code":...,"location":...,"message":...},...]}
+  std::string ToJson() const;
+
+ private:
+  size_t max_findings_;
+  size_t error_count_ = 0;
+  size_t warning_count_ = 0;
+  size_t dropped_ = 0;
+  std::vector<ValidationFinding> findings_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_VALIDATE_VALIDATION_REPORT_H_

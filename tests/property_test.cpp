@@ -259,11 +259,11 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, CoverageProperty,
     testing::Combine(testing::Values(11u, 22u, 33u, 44u),
                      testing::Values(0.2, 0.5, 1.0)),
-    [](const testing::TestParamInfo<CoverageProperty::ParamType>& info) {
+    [](const testing::TestParamInfo<CoverageProperty::ParamType>& param) {
       return StrFormat("seed%llu_eps%d",
                        static_cast<unsigned long long>(
-                           std::get<0>(info.param)),
-                       static_cast<int>(std::get<1>(info.param) * 10));
+                           std::get<0>(param.param)),
+                       static_cast<int>(std::get<1>(param.param) * 10));
     });
 
 }  // namespace

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Repo-convention linter. Checks, over src/ (and headers in tools/):
+#
+#   1. include guards: every header under src/ opens with a guard named
+#      OSRS_<PATH>_H_ derived from its repo-relative path;
+#   2. no `using namespace` at any scope inside headers;
+#   3. no stray stdout writes (std::cout / printf / puts) inside src/ —
+#      library code reports through Status and the logging macros, stdout
+#      belongs to tools/, examples/, and bench/;
+#   4. optionally, when clang-tidy and build/compile_commands.json exist,
+#      the curated .clang-tidy pass over every src/ translation unit
+#      (skipped with --no-tidy or when either prerequisite is missing).
+#
+# Usage: tools/lint.sh [--no-tidy]
+# Exit: 0 clean, 1 violations found.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tidy=1
+if [[ "${1:-}" == "--no-tidy" ]]; then
+  run_tidy=0
+fi
+
+failures=0
+
+fail() {
+  echo "lint: $1" >&2
+  failures=$((failures + 1))
+}
+
+# -- 1. include guards -------------------------------------------------------
+while IFS= read -r header; do
+  # src/core/model.h -> OSRS_CORE_MODEL_H_
+  expected=$(echo "${header#src/}" | tr 'a-z/.' 'A-Z__' )
+  expected="OSRS_${expected%_H}_H_"
+  if ! grep -q "^#ifndef ${expected}\$" "$header"; then
+    fail "$header: missing or misnamed include guard (expected ${expected})"
+  elif ! grep -q "^#define ${expected}\$" "$header"; then
+    fail "$header: guard ${expected} is never #defined"
+  fi
+done < <(find src -name '*.h' | sort)
+
+# -- 2. using namespace in headers -------------------------------------------
+while IFS= read -r match; do
+  fail "using-namespace in a header: $match"
+done < <(grep -rn --include='*.h' -E '^\s*using\s+namespace\b' src || true)
+
+# -- 3. stdout writes in library code ----------------------------------------
+# std::fprintf(stderr, ...) is the sanctioned diagnostic channel; flag
+# std::cout, bare printf/puts, and std::printf.
+while IFS= read -r match; do
+  fail "stdout write in src/: $match"
+done < <(grep -rn --include='*.h' --include='*.cpp' -E \
+  'std::cout|[^f.a-zA-Z_]printf\(|^\s*printf\(|std::puts|[^a-zA-Z_.]puts\(' \
+  src | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
+
+# -- 4. clang-tidy (optional) ------------------------------------------------
+if [[ $run_tidy -eq 1 ]]; then
+  if command -v clang-tidy > /dev/null && [[ -f build/compile_commands.json ]]; then
+    echo "lint: running clang-tidy over src/ (this takes a while)"
+    mapfile -t sources < <(find src -name '*.cpp' | sort)
+    if ! clang-tidy -p build --quiet "${sources[@]}"; then
+      fail "clang-tidy reported findings"
+    fi
+  else
+    echo "lint: clang-tidy or build/compile_commands.json missing — skipped"
+  fi
+fi
+
+if [[ $failures -gt 0 ]]; then
+  echo "lint: ${failures} violation(s)" >&2
+  exit 1
+fi
+echo "lint: clean"

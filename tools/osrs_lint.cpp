@@ -1,0 +1,244 @@
+// osrs_lint — static validator for OSRS data files.
+//
+// Validates corpus files (`# osrs-corpus v1`), ontology files
+// (`# osrs-ontology v1`), and review TSV files (the summarize_file
+// format: "<rating>\t<text>" lines with "@item <id>" separators) without
+// loading them through the strict parsers, so structural problems the
+// library refuses to represent — ontology cycles, dangling concept
+// references, NaN sentiments — surface as stable OSRS-XXX-NNN diagnostics
+// instead of a single parse error or a crash.
+//
+// Usage: osrs_lint [options] <file>...
+//   --json          one JSON object per file (JSON Lines) instead of text
+//   --werror        warnings also fail the exit code
+//   --max-depth <n> hierarchy depth bound (default 64)
+//   --quiet         per-file summary lines only, no individual findings
+//
+// Exit codes: 0 all files clean, 1 validation findings, 2 usage/IO error.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "validate/model_validator.h"
+#include "validate/validation_report.h"
+
+namespace {
+
+using osrs::ModelValidator;
+using osrs::ModelValidatorOptions;
+using osrs::ValidationFinding;
+using osrs::ValidationReport;
+
+struct LintOptions {
+  bool json = false;
+  bool werror = false;
+  bool quiet = false;
+  ModelValidatorOptions validator;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fputs(
+      "usage: osrs_lint [options] <file>...\n"
+      "\n"
+      "Validates OSRS corpus, ontology, and review-TSV files; prints\n"
+      "structured findings (stable OSRS-XXX-NNN codes, see README.md).\n"
+      "\n"
+      "options:\n"
+      "  --json          one JSON object per file (JSON Lines)\n"
+      "  --werror        warnings also fail the exit code\n"
+      "  --max-depth <n> hierarchy depth warning bound (default 64)\n"
+      "  --quiet         summary lines only, no individual findings\n"
+      "  -h, --help      this message\n"
+      "\n"
+      "exit codes: 0 clean, 1 validation findings, 2 usage or I/O error\n",
+      out);
+}
+
+/// Validates the "<rating>\t<text>" / "@item <id>" review format the
+/// examples consume. Codes: OSRS-TSV-001 malformed line (error),
+/// OSRS-TSV-002 rating outside [-1, 1] (warning), OSRS-TSV-003 empty
+/// review text (warning), OSRS-TSV-004 "@item" without an id (warning).
+ValidationReport ValidateReviewTsv(std::string_view text,
+                                   const ModelValidator& validator) {
+  ValidationReport report = validator.MakeReport();
+  size_t line_number = 0;
+  for (const std::string& raw_line : osrs::Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = osrs::Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::string location = osrs::StrFormat("line %zu", line_number);
+    if (osrs::StartsWith(line, "@item")) {
+      if (osrs::Trim(line.substr(5)).empty()) {
+        report.AddWarning("OSRS-TSV-004", location,
+                          "'@item' without an item id");
+      }
+      continue;
+    }
+    std::vector<std::string> fields = osrs::Split(line, '\t');
+    double rating = 0.0;
+    if (fields.size() < 2 || !osrs::ParseDouble(fields[0], &rating)) {
+      report.AddError("OSRS-TSV-001", location,
+                      "malformed line: expected '<rating><TAB><text>'");
+      continue;
+    }
+    if (!std::isfinite(rating) || std::abs(rating) > 1.0) {
+      report.AddWarning(
+          "OSRS-TSV-002", location,
+          osrs::StrFormat("rating %g outside the normalized scale [-1, 1]",
+                          rating));
+    }
+    if (osrs::Trim(fields[1]).empty()) {
+      report.AddWarning("OSRS-TSV-003", location, "empty review text");
+    }
+  }
+  return report;
+}
+
+/// First non-empty, non-comment payload line decides the format; explicit
+/// headers win.
+const char* SniffFormat(std::string_view text) {
+  for (const std::string& raw_line : osrs::Split(text, '\n')) {
+    std::string_view line = osrs::Trim(raw_line);
+    if (line.empty()) continue;
+    if (osrs::StartsWith(line, "# osrs-corpus")) return "corpus";
+    if (osrs::StartsWith(line, "# osrs-ontology")) return "ontology";
+    if (line[0] == '#') continue;
+    if (osrs::StartsWith(line, "@item")) return "review-tsv";
+    if (line.size() >= 2 && line[1] == '\t') {
+      switch (line[0]) {
+        case 'C':
+        case 'E':
+          return "ontology";
+        case 'D':
+        case 'O':
+        case 'I':
+        case 'R':
+        case 'S':
+          return "corpus";
+        default:
+          break;
+      }
+    }
+    double rating = 0.0;
+    size_t tab = line.find('\t');
+    if (tab != std::string_view::npos &&
+        osrs::ParseDouble(line.substr(0, tab), &rating)) {
+      return "review-tsv";
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+bool ReadFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *contents = buffer.str();
+  return true;
+}
+
+void PrintReport(const std::string& path, const char* format,
+                 const ValidationReport& report, const LintOptions& options) {
+  if (options.json) {
+    std::printf("{\"file\":\"%s\",\"format\":\"%s\",\"report\":%s}\n",
+                osrs::JsonEscape(path).c_str(), format,
+                report.ToJson().c_str());
+    return;
+  }
+  if (report.empty()) {
+    std::printf("%s: clean (%s)\n", path.c_str(), format);
+    return;
+  }
+  std::printf("%s (%s):\n", path.c_str(), format);
+  if (!options.quiet) {
+    for (const ValidationFinding& finding : report.findings()) {
+      std::printf("  %s\n", finding.ToString().c_str());
+    }
+    if (report.dropped() > 0) {
+      std::printf("  (%zu further finding(s) dropped at the cap)\n",
+                  report.dropped());
+    }
+  }
+  std::printf("  %zu error(s), %zu warning(s)\n", report.error_count(),
+              report.warning_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--max-depth") {
+      int64_t depth = 0;
+      if (i + 1 >= argc || !osrs::ParseInt64(argv[i + 1], &depth) ||
+          depth <= 0) {
+        std::fprintf(stderr, "osrs_lint: --max-depth needs a positive int\n");
+        return 2;
+      }
+      options.validator.max_depth = static_cast<int>(depth);
+      ++i;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "osrs_lint: unknown option '%s'\n", argv[i]);
+      PrintUsage(stderr);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  ModelValidator validator(options.validator);
+  bool any_errors = false;
+  bool any_warnings = false;
+  for (const std::string& path : paths) {
+    std::string contents;
+    if (!ReadFile(path, &contents)) {
+      std::fprintf(stderr, "osrs_lint: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    const char* format = SniffFormat(contents);
+    if (format == nullptr) {
+      std::fprintf(stderr,
+                   "osrs_lint: '%s' is not a recognized corpus, ontology, "
+                   "or review-TSV file\n",
+                   path.c_str());
+      return 2;
+    }
+    ValidationReport report;
+    if (std::strcmp(format, "corpus") == 0) {
+      report = validator.ValidateCorpusText(contents);
+    } else if (std::strcmp(format, "ontology") == 0) {
+      report = validator.ValidateOntologyText(contents);
+    } else {
+      report = ValidateReviewTsv(contents, validator);
+    }
+    PrintReport(path, format, report, options);
+    any_errors = any_errors || report.error_count() > 0;
+    any_warnings = any_warnings || report.warning_count() > 0;
+  }
+  if (any_errors || (options.werror && any_warnings)) return 1;
+  return 0;
+}
