@@ -7,13 +7,15 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "api/batch_summarizer.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_writer.h"
 #include "datagen/cellphone_corpus.h"
 
-int main() {
+int main(int argc, char** argv) {
+  osrs::bench::StatsSession stats_session(argc, argv);
   osrs::CellPhoneCorpusOptions corpus_options;
   corpus_options.scale = 0.1;
   osrs::Corpus corpus = osrs::GenerateCellPhoneCorpus(corpus_options);

@@ -7,13 +7,15 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util.h"
 #include "common/strings.h"
 #include "common/table_writer.h"
 #include "core/model.h"
 #include "datagen/doctor_corpus.h"
 #include "eval/elbow.h"
 
-int main() {
+int main(int argc, char** argv) {
+  osrs::bench::StatsSession stats_session(argc, argv);
   osrs::DoctorCorpusOptions corpus_options;
   corpus_options.scale = 0.012;
   corpus_options.ontology_concepts = 2000;

@@ -16,7 +16,8 @@
 #include "datagen/doctor_corpus.h"
 #include "solver/local_search.h"
 
-int main() {
+int main(int argc, char** argv) {
+  osrs::bench::StatsSession stats_session(argc, argv);
   osrs::DoctorCorpusOptions corpus_options;
   corpus_options.scale = 0.008;  // 8 doctors
   corpus_options.ontology_concepts = 2000;

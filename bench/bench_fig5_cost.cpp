@@ -14,7 +14,8 @@
 #include "common/table_writer.h"
 #include "datagen/doctor_corpus.h"
 
-int main() {
+int main(int argc, char** argv) {
+  osrs::bench::StatsSession stats_session(argc, argv);
   osrs::DoctorCorpusOptions corpus_options;
   corpus_options.scale = 0.012;  // 12 doctors
   corpus_options.ontology_concepts = 2000;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "baselines/coverage_selector.h"
 #include "baselines/lexrank.h"
 #include "baselines/lsa.h"
@@ -118,7 +119,8 @@ void PrintTable2() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  osrs::bench::StatsSession stats_session(argc, argv);
   PrintTable2();
   const std::vector<int> k_values{2, 4, 6, 8, 10};
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -57,7 +58,8 @@ osrs::SetCoverInstance RandomInstance(osrs::Rng& rng, int n, int m, int k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  osrs::bench::StatsSession stats_session(argc, argv);
   osrs::Rng rng(2025);
   osrs::TableWriter table(
       "Theorem 1 reduction: ILP cost == 3m+n-2k  <=>  size-k set cover "

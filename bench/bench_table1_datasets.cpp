@@ -6,13 +6,15 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/strings.h"
 #include "common/stopwatch.h"
 #include "common/table_writer.h"
 #include "datagen/cellphone_corpus.h"
 #include "datagen/doctor_corpus.h"
 
-int main() {
+int main(int argc, char** argv) {
+  osrs::bench::StatsSession stats_session(argc, argv);
   std::printf("Generating both corpora at full Table 1 scale...\n");
   osrs::Stopwatch watch;
   osrs::Corpus doctors = osrs::GenerateDoctorCorpus({});

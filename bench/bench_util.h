@@ -7,21 +7,67 @@
 // the bundled simplex (the Gurobi stand-in, see DESIGN.md) stays fast; the
 // caps are printed so runs are self-describing.
 
+#include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "core/distance.h"
 #include "core/model.h"
 #include "coverage/item_graph.h"
 #include "datagen/corpus.h"
+#include "obs/metrics.h"
+#include "obs/solver_stats.h"
+#include "obs/trace.h"
 #include "solver/greedy.h"
 #include "solver/ilp_summarizer.h"
 #include "solver/randomized_rounding.h"
 #include "solver/summarizer.h"
 
 namespace osrs::bench {
+
+/// Opt-in telemetry for the table/figure bench binaries: construct one from
+/// main's (argc, argv). When --stats is on the command line the session
+/// enables the metrics registry and installs a trace on the main thread;
+/// its destructor prints the per-phase breakdown and the registry to
+/// stderr (the paper-style tables on stdout stay clean). Without --stats
+/// — or with -DOSRS_OBS=OFF, which it reports — it does nothing.
+class StatsSession {
+ public:
+  StatsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--stats") enabled_ = true;
+    }
+    if (!enabled_) return;
+    obs::MetricsRegistry::Global().SetEnabled(true);
+    scope_ = std::make_unique<obs::Tracer::Scope>(&trace_);
+  }
+  ~StatsSession() {
+    if (!enabled_) return;
+    scope_.reset();
+    if (!obs::kCompiledIn) {
+      std::fprintf(stderr,
+                   "--stats: telemetry compiled out (-DOSRS_OBS=OFF)\n");
+      return;
+    }
+    obs::SolverStats stats = obs::SolverStats::FromTrace(trace_);
+    std::fprintf(stderr, "--- solver phase breakdown (--stats) ---\n%s",
+                 stats.ToText("  ").c_str());
+    std::fprintf(stderr, "--- metrics registry ---\n%s",
+                 obs::MetricsRegistry::Global().ToText().c_str());
+  }
+  StatsSession(const StatsSession&) = delete;
+  StatsSession& operator=(const StatsSession&) = delete;
+
+ private:
+  bool enabled_ = false;
+  obs::SolveTrace trace_;
+  std::unique_ptr<obs::Tracer::Scope> scope_;
+};
 
 struct QuantitativeConfig {
   double epsilon = 0.5;  // the paper's elbow-selected threshold (§5.3)
@@ -38,11 +84,14 @@ struct QuantitativeResults {
            std::map<std::string, std::vector<double>>> avg_cost;
   std::map<SummaryGranularity,
            std::map<std::string, std::vector<double>>> avg_time_ms;
+  /// End-to-end wall clock of the sweep (one Stopwatch::ElapsedNanos read).
+  double total_wall_ms = 0.0;
 };
 
 inline QuantitativeResults RunQuantitative(
     const Corpus& corpus, const std::vector<const Item*>& items,
     const QuantitativeConfig& config) {
+  Stopwatch total_watch;
   QuantitativeResults results;
   results.k_values = config.k_values;
   PairDistance distance(&corpus.ontology, config.epsilon);
@@ -80,6 +129,7 @@ inline QuantitativeResults RunQuantitative(
       }
     }
   }
+  results.total_wall_ms = total_watch.ElapsedMillis();
   return results;
 }
 

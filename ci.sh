@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI driver: the tier-1 suite in the default configuration, a lint stage
 # (tools/lint.sh conventions + osrs_lint over the shipped example data +
-# clang-tidy when installed), the full suite under ASan+UBSan, and a TSan
-# pass over the multi-threaded BatchSummarizer tests.
+# clang-tidy when installed), an OSRS_OBS=OFF build proving the telemetry
+# layer compiles out, the full suite under ASan+UBSan, and a TSan pass
+# over the multi-threaded BatchSummarizer tests.
 # Usage: ./ci.sh [--skip-sanitizers] [--skip-lint]
 set -euo pipefail
 
@@ -43,6 +44,13 @@ else
   ./build/tools/osrs_lint examples/data/sample_reviews.tsv \
                           examples/data/sample_corpus.txt
 fi
+
+echo "== OSRS_OBS=OFF build + telemetry-adjacent tests =="
+# The telemetry layer must compile out cleanly: spans shrink to empty
+# objects and every instrumented call site still builds and passes.
+run_suite build-noobs -DOSRS_OBS=OFF
+(cd build-noobs && \
+ ctest --output-on-failure -j "$JOBS" -R 'obs_test|solver_test|api_test')
 
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "== sanitizer passes skipped =="

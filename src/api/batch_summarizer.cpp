@@ -8,9 +8,57 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "validate/model_validator.h"
 
 namespace osrs {
+namespace {
+
+/// Latency bucket bounds (milliseconds) of the batch roll-up histograms,
+/// matching the "osrs.api.solve_ms" registry histogram.
+const std::vector<double>& LatencyBoundsMs() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+      5000};
+  return *bounds;
+}
+
+obs::Gauge* InflightGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("osrs.batch.inflight");
+  return gauge;
+}
+
+}  // namespace
+
+std::string BatchStats::ToJson() const {
+  return StrFormat(
+      "{\"total\":%lld,\"ok\":%lld,\"failed\":%lld,\"degraded\":%lld,"
+      "\"total_ms\":%s,\"solver_ms\":%s,\"stats\":%s}",
+      static_cast<long long>(total), static_cast<long long>(ok),
+      static_cast<long long>(failed), static_cast<long long>(degraded),
+      total_ms.ToJson().c_str(), solver_ms.ToJson().c_str(),
+      stats.ToJson().c_str());
+}
+
+BatchStats AggregateBatchStats(const std::vector<BatchEntry>& entries) {
+  BatchStats out;
+  out.total_ms = obs::HistogramSnapshot(LatencyBoundsMs());
+  out.solver_ms = obs::HistogramSnapshot(LatencyBoundsMs());
+  for (const BatchEntry& entry : entries) {
+    ++out.total;
+    if (!entry.status.ok()) {
+      ++out.failed;
+      continue;
+    }
+    ++out.ok;
+    if (entry.summary.degraded) ++out.degraded;
+    out.total_ms.Observe(entry.summary.budget_spent_ms);
+    out.solver_ms.Observe(entry.summary.solver_seconds * 1000.0);
+    out.stats.MergeFrom(entry.summary.stats);
+  }
+  return out;
+}
 
 BatchSummarizer::BatchSummarizer(const Ontology* ontology,
                                  BatchSummarizerOptions options)
@@ -78,7 +126,9 @@ std::vector<BatchEntry> BatchSummarizer::SummarizeAll(
         entries[index].status = std::move(batch_status);
         continue;
       }
+      InflightGauge()->Increment();
       auto result = summarizer.Summarize(items[index], k, batch_budget);
+      InflightGauge()->Decrement();
       if (result.ok()) {
         entries[index].summary = std::move(result).value();
       } else {

@@ -1,10 +1,13 @@
 #ifndef OSRS_API_BATCH_SUMMARIZER_H_
 #define OSRS_API_BATCH_SUMMARIZER_H_
 
+#include <string>
 #include <vector>
 
 #include "api/review_summarizer.h"
 #include "common/execution_budget.h"
+#include "obs/metrics.h"
+#include "obs/solver_stats.h"
 
 namespace osrs {
 
@@ -31,6 +34,32 @@ struct BatchEntry {
   Status status;        // OK when `summary` is valid
   ItemSummary summary;  // default-constructed on error
 };
+
+/// Batch-level roll-up of per-item diagnostics: outcome counts, latency
+/// histograms, and every item's solver stats merged by name.
+struct BatchStats {
+  int64_t total = 0;     // entries aggregated
+  int64_t ok = 0;        // entries with an OK status
+  int64_t failed = 0;    // entries with a non-OK status
+  int64_t degraded = 0;  // OK entries whose summary is flagged degraded
+
+  /// End-to-end per-item milliseconds (ItemSummary::budget_spent_ms) and
+  /// solver-only milliseconds, over the OK entries.
+  obs::HistogramSnapshot total_ms;
+  obs::HistogramSnapshot solver_ms;
+
+  /// Per-item SolverStats accumulated with MergeFrom: phase times sum,
+  /// phase calls sum, counters sum.
+  obs::SolverStats stats;
+
+  /// {"total":N,"ok":N,"failed":N,"degraded":N,
+  ///  "total_ms":<hist>,"solver_ms":<hist>,"stats":<SolverStats>}
+  std::string ToJson() const;
+};
+
+/// Aggregates a SummarizeAll result into batch-level statistics. Pure
+/// function of the entries, so callers may aggregate sub-slices too.
+BatchStats AggregateBatchStats(const std::vector<BatchEntry>& entries);
 
 /// Summarizes every item of a corpus (e.g. all 1000 doctors) in parallel —
 /// the workload of the paper's §5.2 evaluation, packaged as a library

@@ -10,6 +10,8 @@
 #include "core/distance.h"
 #include "coverage/item_graph.h"
 #include "eval/elbow.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/greedy.h"
 #include "solver/ilp_summarizer.h"
 #include "solver/local_search.h"
@@ -65,20 +67,55 @@ Status StrictValidationError(const ValidationReport& report) {
                                  report.ToString());
 }
 
+obs::Counter* SummariesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.api.summaries");
+  return counter;
+}
+
+obs::Histogram* SolveMsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "osrs.api.solve_ms",
+          {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
+           2500, 5000});
+  return histogram;
+}
+
 }  // namespace
 
 std::string ItemSummary::ToJson() const {
+  std::string warnings_json = "[";
+  for (size_t i = 0; i < validation_warnings.size(); ++i) {
+    if (i > 0) warnings_json += ',';
+    warnings_json += '"';
+    warnings_json += JsonEscape(validation_warnings[i]);
+    warnings_json += '"';
+  }
+  warnings_json += ']';
+
   std::string out = "{";
+  // The top-level degraded / algorithm / stop_reason / budget_spent_ms /
+  // validation_warnings keys are deprecated aliases of the "diagnostics"
+  // object below, kept for one release (see README.md, "Observability").
   out += StrFormat(
       "\"cost\":%.6g,\"epsilon\":%.6g,\"solver_seconds\":%.6g,"
       "\"num_pairs\":%zu,\"num_candidates\":%zu,\"num_edges\":%zu,"
       "\"degraded\":%s,\"algorithm\":\"%s\",\"stop_reason\":\"%s\","
-      "\"budget_spent_ms\":%.3f,"
-      "\"entries\":[",
+      "\"budget_spent_ms\":%.3f,",
       cost, epsilon, solver_seconds, num_pairs, num_candidates, num_edges,
       degraded ? "true" : "false",
       JsonEscape(SummaryAlgorithmToString(algorithm_used)).c_str(),
       StatusCodeToString(stop_reason), budget_spent_ms);
+  out += StrFormat(
+      "\"diagnostics\":{\"degraded\":%s,\"algorithm\":\"%s\","
+      "\"stop_reason\":\"%s\",\"budget_spent_ms\":%.3f,"
+      "\"solver_seconds\":%.6g,\"validation_warnings\":%s,\"stats\":%s},",
+      degraded ? "true" : "false",
+      JsonEscape(SummaryAlgorithmToString(algorithm_used)).c_str(),
+      StatusCodeToString(stop_reason), budget_spent_ms, solver_seconds,
+      warnings_json.c_str(), stats.ToJson().c_str());
+  out += "\"entries\":[";
   for (size_t i = 0; i < entries.size(); ++i) {
     if (i > 0) out += ',';
     out += StrFormat(
@@ -88,14 +125,9 @@ std::string ItemSummary::ToJson() const {
         entries[i].sentence_index, entries[i].pair.concept_id,
         entries[i].pair.sentiment);
   }
-  out += "],\"validation_warnings\":[";
-  for (size_t i = 0; i < validation_warnings.size(); ++i) {
-    if (i > 0) out += ',';
-    out += '"';
-    out += JsonEscape(validation_warnings[i]);
-    out += '"';
-  }
-  out += "]}";
+  out += "],\"validation_warnings\":";
+  out += warnings_json;
+  out += '}';
   return out;
 }
 
@@ -137,6 +169,13 @@ Result<ItemSummary> ReviewSummarizer::Summarize(
   // before this item was claimed) is an error, not a degradation: no work
   // has been done, so there is nothing to degrade to.
   OSRS_RETURN_IF_ERROR(budget.Check());
+
+  // Everything below (elbow probing, graph construction, every solver
+  // attempt) records into this call's trace; when collect_stats is off the
+  // currently installed trace — usually none — stays in effect.
+  obs::SolveTrace trace;
+  obs::Tracer::Scope trace_scope(options_.collect_stats ? &trace
+                                                        : obs::Tracer::current());
 
   double epsilon = options_.epsilon;
   if (options_.auto_epsilon) {
@@ -186,6 +225,7 @@ Result<ItemSummary> ReviewSummarizer::Summarize(
         final_fallback ? budget.CancellationOnly() : budget;
     std::unique_ptr<Summarizer> solver =
         MakeSolver(attempts[attempt], options_.seed + attempt);
+    obs::TraceSpan attempt_span(obs::Phase::kSolveAttempt);
     auto attempt_result =
         solver->Summarize(item_graph.graph, effective_k, attempt_budget);
     if (attempt_result.ok()) {
@@ -270,7 +310,12 @@ Result<ItemSummary> ReviewSummarizer::Summarize(
     }
     summary.entries.push_back(std::move(entry));
   }
-  summary.budget_spent_ms = total_watch.ElapsedSeconds() * 1000.0;
+  summary.budget_spent_ms = total_watch.ElapsedMillis();
+  if (options_.collect_stats) {
+    summary.stats = obs::SolverStats::FromTrace(trace);
+  }
+  SummariesCounter()->Increment();
+  SolveMsHistogram()->Observe(summary.budget_spent_ms);
   return summary;
 }
 

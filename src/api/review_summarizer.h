@@ -8,6 +8,7 @@
 #include "common/execution_budget.h"
 #include "common/status.h"
 #include "core/model.h"
+#include "obs/solver_stats.h"
 #include "ontology/ontology.h"
 
 namespace osrs {
@@ -60,6 +61,12 @@ struct ReviewSummarizerOptions {
   /// ItemSummary::validation_warnings. Off by default because a trusted
   /// serving path should not pay the extra corpus walk per request.
   bool strict_validation = false;
+  /// When true (the default) each Summarize call installs a per-solve
+  /// trace (see obs/trace.h) and returns phase timings plus solver
+  /// progress counters on ItemSummary::stats. Costs a handful of clock
+  /// reads per solve; set false (or build the tree with -DOSRS_OBS=OFF)
+  /// to skip even that.
+  bool collect_stats = true;
   /// Algorithms tried, in order, after the primary `algorithm` trips its
   /// budget (or fails for any reason other than cancellation / invalid
   /// arguments). Entries are attempted verbatim — repeating the primary
@@ -114,8 +121,19 @@ struct ItemSummary {
   /// "warning OSRS-XXX-NNN [location]: message" lines. Always empty unless
   /// ReviewSummarizerOptions::strict_validation is set.
   std::vector<std::string> validation_warnings;
+  /// Per-phase timings and solver progress counters of this solve (empty
+  /// when ReviewSummarizerOptions::collect_stats is false or the tree was
+  /// built with -DOSRS_OBS=OFF).
+  obs::SolverStats stats;
 
   /// Compact JSON rendering (entries, cost, diagnostics) for tooling.
+  ///
+  /// Diagnostic fields live under one "diagnostics" object (degraded,
+  /// algorithm, stop_reason, budget_spent_ms, solver_seconds,
+  /// validation_warnings, stats). The pre-existing top-level copies of
+  /// degraded / algorithm / stop_reason / budget_spent_ms /
+  /// validation_warnings remain for one release as deprecated aliases —
+  /// see README.md ("Observability") for the migration note.
   std::string ToJson() const;
 };
 

@@ -2,6 +2,7 @@
 #define OSRS_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace osrs {
 
@@ -13,16 +14,30 @@ class Stopwatch {
   /// Restarts timing from now.
   void Reset() { start_ = Clock::now(); }
 
+  /// Integer nanoseconds elapsed since construction or the last Reset() —
+  /// the single clock read every other accessor derives from, so the unit
+  /// conversions below are one multiply each instead of repeated rescaling
+  /// of a double-precision duration.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
   /// Seconds elapsed since construction or the last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   /// Milliseconds elapsed since construction or the last Reset().
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
 
   /// Microseconds elapsed since construction or the last Reset().
-  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-3;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

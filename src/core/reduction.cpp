@@ -4,10 +4,12 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace osrs {
 
 KPairsReduction BuildKPairsReduction(const SetCoverInstance& instance) {
+  obs::TraceSpan build_span(obs::Phase::kReductionBuild);
   OSRS_CHECK_GT(instance.universe_size, 0);
   OSRS_CHECK(!instance.sets.empty());
   OSRS_CHECK_GE(instance.k, 1);

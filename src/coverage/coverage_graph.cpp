@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace osrs {
 namespace {
@@ -66,6 +67,7 @@ std::vector<double> RootDistances(
 CoverageGraph CoverageGraph::BuildForPairs(
     const PairDistance& distance,
     const std::vector<ConceptSentimentPair>& pairs) {
+  obs::TraceSpan build_span(obs::Phase::kBuildCoverageGraph);
   std::vector<std::vector<Edge>> per_candidate(pairs.size());
   ForEachCoveringPair(distance, pairs, [&](int u, int w, double weight) {
     per_candidate[static_cast<size_t>(u)].push_back({w, weight});
@@ -74,6 +76,8 @@ CoverageGraph CoverageGraph::BuildForPairs(
   graph.Assemble(static_cast<int>(pairs.size()),
                  static_cast<int>(pairs.size()), std::move(per_candidate),
                  RootDistances(distance, pairs));
+  obs::TraceStat(obs::Stat::kGraphEdgesBuilt,
+                 static_cast<int64_t>(graph.num_edges()));
   return graph;
 }
 
@@ -122,6 +126,7 @@ CoverageGraph CoverageGraph::BuildForGroups(
     const PairDistance& distance,
     const std::vector<ConceptSentimentPair>& pairs,
     const std::vector<std::vector<int>>& groups) {
+  obs::TraceSpan build_span(obs::Phase::kBuildCoverageGraph);
   // Map each pair index to its owning group (a pair belongs to exactly one
   // sentence / review).
   std::vector<int> group_of(pairs.size(), -1);
@@ -158,6 +163,8 @@ CoverageGraph CoverageGraph::BuildForGroups(
   graph.Assemble(static_cast<int>(groups.size()),
                  static_cast<int>(pairs.size()), std::move(per_candidate),
                  RootDistances(distance, pairs));
+  obs::TraceStat(obs::Stat::kGraphEdgesBuilt,
+                 static_cast<int64_t>(graph.num_edges()));
   return graph;
 }
 

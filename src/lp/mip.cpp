@@ -4,9 +4,17 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace osrs {
 namespace {
+
+obs::Counter* NodesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.mip.nodes");
+  return counter;
+}
 
 /// Shared search state threaded through the recursive DFS.
 struct SearchState {
@@ -138,7 +146,12 @@ MipSolution MipSolver::Solve(LpProblem problem,
     lp_budget.SetMaxWork(0);  // node budget must not bind LP iterations
     state.lp_budget = &lp_budget;
   }
-  Dfs(state);
+  {
+    obs::TraceSpan bnb_span(obs::Phase::kBranchAndBound);
+    Dfs(state);
+  }
+  obs::TraceStat(obs::Stat::kBnbNodes, solution.nodes);
+  NodesCounter()->Add(solution.nodes);
 
   if (solution.status == LpStatus::kUnbounded) return solution;
   if (state.interrupted) {

@@ -5,8 +5,19 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace osrs {
+namespace {
+
+obs::Counter* PivotsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.simplex.pivots");
+  return counter;
+}
+
+}  // namespace
 
 const char* LpStatusToString(LpStatus status) {
   switch (status) {
@@ -527,7 +538,10 @@ LpSolution RevisedSimplex::Solve(const LpProblem& problem,
     return solution;
   }
   SimplexEngine engine(problem, options_, budget);
-  return engine.Run(problem);
+  LpSolution solution = engine.Run(problem);
+  obs::TraceStat(obs::Stat::kSimplexPivots, solution.iterations);
+  PivotsCounter()->Add(solution.iterations);
+  return solution;
 }
 
 }  // namespace osrs

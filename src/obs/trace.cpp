@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+namespace osrs::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kBuildCoverageGraph:
+      return "build_coverage_graph";
+    case Phase::kHeapInit:
+      return "heap_init";
+    case Phase::kGreedyIterations:
+      return "greedy_iterations";
+    case Phase::kLpRelaxation:
+      return "lp_relaxation";
+    case Phase::kRoundingTrials:
+      return "rounding_trials";
+    case Phase::kBranchAndBound:
+      return "branch_and_bound";
+    case Phase::kLocalSearchPasses:
+      return "local_search_passes";
+    case Phase::kExhaustiveEnumeration:
+      return "exhaustive_enumeration";
+    case Phase::kReductionBuild:
+      return "reduction_build";
+    case Phase::kSolveAttempt:
+      return "solve_attempt";
+  }
+  return "unknown";
+}
+
+const char* StatName(Stat stat) {
+  switch (stat) {
+    case Stat::kCandidatesConsidered:
+      return "candidates_considered";
+    case Stat::kHeapPops:
+      return "heap_pops";
+    case Stat::kKeyUpdates:
+      return "key_updates";
+    case Stat::kGainRecomputes:
+      return "gain_recomputes";
+    case Stat::kDistanceEvaluations:
+      return "distance_evaluations";
+    case Stat::kSimplexPivots:
+      return "simplex_pivots";
+    case Stat::kBnbNodes:
+      return "bnb_nodes";
+    case Stat::kRoundingTrials:
+      return "rounding_trials";
+    case Stat::kSwapsApplied:
+      return "swaps_applied";
+    case Stat::kSubsetsEvaluated:
+      return "subsets_evaluated";
+    case Stat::kGraphEdgesBuilt:
+      return "graph_edges_built";
+  }
+  return "unknown";
+}
+
+bool SolveTrace::empty() const {
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (phase_calls_[p] != 0) return false;
+  }
+  for (int s = 0; s < kNumStats; ++s) {
+    if (stats_[s] != 0) return false;
+  }
+  return true;
+}
+
+void SolveTrace::Reset() { *this = SolveTrace(); }
+
+void SolveTrace::MergeFrom(const SolveTrace& other) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    phase_nanos_[p] += other.phase_nanos_[p];
+    phase_calls_[p] += other.phase_calls_[p];
+  }
+  for (int s = 0; s < kNumStats; ++s) {
+    stats_[s] += other.stats_[s];
+  }
+}
+
+#if OSRS_OBS_ENABLED
+thread_local SolveTrace* Tracer::current_ = nullptr;
+#endif
+
+}  // namespace osrs::obs

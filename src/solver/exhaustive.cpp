@@ -5,9 +5,17 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace osrs {
 namespace {
+
+obs::Counter* SolvesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.exhaustive.solves");
+  return counter;
+}
 
 /// C(n, k) with saturation at limit+1 to avoid overflow.
 int64_t BinomialCapped(int n, int k, int64_t limit) {
@@ -51,12 +59,17 @@ Result<SummaryResult> ExhaustiveSummarizer::Summarize(
   int64_t evaluated = k == 0 ? 0 : 1;
 
   // Lexicographic enumeration of k-combinations of [0, n).
+  obs::TraceSpan enum_span(obs::Phase::kExhaustiveEnumeration);
   constexpr int64_t kBudgetCheckPeriod = 1024;
   while (k > 0) {
     if (evaluated % kBudgetCheckPeriod == 0) {
       // Exact-or-error: a partial enumeration proves nothing, so the oracle
       // reports the budget verdict instead of a bogus "optimum".
-      OSRS_RETURN_IF_ERROR(budget.Check(evaluated));
+      Status budget_status = budget.Check(evaluated);
+      if (!budget_status.ok()) {
+        obs::TraceStat(obs::Stat::kSubsetsEvaluated, evaluated);
+        return budget_status;
+      }
     }
     int i = k - 1;
     while (i >= 0 &&
@@ -76,6 +89,8 @@ Result<SummaryResult> ExhaustiveSummarizer::Summarize(
     }
   }
 
+  obs::TraceStat(obs::Stat::kSubsetsEvaluated, evaluated);
+  SolvesCounter()->Increment();
   result.selected = best_combo;
   if (k == 0) result.selected.clear();
   result.cost = k == 0 ? graph.EmptySummaryCost() : best_cost;

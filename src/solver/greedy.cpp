@@ -8,20 +8,32 @@
 #include "common/indexed_heap.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace osrs {
 namespace {
 
 /// Marginal gain of adding candidate u when each target w is currently
-/// covered at distance best[w]: Σ_w max(0, best[w] - d(u, w)).
+/// covered at distance best[w]: Σ_w max(0, best[w] - d(u, w)). Each edge
+/// scanned is one coverage-distance evaluation, tallied in *evals (a local
+/// accumulator flushed to the trace once per phase).
 double GainOf(const CoverageGraph& graph, const std::vector<double>& best,
-              int u) {
+              int u, int64_t* evals) {
   double gain = 0.0;
-  for (const CoverageGraph::Edge& e : graph.EdgesOf(u)) {
+  const auto edges = graph.EdgesOf(u);
+  *evals += static_cast<int64_t>(edges.size());
+  for (const CoverageGraph::Edge& e : edges) {
     double improvement = best[static_cast<size_t>(e.endpoint)] - e.weight;
     if (improvement > 0.0) gain += improvement * graph.target_weight(e.endpoint);
   }
   return gain;
+}
+
+obs::Counter* SolvesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.greedy.solves");
+  return counter;
 }
 
 Status ValidateK(const CoverageGraph& graph, int k) {
@@ -65,22 +77,36 @@ Result<SummaryResult> GreedySummarizer::SummarizeEager(
   // Initialize the max-heap with δ(p, {r}) for every candidate. Before any
   // selection there is no incumbent, so a tripped budget here is a plain
   // error.
+  int64_t distance_evals = 0;
   std::vector<double> initial_gain(
       static_cast<size_t>(graph.num_candidates()));
-  for (int u = 0; u < graph.num_candidates(); ++u) {
-    if (u % kInitCheckPeriod == 0) OSRS_RETURN_IF_ERROR(budget.Check());
-    initial_gain[static_cast<size_t>(u)] = GainOf(graph, best, u);
+  {
+    obs::TraceSpan init_span(obs::Phase::kHeapInit);
+    for (int u = 0; u < graph.num_candidates(); ++u) {
+      if (u % kInitCheckPeriod == 0) {
+        Status init_status = budget.Check();
+        if (!init_status.ok()) {
+          obs::TraceStat(obs::Stat::kDistanceEvaluations, distance_evals);
+          return init_status;
+        }
+      }
+      initial_gain[static_cast<size_t>(u)] =
+          GainOf(graph, best, u, &distance_evals);
+    }
   }
+  obs::TraceStat(obs::Stat::kCandidatesConsidered, graph.num_candidates());
   IndexedMaxHeap heap(std::move(initial_gain));
 
   SummaryResult result;
   result.cost = graph.EmptySummaryCost();
   int64_t key_updates = 0;
+  int64_t heap_pops = 0;
 
   // Accumulates per-candidate key deltas across all targets improved by one
   // selection, so each affected candidate gets a single heap update.
   std::unordered_map<int, double> pending_delta;
 
+  obs::TraceSpan select_span(obs::Phase::kGreedyIterations);
   for (int round = 0; round < k && !heap.empty(); ++round) {
     Status budget_status = budget.Check(key_updates);
     if (!budget_status.ok()) {
@@ -94,12 +120,14 @@ Result<SummaryResult> GreedySummarizer::SummarizeEager(
       break;
     }
     int chosen = heap.PopMax();
+    ++heap_pops;
     result.selected.push_back(chosen);
     pending_delta.clear();
 
     // Apply the selection: improve best[] along chosen's edges, and record
     // how the improvement shrinks the gains of other coverers of those
     // targets (the neighbor-of-neighbor updates of Algorithm 2, lines 7-9).
+    distance_evals += static_cast<int64_t>(graph.EdgesOf(chosen).size());
     for (const CoverageGraph::Edge& e : graph.EdgesOf(chosen)) {
       double& current = best[static_cast<size_t>(e.endpoint)];
       if (e.weight >= current) continue;
@@ -124,6 +152,10 @@ Result<SummaryResult> GreedySummarizer::SummarizeEager(
     }
   }
 
+  obs::TraceStat(obs::Stat::kHeapPops, heap_pops);
+  obs::TraceStat(obs::Stat::kKeyUpdates, key_updates);
+  obs::TraceStat(obs::Stat::kDistanceEvaluations, distance_evals);
+  SolvesCounter()->Increment();
   result.seconds = watch.ElapsedSeconds();
   result.work = key_updates;
   return result;
@@ -149,15 +181,28 @@ Result<SummaryResult> GreedySummarizer::SummarizeLazy(
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
   std::vector<bool> selected_flag(
       static_cast<size_t>(graph.num_candidates()), false);
-  for (int u = 0; u < graph.num_candidates(); ++u) {
-    if (u % kInitCheckPeriod == 0) OSRS_RETURN_IF_ERROR(budget.Check());
-    heap.push({GainOf(graph, best, u), u});
+  int64_t distance_evals = 0;
+  {
+    obs::TraceSpan init_span(obs::Phase::kHeapInit);
+    for (int u = 0; u < graph.num_candidates(); ++u) {
+      if (u % kInitCheckPeriod == 0) {
+        Status init_status = budget.Check();
+        if (!init_status.ok()) {
+          obs::TraceStat(obs::Stat::kDistanceEvaluations, distance_evals);
+          return init_status;
+        }
+      }
+      heap.push({GainOf(graph, best, u, &distance_evals), u});
+    }
   }
+  obs::TraceStat(obs::Stat::kCandidatesConsidered, graph.num_candidates());
 
   SummaryResult result;
   result.cost = graph.EmptySummaryCost();
   int64_t recomputes = 0;
+  int64_t heap_pops = 0;
 
+  obs::TraceSpan select_span(obs::Phase::kGreedyIterations);
   for (int round = 0; round < k && !heap.empty(); ++round) {
     Status budget_status = budget.Check(recomputes);
     if (!budget_status.ok()) {
@@ -171,12 +216,14 @@ Result<SummaryResult> GreedySummarizer::SummarizeLazy(
     while (true) {
       const int u = heap.top().second;
       heap.pop();
+      ++heap_pops;
       if (selected_flag[static_cast<size_t>(u)]) continue;
-      double fresh = GainOf(graph, best, u);
+      double fresh = GainOf(graph, best, u, &distance_evals);
       ++recomputes;
       if (heap.empty() || fresh >= heap.top().first) {
         selected_flag[static_cast<size_t>(u)] = true;
         result.selected.push_back(u);
+        distance_evals += static_cast<int64_t>(graph.EdgesOf(u).size());
         for (const CoverageGraph::Edge& e : graph.EdgesOf(u)) {
           double& current = best[static_cast<size_t>(e.endpoint)];
           if (e.weight < current) {
@@ -191,6 +238,10 @@ Result<SummaryResult> GreedySummarizer::SummarizeLazy(
     }
   }
 
+  obs::TraceStat(obs::Stat::kHeapPops, heap_pops);
+  obs::TraceStat(obs::Stat::kGainRecomputes, recomputes);
+  obs::TraceStat(obs::Stat::kDistanceEvaluations, distance_evals);
+  SolvesCounter()->Increment();
   result.seconds = watch.ElapsedSeconds();
   result.work = recomputes;
   return result;

@@ -4,9 +4,19 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "solver/kmedian_model.h"
 
 namespace osrs {
+namespace {
+
+obs::Counter* SolvesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.ilp.solves");
+  return counter;
+}
+
+}  // namespace
 
 IlpSummarizer::IlpSummarizer(MipOptions options) : options_(options) {}
 
@@ -64,6 +74,7 @@ Result<SummaryResult> IlpSummarizer::Summarize(const CoverageGraph& graph,
   result.cost = graph.CostOfSelection(result.selected);
   result.seconds = watch.ElapsedSeconds();
   result.work = mip.nodes;
+  SolvesCounter()->Increment();
   return result;
 }
 

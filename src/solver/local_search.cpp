@@ -4,9 +4,17 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace osrs {
 namespace {
+
+obs::Counter* SolvesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.local_search.solves");
+  return counter;
+}
 
 /// First- and second-best coverage of every target under a selection, with
 /// the owner of the best. The implicit root is folded in as owner -1.
@@ -76,6 +84,9 @@ Result<SummaryResult> LocalSearchSummarizer::Summarize(
        pass < options_.max_passes && budget_status.ok(); ++pass) {
     budget_status = budget.Check(swaps_applied);
     if (!budget_status.ok()) break;
+    // One span per pass, so the trace's call count equals the number of
+    // polish passes actually run.
+    obs::TraceSpan pass_span(obs::Phase::kLocalSearchPasses);
     state.Rebuild(graph, selected);
     double best_delta = -options_.min_improvement;
     size_t best_out_pos = 0;
@@ -128,11 +139,13 @@ Result<SummaryResult> LocalSearchSummarizer::Summarize(
     cost = graph.CostOfSelection(selected);  // exact, avoids delta drift
   }
 
+  obs::TraceStat(obs::Stat::kSwapsApplied, swaps_applied);
   if (!budget_status.ok()) {
     if (budget_status.code() == StatusCode::kCancelled) return budget_status;
     // Deadline/work trip mid-polish: the greedy-seeded selection is a valid
     // incumbent at every point, but the polish is incomplete.
   }
+  SolvesCounter()->Increment();
   SummaryResult result;
   result.selected = std::move(selected);
   result.cost = cost;

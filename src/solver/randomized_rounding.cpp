@@ -7,9 +7,20 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/kmedian_model.h"
 
 namespace osrs {
+namespace {
+
+obs::Counter* SolvesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.rr.solves");
+  return counter;
+}
+
+}  // namespace
 
 RandomizedRoundingSummarizer::RandomizedRoundingSummarizer(
     RandomizedRoundingOptions options)
@@ -25,8 +36,12 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
   Stopwatch watch;
   KMedianModel model = BuildKMedianModel(graph, k, /*integral_x=*/false);
   RevisedSimplex simplex(options_.lp);
-  LpSolution lp =
-      simplex.Solve(model.problem, budget.IsUnlimited() ? nullptr : &budget);
+  LpSolution lp;
+  {
+    obs::TraceSpan lp_span(obs::Phase::kLpRelaxation);
+    lp = simplex.Solve(model.problem,
+                       budget.IsUnlimited() ? nullptr : &budget);
+  }
   if (lp.status == LpStatus::kInterrupted) {
     // No fractional point yet, so there is nothing to round: surface the
     // budget's own verdict (deadline, cancellation, or work bound).
@@ -47,6 +62,7 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
     base_weights[u] = x > 1e-12 ? x : 0.0;
   }
 
+  obs::TraceSpan rounding_span(obs::Phase::kRoundingTrials);
   if (options_.strategy == RoundingStrategy::kTopK) {
     // Deterministic rounding: open the k largest fractional facilities.
     std::vector<int> order(base_weights.size());
@@ -65,16 +81,20 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
     result.cost = graph.CostOfSelection(result.selected);
     result.seconds = watch.ElapsedSeconds();
     result.work = lp.iterations;
+    obs::TraceStat(obs::Stat::kRoundingTrials, 1);
+    SolvesCounter()->Increment();
     return result;
   }
 
   Rng rng(options_.seed);
   SummaryResult best;
   bool have_best = false;
+  int64_t trials_done = 0;
   for (int trial = 0; trial < std::max(1, options_.trials); ++trial) {
     Status budget_status = budget.Check(lp.iterations + trial);
     if (!budget_status.ok()) {
       if (budget_status.code() == StatusCode::kCancelled || !have_best) {
+        obs::TraceStat(obs::Stat::kRoundingTrials, trials_done);
         return budget_status;
       }
       // Keep the cheapest draw completed so far as the incumbent.
@@ -108,6 +128,7 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
       }
     }
     double cost = graph.CostOfSelection(selected);
+    ++trials_done;
     if (!have_best || cost < best.cost) {
       best.selected = std::move(selected);
       best.cost = cost;
@@ -115,6 +136,8 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
     }
   }
 
+  obs::TraceStat(obs::Stat::kRoundingTrials, trials_done);
+  SolvesCounter()->Increment();
   best.seconds = watch.ElapsedSeconds();
   best.work = lp.iterations;
   return best;

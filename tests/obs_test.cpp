@@ -1,0 +1,340 @@
+// Tests of the runtime telemetry layer (src/obs): metric primitives,
+// trace semantics, SolverStats rendering, and the facade/batch plumbing.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/batch_summarizer.h"
+#include "api/review_summarizer.h"
+#include "common/execution_budget.h"
+#include "common/rng.h"
+#include "core/distance.h"
+#include "obs/metrics.h"
+#include "obs/solver_stats.h"
+#include "obs/trace.h"
+#include "ontology/cellphone_hierarchy.h"
+#include "ontology/snomed_like.h"
+#include "solver/greedy.h"
+
+namespace osrs {
+namespace {
+
+// With -DOSRS_OBS=OFF a TraceSpan must shrink to an empty object: the
+// instrumentation points in the solvers then cost exactly nothing.
+static_assert(obs::kCompiledIn || sizeof(obs::TraceSpan) == 1,
+              "disabled TraceSpan must be an empty type");
+
+/// Restores the registry's enabled flag (tests flip it on).
+class ScopedRegistryEnable {
+ public:
+  ScopedRegistryEnable() {
+    obs::MetricsRegistry::Global().SetEnabled(true);
+  }
+  ~ScopedRegistryEnable() {
+    obs::MetricsRegistry::Global().SetEnabled(false);
+  }
+};
+
+/// Random instance over the synthetic ontology (same recipe as
+/// solver_test) for the greedy determinism checks.
+struct Instance {
+  Ontology ontology;
+  std::vector<ConceptSentimentPair> pairs;
+};
+
+Instance MakeInstance(uint64_t seed, int num_pairs) {
+  SnomedLikeOptions options;
+  options.num_concepts = 60;
+  options.max_depth = 5;
+  options.seed = seed;
+  Instance instance;
+  instance.ontology = BuildSnomedLikeOntology(options);
+  Rng rng(seed * 77 + 1);
+  for (int i = 0; i < num_pairs; ++i) {
+    ConceptId c = static_cast<ConceptId>(
+        1 + rng.NextUint64(instance.ontology.num_concepts() - 1));
+    double s = rng.NextBernoulli(0.6) ? 0.6 : -0.4;
+    instance.pairs.push_back({c, s});
+  }
+  return instance;
+}
+
+Item SmallItem(const Ontology& onto) {
+  ConceptId screen = onto.FindByName("screen");
+  ConceptId battery = onto.FindByName("battery");
+  ConceptId price = onto.FindByName("price");
+  Item item;
+  item.id = "phone-x";
+  Review r1;
+  r1.sentences.push_back({"screen is great", {{screen, 0.75}}});
+  r1.sentences.push_back({"battery is awful", {{battery, -0.9}}});
+  Review r2;
+  r2.sentences.push_back({"price is decent", {{price, 0.35}}});
+  r2.sentences.push_back({"screen is nice", {{screen, 0.5}}});
+  item.reviews = {r1, r2};
+  return item;
+}
+
+// ---------------------------------------------------------------- Counter --
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  ScopedRegistryEnable enable;
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.test.concurrent");
+  counter->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter]() {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(CounterTest, DisabledRegistryRecordsNothing) {
+  obs::MetricsRegistry::Global().SetEnabled(false);
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.test.disabled");
+  counter->Reset();
+  counter->Add(41);
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 0);
+}
+
+TEST(CounterTest, RegistryInternsHandlesByName) {
+  obs::Counter* a =
+      obs::MetricsRegistry::Global().GetCounter("osrs.test.interned");
+  obs::Counter* b =
+      obs::MetricsRegistry::Global().GetCounter("osrs.test.interned");
+  EXPECT_EQ(a, b);
+}
+
+// -------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, BucketBoundariesInclusiveExclusive) {
+  // Bucket i covers [bounds[i-1], bounds[i]): inclusive lower edge,
+  // exclusive upper edge; bucket 0 is (-inf, 1); overflow is [4, +inf).
+  obs::HistogramSnapshot h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.BucketOf(0.0), 0u);
+  EXPECT_EQ(h.BucketOf(0.999), 0u);
+  EXPECT_EQ(h.BucketOf(1.0), 1u);  // == bound: lower edge, next bucket
+  EXPECT_EQ(h.BucketOf(1.999), 1u);
+  EXPECT_EQ(h.BucketOf(2.0), 2u);
+  EXPECT_EQ(h.BucketOf(3.999), 2u);
+  EXPECT_EQ(h.BucketOf(4.0), 3u);  // == last bound: overflow bucket
+  EXPECT_EQ(h.BucketOf(1e18), 3u);
+
+  h.Observe(1.0);
+  h.Observe(1.5);
+  h.Observe(4.0);
+  EXPECT_EQ(h.counts[1], 2);
+  EXPECT_EQ(h.counts[3], 1);
+  EXPECT_EQ(h.total_count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 6.5);
+}
+
+TEST(HistogramTest, ThreadSafeObserveMatchesSnapshot) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  ScopedRegistryEnable enable;
+  obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "osrs.test.histogram", {1.0, 10.0});
+  histogram->Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram]() {
+      for (int i = 0; i < kPerThread; ++i) histogram->Observe(5.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  obs::HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.total_count, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snapshot.counts[1], int64_t{kThreads} * kPerThread);
+}
+
+// ------------------------------------------------------------------ Trace --
+
+TEST(TraceTest, SpansRecordIntoInstalledTrace) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  obs::SolveTrace trace;
+  {
+    obs::Tracer::Scope scope(&trace);
+    obs::TraceSpan outer(obs::Phase::kGreedyIterations);
+    {
+      obs::TraceSpan inner(obs::Phase::kHeapInit);
+      obs::TraceStat(obs::Stat::kHeapPops, 3);
+    }
+  }
+  EXPECT_EQ(trace.phase_calls(obs::Phase::kGreedyIterations), 1);
+  EXPECT_EQ(trace.phase_calls(obs::Phase::kHeapInit), 1);
+  EXPECT_GE(trace.phase_nanos(obs::Phase::kHeapInit), 0);
+  EXPECT_EQ(trace.stat(obs::Stat::kHeapPops), 3);
+  EXPECT_EQ(trace.open_spans(), 0);
+  EXPECT_EQ(trace.max_depth(), 2);
+  EXPECT_FALSE(trace.empty());
+  trace.Reset();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceTest, NoInstalledTraceRecordsNothing) {
+  // Spans and stats with no trace installed must be harmless no-ops.
+  obs::TraceSpan span(obs::Phase::kLpRelaxation);
+  obs::TraceStat(obs::Stat::kSimplexPivots, 5);
+  SUCCEED();
+}
+
+TEST(TraceTest, NestingBalancedOnEarlyBudgetReturn) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  Instance inst = MakeInstance(11, 120);
+  PairDistance dist(&inst.ontology, 0.5);
+  CoverageGraph graph = CoverageGraph::BuildForPairs(dist, inst.pairs);
+
+  obs::SolveTrace trace;
+  obs::Tracer::Scope scope(&trace);
+  ExecutionBudget budget;
+  budget.SetMaxWork(1);  // trips during greedy selection
+  GreedySummarizer greedy;
+  auto result = greedy.Summarize(graph, 10, budget);
+  // Whether the budget surfaced as an error or an approximate incumbent,
+  // every span opened on the early path must have closed again.
+  EXPECT_EQ(trace.open_spans(), 0);
+  EXPECT_GE(trace.max_depth(), 1);
+  (void)result;
+}
+
+// ------------------------------------------------------------ SolverStats --
+
+TEST(SolverStatsTest, FromTraceKeepsOnlyNonZero) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  obs::SolveTrace trace;
+  trace.RecordPhase(obs::Phase::kHeapInit, 2'000'000);
+  trace.AddStat(obs::Stat::kHeapPops, 7);
+  obs::SolverStats stats = obs::SolverStats::FromTrace(trace);
+  ASSERT_EQ(stats.phases.size(), 1u);
+  EXPECT_EQ(stats.phases[0].name, "heap_init");
+  EXPECT_DOUBLE_EQ(stats.phases[0].millis, 2.0);
+  EXPECT_EQ(stats.phases[0].calls, 1);
+  ASSERT_EQ(stats.counters.size(), 1u);
+  EXPECT_EQ(stats.counter("heap_pops"), 7);
+  EXPECT_EQ(stats.counter("missing"), 0);
+}
+
+TEST(SolverStatsTest, MergeFromSumsByName) {
+  obs::SolverStats a;
+  a.phases.push_back({"heap_init", 1.5, 1});
+  a.counters.push_back({"heap_pops", 4});
+  obs::SolverStats b;
+  b.phases.push_back({"heap_init", 0.5, 2});
+  b.phases.push_back({"lp_relaxation", 3.0, 1});
+  b.counters.push_back({"simplex_pivots", 9});
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.phase_millis("heap_init"), 2.0);
+  EXPECT_DOUBLE_EQ(a.phase_millis("lp_relaxation"), 3.0);
+  EXPECT_EQ(a.counter("heap_pops"), 4);
+  EXPECT_EQ(a.counter("simplex_pivots"), 9);
+  std::string json = a.ToJson();
+  EXPECT_NE(json.find("\"heap_init\""), std::string::npos);
+  EXPECT_NE(json.find("\"simplex_pivots\":9"), std::string::npos);
+}
+
+// ----------------------------------------------- Determinism (greedy runs) --
+
+TEST(TraceTest, GreedyDistanceEvaluationsDeterministicAcrossRuns) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  Instance inst = MakeInstance(5, 80);
+  PairDistance dist(&inst.ontology, 0.5);
+  CoverageGraph graph = CoverageGraph::BuildForPairs(dist, inst.pairs);
+  GreedySummarizer greedy;
+
+  int64_t first_run = -1;
+  for (int run = 0; run < 3; ++run) {
+    obs::SolveTrace trace;
+    obs::Tracer::Scope scope(&trace);
+    auto result = greedy.Summarize(graph, 6);
+    ASSERT_TRUE(result.ok());
+    int64_t evals = trace.stat(obs::Stat::kDistanceEvaluations);
+    EXPECT_GT(evals, 0);
+    if (first_run < 0) {
+      first_run = evals;
+    } else {
+      EXPECT_EQ(evals, first_run) << "run " << run;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Facade --
+
+TEST(FacadeStatsTest, SummarizePopulatesStats) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  ReviewSummarizer summarizer(&onto, {});
+  auto summary = summarizer.Summarize(SmallItem(onto), 2);
+  ASSERT_TRUE(summary.ok());
+  if (obs::kCompiledIn) {
+    EXPECT_FALSE(summary->stats.empty());
+    EXPECT_GT(summary->stats.counter("distance_evaluations"), 0);
+    EXPECT_GT(summary->stats.counter("graph_edges_built"), 0);
+    EXPECT_GT(summary->stats.counter("heap_pops"), 0);
+    EXPECT_GE(summary->stats.phase_millis("solve_attempt"), 0.0);
+  } else {
+    EXPECT_TRUE(summary->stats.empty());
+  }
+  // The diagnostics object carries the stats in JSON either way.
+  std::string json = summary->ToJson();
+  EXPECT_NE(json.find("\"diagnostics\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+  // Deprecated top-level aliases still present.
+  EXPECT_NE(json.find("\"degraded\":"), std::string::npos);
+  EXPECT_NE(json.find("\"budget_spent_ms\":"), std::string::npos);
+}
+
+TEST(FacadeStatsTest, CollectStatsOffLeavesStatsEmpty) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  ReviewSummarizerOptions options;
+  options.collect_stats = false;
+  ReviewSummarizer summarizer(&onto, options);
+  auto summary = summarizer.Summarize(SmallItem(onto), 2);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->stats.empty());
+}
+
+// ------------------------------------------------------------- BatchStats --
+
+TEST(BatchStatsTest, AggregatesCountsLatenciesAndStats) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  BatchSummarizer batch(&onto, {});
+  std::vector<Item> items(3, SmallItem(onto));
+  std::vector<BatchEntry> entries = batch.SummarizeAll(items, 2);
+  ASSERT_EQ(entries.size(), 3u);
+
+  BatchStats stats = AggregateBatchStats(entries);
+  EXPECT_EQ(stats.total, 3);
+  EXPECT_EQ(stats.ok, 3);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.total_ms.total_count, 3);
+  if (obs::kCompiledIn) {
+    EXPECT_EQ(stats.stats.counter("distance_evaluations"),
+              3 * entries[0].summary.stats.counter("distance_evaluations"));
+  }
+  std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"ok\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ms\":{"), std::string::npos);
+
+  // A failed entry is counted without contributing to the histograms.
+  entries.push_back(BatchEntry{Status::Internal("boom"), ItemSummary{}});
+  BatchStats with_failure = AggregateBatchStats(entries);
+  EXPECT_EQ(with_failure.failed, 1);
+  EXPECT_EQ(with_failure.total_ms.total_count, 3);
+}
+
+}  // namespace
+}  // namespace osrs

@@ -7,7 +7,10 @@
 #   3. no stray stdout writes (std::cout / printf / puts) inside src/ —
 #      library code reports through Status and the logging macros, stdout
 #      belongs to tools/, examples/, and bench/;
-#   4. optionally, when clang-tidy and build/compile_commands.json exist,
+#   4. no raw std::chrono::steady_clock::now() in src/solver — solver code
+#      times itself through Stopwatch (one ElapsedNanos read) and the
+#      obs/trace.h spans, so timing stays consistent and mockable;
+#   5. optionally, when clang-tidy and build/compile_commands.json exist,
 #      the curated .clang-tidy pass over every src/ translation unit
 #      (skipped with --no-tidy or when either prerequisite is missing).
 #
@@ -55,7 +58,16 @@ done < <(grep -rn --include='*.h' --include='*.cpp' -E \
   'std::cout|[^f.a-zA-Z_]printf\(|^\s*printf\(|std::puts|[^a-zA-Z_.]puts\(' \
   src | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
 
-# -- 4. clang-tidy (optional) ------------------------------------------------
+# -- 4. raw clock reads in solver code ----------------------------------------
+# Solvers must go through common/stopwatch.h (or obs/trace.h spans) so all
+# timing derives from one ElapsedNanos read.
+while IFS= read -r match; do
+  fail "raw steady_clock::now() in src/solver (use Stopwatch): $match"
+done < <(grep -rn --include='*.h' --include='*.cpp' \
+  'steady_clock::now()' src/solver | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' \
+  || true)
+
+# -- 5. clang-tidy (optional) ------------------------------------------------
 if [[ $run_tidy -eq 1 ]]; then
   if command -v clang-tidy > /dev/null && [[ -f build/compile_commands.json ]]; then
     echo "lint: running clang-tidy over src/ (this takes a while)"
