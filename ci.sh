@@ -34,6 +34,12 @@ echo "== default build + full test suite =="
 run_suite build
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== coverage-build bench smoke =="
+# CI-sized sanity run of the §4.1 fast-path builder bench: checks that the
+# fast and baseline builders agree on every dataset and that the JSON
+# report is written (full-size numbers live in BENCH_coverage.json).
+./build/bench/bench_coverage_build --smoke --out=build/BENCH_coverage_smoke.json
+
 if [[ "$SKIP_LINT" == "1" ]]; then
   echo "== lint stage skipped =="
 else
@@ -63,11 +69,11 @@ run_suite build-asan -DOSRS_SANITIZE=address,undefined
  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
  ctest --output-on-failure -j "$JOBS")
 
-echo "== TSan build + batch/budget tests =="
+echo "== TSan build + batch/budget/graph-build tests =="
 run_suite build-tsan -DOSRS_SANITIZE=thread
 (cd build-tsan && \
  TSAN_OPTIONS=halt_on_error=1 \
  ctest --output-on-failure -j "$JOBS" \
-       -R 'budget_test|api_test|fuzz_robustness_test|integration_test')
+       -R 'budget_test|api_test|fuzz_robustness_test|integration_test|coverage_diff_test')
 
 echo "== ci.sh: all passes green =="

@@ -13,6 +13,12 @@ namespace osrs {
 
 /// Options of the multi-item driver.
 struct BatchSummarizerOptions {
+  /// Per-item options, including ReviewSummarizerOptions::
+  /// graph_build_threads. The two thread knobs multiply (each batch worker
+  /// builds its graphs with that many threads), so when `num_threads`
+  /// already saturates the machine leave graph_build_threads at 1. A
+  /// negative graph_build_threads is confined to its entries: each comes
+  /// back kInvalidArgument, like a negative k.
   ReviewSummarizerOptions summarizer;
   /// Worker threads; 0 = std::thread::hardware_concurrency(). Items are
   /// independent, so results are identical to a serial run regardless of

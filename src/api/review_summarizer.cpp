@@ -147,6 +147,10 @@ Result<ItemSummary> ReviewSummarizer::Summarize(const Item& item,
 Result<ItemSummary> ReviewSummarizer::Summarize(
     const Item& item, int k, const ExecutionBudget& external) const {
   if (k < 0) return Status::InvalidArgument(StrFormat("k=%d negative", k));
+  if (options_.graph_build_threads < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "graph_build_threads=%d negative", options_.graph_build_threads));
+  }
 
   // Strict mode front-loads the corpus-integrity checks so a dangling
   // concept reference surfaces as a structured report instead of tripping
@@ -189,8 +193,8 @@ Result<ItemSummary> ReviewSummarizer::Summarize(
   }
 
   PairDistance distance(ontology_, epsilon);
-  ItemGraph item_graph =
-      BuildItemGraph(distance, item, options_.granularity);
+  ItemGraph item_graph = BuildItemGraph(distance, item, options_.granularity,
+                                        options_.graph_build_threads);
   int effective_k = std::min<int>(k, item_graph.graph.num_candidates());
 
   if (options_.strict_validation) {

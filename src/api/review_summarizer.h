@@ -34,6 +34,13 @@ struct ReviewSummarizerOptions {
   bool auto_epsilon = false;
   SummaryAlgorithm algorithm = SummaryAlgorithm::kGreedy;
   SummaryGranularity granularity = SummaryGranularity::kSentences;
+  /// Worker threads for coverage-graph construction (§4.1): targets are
+  /// sharded across threads with per-thread edge buffers, and the merged
+  /// graph is identical at every setting. 1 (the default) builds serially;
+  /// 0 uses the hardware concurrency; negative values are an
+  /// InvalidArgument error at Summarize time. Worth raising only for large
+  /// items — graph construction is a small fraction of a typical solve.
+  int graph_build_threads = 1;
   /// Seed of the randomized-rounding draw (unused by other algorithms).
   /// Fallback attempts reseed deterministically (seed + attempt index) so a
   /// retried randomized rounding draws a fresh sample.

@@ -2,54 +2,220 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <cstdint>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace osrs {
 namespace {
 
-/// First pass of §4.1: bucket pair indices by concept.
-std::unordered_map<ConceptId, std::vector<int>> BucketByConcept(
-    const std::vector<ConceptSentimentPair>& pairs) {
-  std::unordered_map<ConceptId, std::vector<int>> buckets;
+obs::Counter* WindowHitsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.coverage.window_hits");
+  return counter;
+}
+
+obs::Counter* BuildsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.coverage.builds");
+  return counter;
+}
+
+obs::Gauge* ShardImbalanceGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "osrs.coverage.shard_imbalance_pct");
+  return gauge;
+}
+
+/// First pass of §4.1: bucket pair indices by concept, each bucket sorted
+/// by sentiment so the Definition 1 eps test becomes a binary-searched
+/// window instead of a full scan. Flattened into three parallel arrays to
+/// keep the per-(target, ancestor) lookup allocation- and hash-free.
+struct ConceptBuckets {
+  /// Bucket index per concept id; -1 when no pair carries that concept.
+  std::vector<int32_t> bucket_of_concept;
+  /// Bucket b spans [offsets[b], offsets[b + 1]) of the two arrays below.
+  std::vector<size_t> offsets;
+  /// Sentiments ascending within each bucket (ties broken by pair index).
+  std::vector<double> sentiments;
+  /// Pair indices parallel to `sentiments`.
+  std::vector<int> pair_indices;
+};
+
+ConceptBuckets BucketByConcept(const Ontology& onto,
+                               const std::vector<ConceptSentimentPair>& pairs) {
+  ConceptBuckets buckets;
+  buckets.bucket_of_concept.assign(onto.num_concepts(), -1);
+  int32_t num_buckets = 0;
+  std::vector<size_t> bucket_sizes;
+  for (const ConceptSentimentPair& pair : pairs) {
+    int32_t& slot = buckets.bucket_of_concept[static_cast<size_t>(pair.concept_id)];
+    if (slot < 0) {
+      slot = num_buckets++;
+      bucket_sizes.push_back(0);
+    }
+    ++bucket_sizes[static_cast<size_t>(slot)];
+  }
+  buckets.offsets.assign(static_cast<size_t>(num_buckets) + 1, 0);
+  for (int32_t b = 0; b < num_buckets; ++b) {
+    buckets.offsets[static_cast<size_t>(b) + 1] =
+        buckets.offsets[static_cast<size_t>(b)] +
+        bucket_sizes[static_cast<size_t>(b)];
+  }
+  buckets.sentiments.resize(pairs.size());
+  buckets.pair_indices.resize(pairs.size());
+  std::vector<size_t> cursor(buckets.offsets.begin(),
+                             buckets.offsets.end() - 1);
   for (size_t i = 0; i < pairs.size(); ++i) {
-    buckets[pairs[i].concept_id].push_back(static_cast<int>(i));
+    int32_t b = buckets.bucket_of_concept[static_cast<size_t>(pairs[i].concept_id)];
+    size_t slot = cursor[static_cast<size_t>(b)]++;
+    buckets.sentiments[slot] = pairs[i].sentiment;
+    buckets.pair_indices[slot] = static_cast<int>(i);
+  }
+  // Sort each bucket by (sentiment, pair index); the pair-index tiebreak
+  // keeps construction deterministic under duplicate sentiments.
+  std::vector<std::pair<double, int>> scratch;
+  for (int32_t b = 0; b < num_buckets; ++b) {
+    size_t begin = buckets.offsets[static_cast<size_t>(b)];
+    size_t end = buckets.offsets[static_cast<size_t>(b) + 1];
+    scratch.clear();
+    for (size_t i = begin; i < end; ++i) {
+      scratch.emplace_back(buckets.sentiments[i], buckets.pair_indices[i]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (size_t i = 0; i < scratch.size(); ++i) {
+      buckets.sentiments[begin + i] = scratch[i].first;
+      buckets.pair_indices[begin + i] = scratch[i].second;
+    }
   }
   return buckets;
 }
 
-/// Second pass of §4.1, shared by both builders: for each target pair w,
-/// walk the ancestors of its concept and report every candidate pair u
-/// sitting on an ancestor that covers w. Calls `emit(u_pair_index, w,
-/// weight)` once per covering (pair, target) combination.
+/// Second pass of §4.1 over targets [w_begin, w_end): for each target pair
+/// w, walk the precomputed ancestor closure of its concept and
+/// binary-search each ancestor bucket's `[s - eps, s + eps]` sentiment
+/// window. The window bounds carry a small absolute slack so rounding in
+/// `s ± eps` can never exclude a candidate; the exact Definition 1
+/// predicate `|s1 - s2| <= eps` then decides inside the window, keeping
+/// the emitted edge set bit-identical to a full-scan builder. Calls
+/// `emit(u_pair_index, w, weight)` once per covering (pair, target)
+/// combination, with w ascending. Returns the number of edges emitted.
 template <typename EmitFn>
-void ForEachCoveringPair(const PairDistance& distance,
-                         const std::vector<ConceptSentimentPair>& pairs,
-                         const EmitFn& emit) {
+size_t ForEachCoveringPairInRange(const PairDistance& distance,
+                                  const std::vector<ConceptSentimentPair>& pairs,
+                                  const ConceptBuckets& buckets, int w_begin,
+                                  int w_end, const EmitFn& emit) {
   const Ontology& onto = distance.ontology();
   const ConceptId root = onto.root();
   const double eps = distance.epsilon();
-  auto buckets = BucketByConcept(pairs);
-  for (int w = 0; w < static_cast<int>(pairs.size()); ++w) {
+  // Sentiments live in [-1, 1]; 1e-9 dwarfs the worst-case rounding of
+  // `s ± eps` (a few ulps) while admitting essentially no extra window
+  // candidates for the exact predicate to reject.
+  const double kWindowSlack = 1e-9;
+  size_t emitted = 0;
+  for (int w = w_begin; w < w_end; ++w) {
     const ConceptSentimentPair& target = pairs[static_cast<size_t>(w)];
-    for (const auto& [ancestor, hop_distance] :
-         onto.AncestorsWithDistance(target.concept_id)) {
-      auto it = buckets.find(ancestor);
-      if (it == buckets.end()) continue;
-      const bool ancestor_is_root = (ancestor == root);
-      for (int u : it->second) {
-        const ConceptSentimentPair& source = pairs[static_cast<size_t>(u)];
-        if (!ancestor_is_root &&
-            std::abs(source.sentiment - target.sentiment) > eps) {
-          continue;
+    for (const AncestorEntry& ancestor : onto.AncestorsOf(target.concept_id)) {
+      int32_t b =
+          buckets.bucket_of_concept[static_cast<size_t>(ancestor.concept_id)];
+      if (b < 0) continue;
+      const double weight = static_cast<double>(ancestor.distance);
+      size_t begin = buckets.offsets[static_cast<size_t>(b)];
+      size_t end = buckets.offsets[static_cast<size_t>(b) + 1];
+      if (ancestor.concept_id != root) {
+        const double* first = buckets.sentiments.data() + begin;
+        const double* last = buckets.sentiments.data() + end;
+        begin += static_cast<size_t>(
+            std::lower_bound(first, last, target.sentiment - eps - kWindowSlack) -
+            first);
+        end -= static_cast<size_t>(
+            last - std::upper_bound(first, last,
+                                    target.sentiment + eps + kWindowSlack));
+        for (size_t i = begin; i < end; ++i) {
+          if (std::abs(buckets.sentiments[i] - target.sentiment) > eps) {
+            continue;
+          }
+          emit(buckets.pair_indices[i], w, weight);
+          ++emitted;
         }
-        emit(u, w, static_cast<double>(hop_distance));
+      } else {
+        // The root covers every pair regardless of sentiment.
+        for (size_t i = begin; i < end; ++i) {
+          emit(buckets.pair_indices[i], w, weight);
+          ++emitted;
+        }
       }
     }
   }
+  return emitted;
+}
+
+/// Resolves the builder thread count: <= 0 means hardware concurrency,
+/// and shards never outnumber targets (an empty shard is pure overhead).
+int ResolveNumThreads(int num_threads, size_t num_targets) {
+  if (num_threads <= 0) {
+    unsigned hardware = std::thread::hardware_concurrency();
+    num_threads = static_cast<int>(std::max(1u, hardware));
+  }
+  if (num_targets == 0) return 1;
+  return std::min<int>(num_threads, static_cast<int>(num_targets));
+}
+
+/// Runs `shard_fn(shard, w_begin, w_end)` over `num_shards` contiguous,
+/// ascending, near-equal target ranges — shard 0 on the calling thread.
+/// Each shard must record only into shard-local state; `shard_fn` returns
+/// its emitted edge count, collected into the result for the imbalance
+/// telemetry.
+template <typename ShardFn>
+std::vector<size_t> RunSharded(int num_targets, int num_shards,
+                               const ShardFn& shard_fn) {
+  std::vector<size_t> emitted(static_cast<size_t>(num_shards), 0);
+  auto bounds = [&](int shard) {
+    int64_t lo = static_cast<int64_t>(num_targets) * shard / num_shards;
+    int64_t hi = static_cast<int64_t>(num_targets) * (shard + 1) / num_shards;
+    return std::pair<int, int>(static_cast<int>(lo), static_cast<int>(hi));
+  };
+  if (num_shards == 1) {
+    emitted[0] = shard_fn(0, 0, num_targets);
+    return emitted;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_shards) - 1);
+  for (int shard = 1; shard < num_shards; ++shard) {
+    auto [lo, hi] = bounds(shard);
+    workers.emplace_back([&emitted, &shard_fn, shard, lo, hi]() {
+      emitted[static_cast<size_t>(shard)] = shard_fn(shard, lo, hi);
+    });
+  }
+  auto [lo0, hi0] = bounds(0);
+  emitted[0] = shard_fn(0, lo0, hi0);
+  for (std::thread& worker : workers) worker.join();
+  return emitted;
+}
+
+/// Records the build telemetry: total eps-window hits (== edges emitted)
+/// and the shard imbalance in percent — (max - min) emitted per shard,
+/// relative to the max; 0 for a serial build or perfectly even shards.
+void RecordBuildTelemetry(const std::vector<size_t>& emitted_per_shard) {
+  size_t total = 0, max_emitted = 0, min_emitted = SIZE_MAX;
+  for (size_t emitted : emitted_per_shard) {
+    total += emitted;
+    max_emitted = std::max(max_emitted, emitted);
+    min_emitted = std::min(min_emitted, emitted);
+  }
+  BuildsCounter()->Increment();
+  WindowHitsCounter()->Add(static_cast<int64_t>(total));
+  int64_t imbalance_pct = 0;
+  if (emitted_per_shard.size() > 1 && max_emitted > 0) {
+    imbalance_pct = static_cast<int64_t>(
+        (max_emitted - min_emitted) * 100 / max_emitted);
+  }
+  ShardImbalanceGauge()->Set(imbalance_pct);
 }
 
 std::vector<double> RootDistances(
@@ -66,16 +232,63 @@ std::vector<double> RootDistances(
 
 CoverageGraph CoverageGraph::BuildForPairs(
     const PairDistance& distance,
-    const std::vector<ConceptSentimentPair>& pairs) {
+    const std::vector<ConceptSentimentPair>& pairs, int num_threads) {
   obs::TraceSpan build_span(obs::Phase::kBuildCoverageGraph);
-  std::vector<std::vector<Edge>> per_candidate(pairs.size());
-  ForEachCoveringPair(distance, pairs, [&](int u, int w, double weight) {
-    per_candidate[static_cast<size_t>(u)].push_back({w, weight});
-  });
+  const ConceptBuckets buckets = BucketByConcept(distance.ontology(), pairs);
+  const int num_targets = static_cast<int>(pairs.size());
+  const int num_candidates = num_targets;
+  const int num_shards = ResolveNumThreads(num_threads, pairs.size());
+
+  // Counting pass: the full closure/window enumeration with degrees as the
+  // only output. Nothing is materialized, so the pass reads only the hot
+  // bucket arrays. Per-target backward degrees are shared but race-free —
+  // each target belongs to exactly one shard.
+  std::vector<std::vector<size_t>> shard_degree(
+      static_cast<size_t>(num_shards));
+  std::vector<size_t> backward_degree(static_cast<size_t>(num_targets), 0);
+  std::vector<size_t> emitted = RunSharded(
+      num_targets, num_shards, [&](int shard, int w_begin, int w_end) {
+        std::vector<size_t>& degree = shard_degree[static_cast<size_t>(shard)];
+        degree.assign(static_cast<size_t>(num_candidates), 0);
+        return ForEachCoveringPairInRange(
+            distance, pairs, buckets, w_begin, w_end,
+            [&](int u, int w, double /*weight*/) {
+              ++degree[static_cast<size_t>(u)];
+              ++backward_degree[static_cast<size_t>(w)];
+            });
+      });
+  RecordBuildTelemetry(emitted);
+
+  // Scatter pass: re-run the same enumeration, writing every edge straight
+  // into both final CSR slots. Forward rows fill through per-(shard,
+  // candidate) cursors over disjoint slices — each shard emits ascending
+  // targets, so rows come out sorted with no intermediate buffers and no
+  // sort. Backward rows fill through one sequential per-shard cursor:
+  // target w's coverers are emitted consecutively and targets ascend, so
+  // the backward CSR needs no transpose pass at all.
   CoverageGraph graph;
-  graph.Assemble(static_cast<int>(pairs.size()),
-                 static_cast<int>(pairs.size()), std::move(per_candidate),
-                 RootDistances(distance, pairs));
+  graph.root_distance_ = RootDistances(distance, pairs);
+  graph.PrepareForwardScatter(num_candidates, shard_degree);
+  graph.PrepareBackwardFill(num_targets, backward_degree);
+  RunSharded(num_targets, num_shards,
+             [&](int shard, int w_begin, int w_end) {
+               std::vector<size_t>& cursor =
+                   shard_degree[static_cast<size_t>(shard)];
+               size_t backward_cursor =
+                   graph.backward_offsets_[static_cast<size_t>(w_begin)];
+               size_t shard_emitted = ForEachCoveringPairInRange(
+                   distance, pairs, buckets, w_begin, w_end,
+                   [&](int u, int w, double weight) {
+                     const float fw = static_cast<float>(weight);
+                     graph.forward_edges_[cursor[static_cast<size_t>(u)]++] =
+                         Edge{w, fw};
+                     graph.backward_edges_[backward_cursor++] = Edge{u, fw};
+                   });
+               OSRS_DCHECK_EQ(
+                   backward_cursor,
+                   graph.backward_offsets_[static_cast<size_t>(w_end)]);
+               return shard_emitted;
+             });
   obs::TraceStat(obs::Stat::kGraphEdgesBuilt,
                  static_cast<int64_t>(graph.num_edges()));
   return graph;
@@ -84,26 +297,59 @@ CoverageGraph CoverageGraph::BuildForPairs(
 CoverageGraph CoverageGraph::BuildForPairsWeighted(
     const PairDistance& distance,
     const std::vector<ConceptSentimentPair>& pairs,
-    const std::vector<double>& target_weights) {
+    const std::vector<double>& target_weights, int num_threads) {
   OSRS_CHECK_EQ(target_weights.size(), pairs.size());
-  CoverageGraph graph = BuildForPairs(distance, pairs);
+  CoverageGraph graph = BuildForPairs(distance, pairs, num_threads);
   graph.target_weights_ = target_weights;
   return graph;
 }
+
+namespace {
+
+/// Key of a DedupePairs bucket: a concept plus a quantized sentiment.
+struct DedupeKey {
+  ConceptId concept_id;
+  int64_t sentiment_bucket;
+
+  bool operator==(const DedupeKey& other) const {
+    return concept_id == other.concept_id &&
+           sentiment_bucket == other.sentiment_bucket;
+  }
+};
+
+/// Mixes the concept and bucket words with splitmix64-style avalanching;
+/// either field alone is low-entropy (small ids, clustered buckets).
+struct DedupeKeyHash {
+  size_t operator()(const DedupeKey& key) const {
+    uint64_t h = static_cast<uint64_t>(static_cast<uint32_t>(key.concept_id));
+    h = (h << 32) ^ static_cast<uint64_t>(key.sentiment_bucket);
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
 
 DedupedPairs DedupePairs(const std::vector<ConceptSentimentPair>& pairs,
                          double sentiment_quantum) {
   OSRS_CHECK_GT(sentiment_quantum, 0.0);
   DedupedPairs out;
   out.representative_of.resize(pairs.size());
-  // Bucket key: (concept, quantized sentiment).
-  std::map<std::pair<ConceptId, int64_t>, int> bucket_to_representative;
+  // Bucket key: (concept, quantized sentiment). Representatives are
+  // assigned in first-occurrence order, so the output is independent of
+  // the map's iteration order.
+  std::unordered_map<DedupeKey, int, DedupeKeyHash> bucket_to_representative;
+  bucket_to_representative.reserve(pairs.size());
   std::vector<double> sentiment_sums;
   for (size_t i = 0; i < pairs.size(); ++i) {
     int64_t bucket = static_cast<int64_t>(
         std::floor(pairs[i].sentiment / sentiment_quantum));
     auto [it, inserted] = bucket_to_representative.emplace(
-        std::make_pair(pairs[i].concept_id, bucket),
+        DedupeKey{pairs[i].concept_id, bucket},
         static_cast<int>(out.pairs.size()));
     if (inserted) {
       out.pairs.push_back(pairs[i]);
@@ -125,7 +371,7 @@ DedupedPairs DedupePairs(const std::vector<ConceptSentimentPair>& pairs,
 CoverageGraph CoverageGraph::BuildForGroups(
     const PairDistance& distance,
     const std::vector<ConceptSentimentPair>& pairs,
-    const std::vector<std::vector<int>>& groups) {
+    const std::vector<std::vector<int>>& groups, int num_threads) {
   obs::TraceSpan build_span(obs::Phase::kBuildCoverageGraph);
   // Map each pair index to its owning group (a pair belongs to exactly one
   // sentence / review).
@@ -140,78 +386,121 @@ CoverageGraph CoverageGraph::BuildForGroups(
     }
   }
 
-  // Aggregate pair-level edges to group level keeping the minimum weight.
-  // last_seen/best avoid a hash map: targets arrive in increasing w per the
-  // emit order, but one group may reach the same w through several member
-  // pairs, so dedupe with a per-(group) scratch of the current target.
-  std::vector<std::vector<Edge>> per_candidate(groups.size());
-  std::vector<int> last_target(groups.size(), -1);
-  ForEachCoveringPair(distance, pairs, [&](int u, int w, double weight) {
-    int g = group_of[static_cast<size_t>(u)];
-    if (g < 0) return;  // pair not part of any candidate group
-    auto& edges = per_candidate[static_cast<size_t>(g)];
-    if (last_target[static_cast<size_t>(g)] == w && !edges.empty() &&
-        edges.back().endpoint == w) {
-      edges.back().weight = std::min(edges.back().weight, weight);
-    } else {
-      edges.push_back({w, weight});
-      last_target[static_cast<size_t>(g)] = w;
-    }
-  });
+  const ConceptBuckets buckets = BucketByConcept(distance.ontology(), pairs);
+  const int num_targets = static_cast<int>(pairs.size());
+  const int num_candidates = static_cast<int>(groups.size());
+  const int num_shards = ResolveNumThreads(num_threads, pairs.size());
 
+  // Counting pass. Pair-level emits aggregate to group level: one group
+  // may reach the same target through several member pairs, and
+  // last_target dedupes those without a hash map — every emit for target w
+  // happens before any emit for w + 1 within a shard, and each target is
+  // wholly owned by one shard, so the group's previous target is all the
+  // state dedupe needs.
+  std::vector<std::vector<size_t>> shard_degree(
+      static_cast<size_t>(num_shards));
+  std::vector<size_t> backward_degree(static_cast<size_t>(num_targets), 0);
+  std::vector<size_t> emitted = RunSharded(
+      num_targets, num_shards, [&](int shard, int w_begin, int w_end) {
+        std::vector<size_t>& degree = shard_degree[static_cast<size_t>(shard)];
+        degree.assign(static_cast<size_t>(num_candidates), 0);
+        std::vector<int> last_target(groups.size(), -1);
+        return ForEachCoveringPairInRange(
+            distance, pairs, buckets, w_begin, w_end,
+            [&](int u, int w, double /*weight*/) {
+              int g = group_of[static_cast<size_t>(u)];
+              if (g < 0) return;  // pair not part of any candidate group
+              if (last_target[static_cast<size_t>(g)] == w) return;
+              last_target[static_cast<size_t>(g)] = w;
+              ++degree[static_cast<size_t>(g)];
+              ++backward_degree[static_cast<size_t>(w)];
+            });
+      });
+  RecordBuildTelemetry(emitted);
+
+  // Scatter pass: identical enumeration; a repeat (group, target) emit
+  // min-merges its weight into the forward and backward slots recorded by
+  // last_findex/last_bindex instead of consuming new ones, keeping
+  // Definition 2's minimum over member pairs in both CSR copies.
   CoverageGraph graph;
-  graph.Assemble(static_cast<int>(groups.size()),
-                 static_cast<int>(pairs.size()), std::move(per_candidate),
-                 RootDistances(distance, pairs));
+  graph.root_distance_ = RootDistances(distance, pairs);
+  graph.PrepareForwardScatter(num_candidates, shard_degree);
+  graph.PrepareBackwardFill(num_targets, backward_degree);
+  RunSharded(
+      num_targets, num_shards, [&](int shard, int w_begin, int w_end) {
+        std::vector<size_t>& cursor =
+            shard_degree[static_cast<size_t>(shard)];
+        size_t backward_cursor =
+            graph.backward_offsets_[static_cast<size_t>(w_begin)];
+        std::vector<int> last_target(groups.size(), -1);
+        std::vector<size_t> last_findex(groups.size(), 0);
+        std::vector<size_t> last_bindex(groups.size(), 0);
+        size_t shard_emitted = ForEachCoveringPairInRange(
+            distance, pairs, buckets, w_begin, w_end,
+            [&](int u, int w, double weight) {
+              int g = group_of[static_cast<size_t>(u)];
+              if (g < 0) return;
+              const float fw = static_cast<float>(weight);
+              if (last_target[static_cast<size_t>(g)] == w) {
+                Edge& forward =
+                    graph.forward_edges_[last_findex[static_cast<size_t>(g)]];
+                if (fw < forward.weight) {
+                  forward.weight = fw;
+                  graph.backward_edges_[last_bindex[static_cast<size_t>(g)]]
+                      .weight = fw;
+                }
+              } else {
+                last_target[static_cast<size_t>(g)] = w;
+                last_findex[static_cast<size_t>(g)] =
+                    cursor[static_cast<size_t>(g)];
+                last_bindex[static_cast<size_t>(g)] = backward_cursor;
+                graph.forward_edges_[cursor[static_cast<size_t>(g)]++] =
+                    Edge{w, fw};
+                graph.backward_edges_[backward_cursor++] = Edge{g, fw};
+              }
+            });
+        OSRS_DCHECK_EQ(backward_cursor,
+                       graph.backward_offsets_[static_cast<size_t>(w_end)]);
+        return shard_emitted;
+      });
   obs::TraceStat(obs::Stat::kGraphEdgesBuilt,
                  static_cast<int64_t>(graph.num_edges()));
   return graph;
 }
 
-void CoverageGraph::Assemble(int num_candidates, int num_targets,
-                             std::vector<std::vector<Edge>> per_candidate,
-                             std::vector<double> root_distance) {
-  OSRS_CHECK_EQ(per_candidate.size(), static_cast<size_t>(num_candidates));
-  OSRS_CHECK_EQ(root_distance.size(), static_cast<size_t>(num_targets));
-  root_distance_ = std::move(root_distance);
-
-  size_t total_edges = 0;
-  for (const auto& edges : per_candidate) total_edges += edges.size();
-
+void CoverageGraph::PrepareForwardScatter(
+    int num_candidates, std::vector<std::vector<size_t>>& shard_degree) {
+  OSRS_CHECK(!shard_degree.empty());
+  // Serial prefix sum (O(candidates × shards), cheap). shard_degree[s][u]
+  // becomes the scatter cursor for shard s's slice of candidate u's
+  // forward row; slices are consecutive in shard order, so after the
+  // scatter pass it holds the slice end == the start of shard s + 1's
+  // slice.
   forward_offsets_.assign(static_cast<size_t>(num_candidates) + 1, 0);
-  forward_edges_.clear();
-  forward_edges_.reserve(total_edges);
-  std::vector<size_t> backward_degree(static_cast<size_t>(num_targets), 0);
+  size_t running = 0;
   for (int u = 0; u < num_candidates; ++u) {
-    auto& edges = per_candidate[static_cast<size_t>(u)];
-    std::sort(edges.begin(), edges.end(),
-              [](const Edge& a, const Edge& b) {
-                return a.endpoint < b.endpoint;
-              });
-    for (const Edge& e : edges) {
-      forward_edges_.push_back(e);
-      ++backward_degree[static_cast<size_t>(e.endpoint)];
+    forward_offsets_[static_cast<size_t>(u)] = running;
+    for (std::vector<size_t>& degree : shard_degree) {
+      size_t d = degree[static_cast<size_t>(u)];
+      degree[static_cast<size_t>(u)] = running;
+      running += d;
     }
-    forward_offsets_[static_cast<size_t>(u) + 1] = forward_edges_.size();
   }
+  forward_offsets_[static_cast<size_t>(num_candidates)] = running;
+  forward_edges_.resize(running);
+}
 
+void CoverageGraph::PrepareBackwardFill(
+    int num_targets, const std::vector<size_t>& backward_degree) {
   backward_offsets_.assign(static_cast<size_t>(num_targets) + 1, 0);
   for (int w = 0; w < num_targets; ++w) {
     backward_offsets_[static_cast<size_t>(w) + 1] =
         backward_offsets_[static_cast<size_t>(w)] +
         backward_degree[static_cast<size_t>(w)];
   }
-  backward_edges_.resize(total_edges);
-  std::vector<size_t> cursor(backward_offsets_.begin(),
-                             backward_offsets_.end() - 1);
-  for (int u = 0; u < num_candidates; ++u) {
-    for (size_t i = forward_offsets_[static_cast<size_t>(u)];
-         i < forward_offsets_[static_cast<size_t>(u) + 1]; ++i) {
-      const Edge& e = forward_edges_[i];
-      backward_edges_[cursor[static_cast<size_t>(e.endpoint)]++] = {
-          u, e.weight};
-    }
-  }
+  OSRS_CHECK_EQ(backward_offsets_[static_cast<size_t>(num_targets)],
+                forward_edges_.size());
+  backward_edges_.resize(forward_edges_.size());
 }
 
 std::span<const CoverageGraph::Edge> CoverageGraph::EdgesOf(int u) const {
@@ -243,7 +532,7 @@ double CoverageGraph::CostOfSelection(const std::vector<int>& selected) const {
   for (int u : selected) {
     for (const Edge& e : EdgesOf(u)) {
       double& b = best[static_cast<size_t>(e.endpoint)];
-      b = std::min(b, e.weight);
+      b = std::min(b, static_cast<double>(e.weight));
     }
   }
   double total = 0.0;

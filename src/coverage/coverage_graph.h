@@ -23,26 +23,42 @@ namespace osrs {
 /// (target → candidates) to find the neighbor-of-neighbor keys to update.
 class CoverageGraph {
  public:
-  /// A half-edge: the opposite endpoint and the coverage distance.
+  /// A half-edge: the opposite endpoint and the coverage distance. The
+  /// weight is stored as float — coverage distances are small integer hop
+  /// counts (min over hops for group candidates), which float represents
+  /// exactly, and the 8-byte edge halves the CSR's memory traffic, the
+  /// dominant cost of construction and of the solvers' edge walks.
   struct Edge {
-    int endpoint;
-    double weight;
+    int32_t endpoint;
+    float weight;
   };
 
   /// Builds the k-Pairs graph: U = W = `pairs`. Mirrors the paper's two-pass
-  /// construction — bucket pairs by concept, then for each target walk its
-  /// concept's ancestors and link every bucketed candidate passing the
-  /// sentiment test.
+  /// construction — bucket pairs by concept (each bucket sorted by
+  /// sentiment), then for each target walk its concept's precomputed
+  /// ancestor closure and binary-search the `[s - eps, s + eps]` sentiment
+  /// window of every ancestor bucket, so inner-loop work is proportional to
+  /// the edges emitted rather than the bucket sizes.
+  ///
+  /// Construction is two passes over the same enumeration: a counting pass
+  /// (degrees only, nothing materialized) and a scatter pass writing every
+  /// edge directly into its final CSR slot — no intermediate edge buffers
+  /// and no per-candidate sort. `num_threads` shards the targets across
+  /// workers (1 = serial, the default; 0 = hardware concurrency); the
+  /// resulting graph is bit-identical at every thread count.
   static CoverageGraph BuildForPairs(
       const PairDistance& distance,
-      const std::vector<ConceptSentimentPair>& pairs);
+      const std::vector<ConceptSentimentPair>& pairs, int num_threads = 1);
 
   /// Builds the §4.5 graph: U = `groups` (each a list of indices into
-  /// `pairs`, e.g. the pairs of one sentence), W = `pairs`.
+  /// `pairs`, e.g. the pairs of one sentence), W = `pairs`. Same
+  /// `num_threads` contract as BuildForPairs; each target is processed
+  /// wholly by one shard, which keeps the per-group minimum-weight dedupe
+  /// exact.
   static CoverageGraph BuildForGroups(
       const PairDistance& distance,
       const std::vector<ConceptSentimentPair>& pairs,
-      const std::vector<std::vector<int>>& groups);
+      const std::vector<std::vector<int>>& groups, int num_threads = 1);
 
   /// Like BuildForPairs but with a multiplicity per target: target w
   /// contributes weight[w] · d(F, w) to the cost. Together with DedupePairs
@@ -52,7 +68,7 @@ class CoverageGraph {
   static CoverageGraph BuildForPairsWeighted(
       const PairDistance& distance,
       const std::vector<ConceptSentimentPair>& pairs,
-      const std::vector<double>& target_weights);
+      const std::vector<double>& target_weights, int num_threads = 1);
 
   int num_candidates() const { return static_cast<int>(forward_offsets_.size()) - 1; }
   int num_targets() const { return static_cast<int>(root_distance_.size()); }
@@ -90,10 +106,25 @@ class CoverageGraph {
   CoverageGraph() = default;
 
  private:
-  /// Shared CSR assembly once per-candidate edge lists are known.
-  void Assemble(int num_candidates, int num_targets,
-                std::vector<std::vector<Edge>> per_candidate,
-                std::vector<double> root_distance);
+  /// Turns the per-(shard, candidate) forward degree counts of the builders'
+  /// counting pass into forward_offsets_ plus disjoint scatter cursors (one
+  /// serial prefix sum), and sizes forward_edges_. On return,
+  /// `shard_degree[s][u]` is the first forward_edges_ slot of shard s's
+  /// slice of candidate u's row; slices are consecutive in shard order, so
+  /// after the builders' scatter pass it holds the slice end.
+  void PrepareForwardScatter(int num_candidates,
+                             std::vector<std::vector<size_t>>& shard_degree);
+
+  /// Prefix-sums the per-target covering counts into backward_offsets_ and
+  /// sizes backward_edges_. The scatter pass then fills backward rows
+  /// in-line: targets are enumerated in ascending order within each shard
+  /// and shards own contiguous target ranges, so every shard's backward
+  /// writes are purely sequential over a disjoint range — no transpose
+  /// pass. Rows hold a target's coverers in emission (closure × bucket)
+  /// order, which is fixed per target and thus identical at every shard
+  /// count.
+  void PrepareBackwardFill(int num_targets,
+                           const std::vector<size_t>& backward_degree);
 
   // Forward CSR: candidate u covers forward_edges_[forward_offsets_[u] ..].
   std::vector<size_t> forward_offsets_;

@@ -6,14 +6,14 @@
 namespace osrs {
 
 ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
-                         SummaryGranularity granularity) {
+                         SummaryGranularity granularity, int num_threads) {
   ItemGraph out;
   out.granularity = granularity;
   out.occurrences = CollectPairs(item);
   std::vector<ConceptSentimentPair> pairs = PairsOf(out.occurrences);
 
   if (granularity == SummaryGranularity::kPairs) {
-    out.graph = CoverageGraph::BuildForPairs(distance, pairs);
+    out.graph = CoverageGraph::BuildForPairs(distance, pairs, num_threads);
     return out;
   }
 
@@ -39,7 +39,8 @@ ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
     }
     out.groups.back().push_back(static_cast<int>(i));
   }
-  out.graph = CoverageGraph::BuildForGroups(distance, pairs, out.groups);
+  out.graph =
+      CoverageGraph::BuildForGroups(distance, pairs, out.groups, num_threads);
   return out;
 }
 

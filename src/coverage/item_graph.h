@@ -29,8 +29,10 @@ struct ItemGraph {
 /// Builds the §4.1/§4.5 graph for `item`. Sentences/reviews without any
 /// concept-sentiment pair are not candidates (they can never cover
 /// anything), matching the candidate sets the paper's solvers see.
+/// `num_threads` is forwarded to the CoverageGraph builders (1 = serial,
+/// 0 = hardware concurrency); the graph is identical at every count.
 ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
-                         SummaryGranularity granularity);
+                         SummaryGranularity granularity, int num_threads = 1);
 
 }  // namespace osrs
 

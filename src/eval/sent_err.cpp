@@ -33,13 +33,14 @@ double SentErr(const Ontology& ontology,
       err = closest_sentiment_gap(pair.concept_id, pair.sentiment);
     } else {
       // Lowest (minimum-distance) ancestor present in the summary.
-      // AncestorsWithDistance returns BFS order: non-decreasing distance.
+      // AncestorsOf is sorted by (distance, concept id), so the first hit
+      // is a closest ancestor.
       ConceptId lowest = kInvalidConcept;
-      for (const auto& [ancestor, distance] :
-           ontology.AncestorsWithDistance(pair.concept_id)) {
-        if (ancestor != pair.concept_id &&
-            summary_by_concept.count(ancestor)) {
-          lowest = ancestor;
+      for (const AncestorEntry& entry :
+           ontology.AncestorsOf(pair.concept_id)) {
+        if (entry.concept_id != pair.concept_id &&
+            summary_by_concept.count(entry.concept_id)) {
+          lowest = entry.concept_id;
           break;
         }
       }

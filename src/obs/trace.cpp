@@ -80,8 +80,4 @@ void SolveTrace::MergeFrom(const SolveTrace& other) {
   }
 }
 
-#if OSRS_OBS_ENABLED
-thread_local SolveTrace* Tracer::current_ = nullptr;
-#endif
-
 }  // namespace osrs::obs

@@ -5,8 +5,18 @@
 #include <queue>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace osrs {
+namespace {
+
+obs::Counter* ClosureEntriesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.ontology.closure_entries");
+  return counter;
+}
+
+}  // namespace
 
 ConceptId Ontology::AddConcept(std::string name) {
   OSRS_CHECK(!finalized_);
@@ -120,6 +130,58 @@ Status Ontology::Finalize() {
     }
   }
 
+  // Transitive ancestor closure with shortest hop distances, flattened to
+  // CSR. A DP over the topological order (parents complete before their
+  // children): closure(c) = {(c, 0)} ∪ min-merge over parents p of
+  // {(a, d + 1) : (a, d) ∈ closure(p)}. The `best` scratch dedupes shared
+  // ancestors of multi-parent diamonds keeping the minimum distance.
+  {
+    std::vector<std::vector<AncestorEntry>> closure(names_.size());
+    std::vector<int32_t> best(names_.size(), -1);
+    std::vector<ConceptId> touched;
+    for (ConceptId c : topo_order_) {
+      best[static_cast<size_t>(c)] = 0;
+      touched.push_back(c);
+      for (ConceptId parent : parents_[static_cast<size_t>(c)]) {
+        for (const AncestorEntry& entry :
+             closure[static_cast<size_t>(parent)]) {
+          int32_t via_parent = entry.distance + 1;
+          int32_t& slot = best[static_cast<size_t>(entry.concept_id)];
+          if (slot < 0) {
+            slot = via_parent;
+            touched.push_back(entry.concept_id);
+          } else if (via_parent < slot) {
+            slot = via_parent;
+          }
+        }
+      }
+      auto& mine = closure[static_cast<size_t>(c)];
+      mine.reserve(touched.size());
+      for (ConceptId ancestor : touched) {
+        int32_t& slot = best[static_cast<size_t>(ancestor)];
+        mine.push_back({ancestor, slot});
+        slot = -1;  // reset the scratch for the next concept
+      }
+      touched.clear();
+      std::sort(mine.begin(), mine.end(),
+                [](const AncestorEntry& a, const AncestorEntry& b) {
+                  return a.distance != b.distance ? a.distance < b.distance
+                                                  : a.concept_id < b.concept_id;
+                });
+    }
+    size_t total_entries = 0;
+    for (const auto& entries : closure) total_entries += entries.size();
+    closure_offsets_.assign(names_.size() + 1, 0);
+    closure_entries_.clear();
+    closure_entries_.reserve(total_entries);
+    for (size_t id = 0; id < names_.size(); ++id) {
+      closure_entries_.insert(closure_entries_.end(), closure[id].begin(),
+                              closure[id].end());
+      closure_offsets_[id + 1] = closure_entries_.size();
+    }
+    ClosureEntriesCounter()->Add(static_cast<int64_t>(total_entries));
+  }
+
   finalized_ = true;
   return Status::OK();
 }
@@ -155,46 +217,29 @@ int Ontology::AncestorDistance(ConceptId ancestor, ConceptId descendant) const {
   OSRS_CHECK(ValidateId(descendant).ok());
   if (ancestor == descendant) return 0;
   if (ancestor == root_) return depth_from_root_[descendant];
-  // BFS upward from the descendant over parent links; ancestor sets are
-  // small so this stays cheap.
-  std::unordered_map<ConceptId, int> dist;
-  dist.emplace(descendant, 0);
-  std::deque<ConceptId> frontier{descendant};
-  while (!frontier.empty()) {
-    ConceptId c = frontier.front();
-    frontier.pop_front();
-    int d = dist[c];
-    for (ConceptId parent : parents_[c]) {
-      auto [it, inserted] = dist.emplace(parent, d + 1);
-      if (inserted) {
-        if (parent == ancestor) return d + 1;
-        frontier.push_back(parent);
-      }
-    }
+  // Ancestor sets are small (see AverageAncestorCount), so a scan of the
+  // precomputed closure span beats any per-call traversal.
+  for (const AncestorEntry& entry : AncestorsOf(descendant)) {
+    if (entry.concept_id == ancestor) return entry.distance;
   }
   return -1;
 }
 
-std::vector<std::pair<ConceptId, int>> Ontology::AncestorsWithDistance(
-    ConceptId id) const {
+std::span<const AncestorEntry> Ontology::AncestorsOf(ConceptId id) const {
   OSRS_CHECK(finalized_);
   OSRS_CHECK(ValidateId(id).ok());
+  return {closure_entries_.data() + closure_offsets_[static_cast<size_t>(id)],
+          closure_offsets_[static_cast<size_t>(id) + 1] -
+              closure_offsets_[static_cast<size_t>(id)]};
+}
+
+std::vector<std::pair<ConceptId, int>> Ontology::AncestorsWithDistance(
+    ConceptId id) const {
   std::vector<std::pair<ConceptId, int>> result;
-  std::unordered_map<ConceptId, int> dist;
-  dist.emplace(id, 0);
-  result.emplace_back(id, 0);
-  std::deque<ConceptId> frontier{id};
-  while (!frontier.empty()) {
-    ConceptId c = frontier.front();
-    frontier.pop_front();
-    int d = dist[c];
-    for (ConceptId parent : parents_[c]) {
-      auto [it, inserted] = dist.emplace(parent, d + 1);
-      if (inserted) {
-        result.emplace_back(parent, d + 1);
-        frontier.push_back(parent);
-      }
-    }
+  std::span<const AncestorEntry> entries = AncestorsOf(id);
+  result.reserve(entries.size());
+  for (const AncestorEntry& entry : entries) {
+    result.emplace_back(entry.concept_id, entry.distance);
   }
   return result;
 }
@@ -207,11 +252,8 @@ int Ontology::DepthFromRoot(ConceptId id) const {
 
 double Ontology::AverageAncestorCount() const {
   OSRS_CHECK(finalized_);
-  size_t total = 0;
-  for (ConceptId id = 0; id < static_cast<ConceptId>(names_.size()); ++id) {
-    total += AncestorsWithDistance(id).size();
-  }
-  return static_cast<double>(total) / static_cast<double>(names_.size());
+  return static_cast<double>(closure_entries_.size()) /
+         static_cast<double>(names_.size());
 }
 
 std::vector<ConceptId> Ontology::DescendantsOf(ConceptId id) const {

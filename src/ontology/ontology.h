@@ -2,6 +2,7 @@
 #define OSRS_ONTOLOGY_ONTOLOGY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,6 +18,14 @@ using ConceptId = int32_t;
 
 /// Sentinel for "no such concept".
 inline constexpr ConceptId kInvalidConcept = -1;
+
+/// One record of the precomputed ancestor closure: an ancestor (or the
+/// concept itself at distance 0) together with the shortest upward hop
+/// distance to it.
+struct AncestorEntry {
+  ConceptId concept_id;
+  int32_t distance;
+};
 
 /// A rooted DAG of domain concepts (the paper's aspect hierarchy, §2).
 ///
@@ -83,8 +92,15 @@ class Ontology {
   int AncestorDistance(ConceptId ancestor, ConceptId descendant) const;
 
   /// All ancestors of `id` (including itself at distance 0) with their
-  /// shortest upward distances, in BFS order. This is the inner loop of the
-  /// §4.1 initialization, so it allocates one small vector only.
+  /// shortest upward distances, sorted by (distance, concept id) — so
+  /// non-decreasing distance, like a deterministic BFS. This is the inner
+  /// loop of the §4.1 initialization: it is a span into the transitive
+  /// closure precomputed at Finalize(), so a call does no traversal,
+  /// hashing, or allocation.
+  std::span<const AncestorEntry> AncestorsOf(ConceptId id) const;
+
+  /// Copying variant of AncestorsOf kept for call sites that want to own
+  /// the result; same contents and ordering.
   std::vector<std::pair<ConceptId, int>> AncestorsWithDistance(
       ConceptId id) const;
 
@@ -95,7 +111,8 @@ class Ontology {
   int max_depth() const { return max_depth_; }
 
   /// Mean number of ancestors (incl. self) per concept; the §4.1 linearity
-  /// claim rests on this being small.
+  /// claim rests on this being small. O(1): derived from the closure CSR
+  /// degrees.
   double AverageAncestorCount() const;
 
   /// All descendants of `id` (including itself), in BFS order. The set of
@@ -149,6 +166,12 @@ class Ontology {
   std::vector<int> depth_from_root_;
   int max_depth_ = 0;
   std::vector<ConceptId> topo_order_;
+  // Transitive ancestor closure in CSR form, filled at Finalize():
+  // closure_entries_[closure_offsets_[id] .. closure_offsets_[id + 1])
+  // holds every ancestor-or-self of `id` with its shortest hop distance,
+  // sorted by (distance, concept id).
+  std::vector<size_t> closure_offsets_;
+  std::vector<AncestorEntry> closure_entries_;
 };
 
 }  // namespace osrs

@@ -110,7 +110,7 @@ Result<SummaryResult> LocalSearchSummarizer::Summarize(
           size_t w = static_cast<size_t>(e.endpoint);
           double base = state.owner1[w] == u_out ? state.best2[w]
                                                  : state.best1[w];
-          double now = std::min(base, e.weight);
+          double now = std::min(base, static_cast<double>(e.weight));
           delta += (now - state.best1[w]) * graph.target_weight(e.endpoint);
         }
         for (const CoverageGraph::Edge& e : graph.EdgesOf(u_out)) {

@@ -130,6 +130,62 @@ TEST(OntologyTest, AncestorsWithDistanceIncludesSelfAndAll) {
   EXPECT_TRUE(ids.count(onto.root()));
 }
 
+TEST(OntologyTest, AncestorsOfSpanMatchesCopyingVariant) {
+  Ontology onto = BuildDiamond();
+  for (ConceptId id = 0; id < static_cast<ConceptId>(onto.num_concepts());
+       ++id) {
+    auto span = onto.AncestorsOf(id);
+    auto copied = onto.AncestorsWithDistance(id);
+    ASSERT_EQ(span.size(), copied.size());
+    for (size_t i = 0; i < span.size(); ++i) {
+      EXPECT_EQ(span[i].concept_id, copied[i].first);
+      EXPECT_EQ(span[i].distance, copied[i].second);
+    }
+  }
+}
+
+TEST(OntologyTest, AncestorsOfSortedByDistanceThenId) {
+  Ontology onto = BuildDiamond();
+  for (ConceptId id = 0; id < static_cast<ConceptId>(onto.num_concepts());
+       ++id) {
+    auto span = onto.AncestorsOf(id);
+    ASSERT_FALSE(span.empty());
+    // Self first at distance 0, then strictly increasing (distance, id).
+    EXPECT_EQ(span[0].concept_id, id);
+    EXPECT_EQ(span[0].distance, 0);
+    for (size_t i = 1; i < span.size(); ++i) {
+      bool ordered = span[i - 1].distance < span[i].distance ||
+                     (span[i - 1].distance == span[i].distance &&
+                      span[i - 1].concept_id < span[i].concept_id);
+      EXPECT_TRUE(ordered) << "at " << i << " for concept " << id;
+    }
+  }
+}
+
+TEST(OntologyTest, AncestorsOfDiamondKeepsMinimumDistance) {
+  // root -> a -> b -> c and root -> c: the closure of c must record the
+  // direct 1-hop path to root, not the 3-hop one through a and b.
+  Ontology onto;
+  ConceptId root = onto.AddConcept("root");
+  ConceptId a = onto.AddConcept("a");
+  ConceptId b = onto.AddConcept("b");
+  ConceptId c = onto.AddConcept("c");
+  ASSERT_TRUE(onto.AddEdge(root, a).ok());
+  ASSERT_TRUE(onto.AddEdge(a, b).ok());
+  ASSERT_TRUE(onto.AddEdge(b, c).ok());
+  ASSERT_TRUE(onto.AddEdge(root, c).ok());
+  ASSERT_TRUE(onto.Finalize().ok());
+  bool saw_root = false;
+  for (const AncestorEntry& entry : onto.AncestorsOf(c)) {
+    if (entry.concept_id == root) {
+      EXPECT_EQ(entry.distance, 1);
+      saw_root = true;
+    }
+  }
+  EXPECT_TRUE(saw_root);
+  EXPECT_EQ(onto.AncestorsOf(c).size(), 4u);
+}
+
 TEST(OntologyTest, DepthFromRootMatchesAncestorDistance) {
   Ontology onto = BuildDiamond();
   for (ConceptId id = 0; id < static_cast<ConceptId>(onto.num_concepts());
