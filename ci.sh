@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI driver: the tier-1 suite in the default configuration, a lint stage
-# (tools/lint.sh conventions + osrs_lint over the shipped example data +
-# clang-tidy when installed), an OSRS_OBS=OFF build proving the telemetry
-# layer compiles out, the full suite under ASan+UBSan, and a TSan pass
-# over the multi-threaded BatchSummarizer tests.
+# CI driver: the tier-1 suite in the default configuration, a chaos stage
+# (randomized failpoint schedules, env-spec arming end to end, retry
+# overhead bench), a lint stage (tools/lint.sh conventions + osrs_lint
+# over the shipped example data + clang-tidy when installed), OSRS_OBS=OFF
+# and OSRS_FAILPOINTS=OFF builds proving the telemetry and fault layers
+# compile out, the full suite (chaos included) under ASan+UBSan, and a
+# TSan pass over the multi-threaded BatchSummarizer and chaos tests.
 # Usage: ./ci.sh [--skip-sanitizers] [--skip-lint]
 set -euo pipefail
 
@@ -40,6 +42,19 @@ echo "== coverage-build bench smoke =="
 # report is written (full-size numbers live in BENCH_coverage.json).
 ./build/bench/bench_coverage_build --smoke --out=build/BENCH_coverage_smoke.json
 
+echo "== chaos stage: failpoint schedules + env arming + retry overhead =="
+# chaos_test (also part of the suite above) is the randomized campaign;
+# here the two pieces the suite cannot cover run on top: the
+# OSRS_FAILPOINTS environment grammar driving an unmodified binary into a
+# failure, and the retry-overhead bench holding the <1% steady-state bar.
+if OSRS_FAILPOINTS='osrs.io.read=error(unavailable)' \
+   ./build/tools/osrs_stats --items 1 examples/data/sample_corpus.txt \
+   > /dev/null 2>&1; then
+  echo "ci.sh: OSRS_FAILPOINTS env spec did not inject" >&2
+  exit 1
+fi
+./build/bench/bench_retry_overhead --smoke --out=build/BENCH_retry_smoke.json
+
 if [[ "$SKIP_LINT" == "1" ]]; then
   echo "== lint stage skipped =="
 else
@@ -58,6 +73,22 @@ run_suite build-noobs -DOSRS_OBS=OFF
 (cd build-noobs && \
  ctest --output-on-failure -j "$JOBS" -R 'obs_test|solver_test|api_test')
 
+echo "== OSRS_FAILPOINTS=OFF build + fault-adjacent tests =="
+# The fault layer must compile out: every OSRS_FAILPOINT site becomes a
+# constant Status::OK() and the retry/isolation machinery still builds and
+# passes. chaos_test itself needs live injection, so the batch-facing
+# suites stand in; the bench proves zero site evaluations end to end.
+run_suite build-nofp -DOSRS_FAILPOINTS=OFF
+(cd build-nofp && \
+ ctest --output-on-failure -j "$JOBS" \
+       -R 'api_test|budget_test|corpus_io_test|solver_test')
+./build-nofp/bench/bench_retry_overhead --smoke \
+    --out=build-nofp/BENCH_retry_off.json
+if ! grep -q '"compiled_in":false' build-nofp/BENCH_retry_off.json; then
+  echo "ci.sh: OSRS_FAILPOINTS=OFF build still reports compiled_in" >&2
+  exit 1
+fi
+
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "== sanitizer passes skipped =="
   exit 0
@@ -74,6 +105,6 @@ run_suite build-tsan -DOSRS_SANITIZE=thread
 (cd build-tsan && \
  TSAN_OPTIONS=halt_on_error=1 \
  ctest --output-on-failure -j "$JOBS" \
-       -R 'budget_test|api_test|fuzz_robustness_test|integration_test|coverage_diff_test')
+       -R 'budget_test|api_test|fuzz_robustness_test|integration_test|coverage_diff_test|chaos_test')
 
 echo "== ci.sh: all passes green =="

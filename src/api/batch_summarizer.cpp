@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <new>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -29,14 +33,137 @@ obs::Gauge* InflightGauge() {
   return gauge;
 }
 
+obs::Counter* RetriesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.batch.retries");
+  return counter;
+}
+
+obs::Counter* ExceptionsIsolatedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "osrs.batch.exceptions_isolated");
+  return counter;
+}
+
+/// The per-worker exception boundary: a solve that throws — bad_alloc from
+/// an allocation spike, anything else from a bug or an injected failpoint —
+/// becomes a kInternal Status confined to this item instead of a
+/// std::terminate that takes the whole batch down. kInternal is retryable,
+/// so a configured RetryPolicy re-attempts the item.
+Result<ItemSummary> GuardedSummarize(const ReviewSummarizer& summarizer,
+                                     const Item& item, int k,
+                                     const ExecutionBudget& budget,
+                                     bool* exception_isolated) {
+  try {
+    return summarizer.Summarize(item, k, budget);
+  } catch (const std::bad_alloc&) {
+    *exception_isolated = true;
+    return Status::Internal("isolated std::bad_alloc from summarize worker");
+  } catch (const std::exception& e) {
+    *exception_isolated = true;
+    return Status::Internal(StrFormat(
+        "isolated exception from summarize worker: %s", e.what()));
+  } catch (...) {
+    *exception_isolated = true;
+    return Status::Internal(
+        "isolated non-standard exception from summarize worker");
+  }
+}
+
+/// splitmix64 finalizer: full-avalanche mix of the jitter inputs.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Backoff before retry `attempt` (1-based) of item `item_index`:
+/// exponential, capped, with a deterministic jitter factor in
+/// [1 - jitter, 1] so identical (policy, item, attempt) triples always
+/// sleep the same duration.
+double BackoffMs(const RetryPolicy& policy, size_t item_index, int attempt) {
+  double base = policy.initial_backoff_ms *
+                std::pow(policy.backoff_multiplier, attempt - 1);
+  base = std::min(base, policy.max_backoff_ms);
+  if (base <= 0.0) return 0.0;
+  uint64_t h = Mix64(policy.jitter_seed ^
+                     Mix64(static_cast<uint64_t>(item_index) * 0x9E3779B97F4A7C15ull ^
+                           static_cast<uint64_t>(attempt)));
+  double unit = static_cast<double>(h >> 11) * 0x1p-53;  // [0, 1)
+  double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  return base * (1.0 - jitter * unit);
+}
+
+/// Runs one item to completion under the retry policy, filling `entry`.
+/// Only transient statuses (StatusCodeIsRetryable) are re-attempted, each
+/// after a jittered backoff capped by the remaining batch deadline; the
+/// batch budget is re-checked before every re-attempt so a drained batch
+/// stops retrying immediately.
+void RunItemWithRetries(const ReviewSummarizer& summarizer, const Item& item,
+                        int k, const ExecutionBudget& batch_budget,
+                        const RetryPolicy& policy, size_t item_index,
+                        BatchEntry& entry) {
+  for (int attempt = 0;; ++attempt) {
+    bool exception_isolated = false;
+    Result<ItemSummary> result = GuardedSummarize(summarizer, item, k,
+                                                  batch_budget,
+                                                  &exception_isolated);
+    if (exception_isolated) {
+      entry.isolated_exception = true;
+      ExceptionsIsolatedCounter()->Increment();
+    }
+    if (result.ok()) {
+      entry.summary = std::move(result).value();
+      entry.summary.retries = entry.retries;
+      entry.status = Status::OK();
+      return;
+    }
+    Status failure = result.status();
+    if (!StatusCodeIsRetryable(failure.code())) {
+      entry.status = std::move(failure);
+      return;
+    }
+    if (attempt >= policy.max_retries) {
+      entry.exhausted_retries = policy.max_retries > 0;
+      entry.status = std::move(failure);
+      return;
+    }
+    // A tripped batch budget outranks the retry budget: report the real
+    // failure, but spend no more time on this item.
+    if (!batch_budget.Check().ok()) {
+      entry.status = std::move(failure);
+      return;
+    }
+    ++entry.retries;
+    RetriesCounter()->Increment();
+    double backoff_ms = BackoffMs(policy, item_index, attempt + 1);
+    double remaining_ms = batch_budget.RemainingMs();
+    if (std::isfinite(remaining_ms)) {
+      backoff_ms = std::min(backoff_ms, std::max(0.0, remaining_ms));
+    }
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
+}
+
 }  // namespace
 
 std::string BatchStats::ToJson() const {
   return StrFormat(
       "{\"total\":%lld,\"ok\":%lld,\"failed\":%lld,\"degraded\":%lld,"
+      "\"retries\":%lld,\"exhausted_retries\":%lld,"
+      "\"isolated_exceptions\":%lld,"
       "\"total_ms\":%s,\"solver_ms\":%s,\"stats\":%s}",
       static_cast<long long>(total), static_cast<long long>(ok),
       static_cast<long long>(failed), static_cast<long long>(degraded),
+      static_cast<long long>(retries),
+      static_cast<long long>(exhausted_retries),
+      static_cast<long long>(isolated_exceptions),
       total_ms.ToJson().c_str(), solver_ms.ToJson().c_str(),
       stats.ToJson().c_str());
 }
@@ -47,6 +174,9 @@ BatchStats AggregateBatchStats(const std::vector<BatchEntry>& entries) {
   out.solver_ms = obs::HistogramSnapshot(LatencyBoundsMs());
   for (const BatchEntry& entry : entries) {
     ++out.total;
+    out.retries += entry.retries;
+    if (entry.exhausted_retries) ++out.exhausted_retries;
+    if (entry.isolated_exception) ++out.isolated_exceptions;
     if (!entry.status.ok()) {
       ++out.failed;
       continue;
@@ -127,13 +257,9 @@ std::vector<BatchEntry> BatchSummarizer::SummarizeAll(
         continue;
       }
       InflightGauge()->Increment();
-      auto result = summarizer.Summarize(items[index], k, batch_budget);
+      RunItemWithRetries(summarizer, items[index], k, batch_budget,
+                         options_.retry_policy, index, entries[index]);
       InflightGauge()->Decrement();
-      if (result.ok()) {
-        entries[index].summary = std::move(result).value();
-      } else {
-        entries[index].status = result.status();
-      }
     }
   };
 

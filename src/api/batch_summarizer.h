@@ -1,6 +1,7 @@
 #ifndef OSRS_API_BATCH_SUMMARIZER_H_
 #define OSRS_API_BATCH_SUMMARIZER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,29 @@
 #include "obs/solver_stats.h"
 
 namespace osrs {
+
+/// How BatchSummarizer re-attempts an item whose solve failed with a
+/// transient status (StatusCodeIsRetryable: kUnavailable,
+/// kResourceExhausted, kInternal — which includes exceptions isolated by
+/// the worker boundary). Permanent failures (kInvalidArgument, kCancelled,
+/// kDeadlineExceeded, ...) are never retried: they would fail identically
+/// or the budget itself is gone.
+struct RetryPolicy {
+  /// Re-attempts after the first failure; 0 (the default) disables
+  /// retrying entirely, preserving the historical one-shot behavior.
+  int max_retries = 0;
+  /// Backoff before retry r (1-based): initial * multiplier^(r-1), capped
+  /// at `max_backoff_ms`, then scaled by a deterministic jitter factor in
+  /// [1 - jitter, 1] derived from (jitter_seed, item index, r) — fixed
+  /// seed means bit-reproducible retry timing decisions. The sleep is
+  /// additionally capped by the remaining batch deadline.
+  double initial_backoff_ms = 1.0;
+  double max_backoff_ms = 100.0;
+  double backoff_multiplier = 2.0;
+  /// Fraction of the backoff the jitter may remove, in [0, 1].
+  double jitter = 0.5;
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+};
 
 /// Options of the multi-item driver.
 struct BatchSummarizerOptions {
@@ -33,12 +57,26 @@ struct BatchSummarizerOptions {
   /// Optional cooperative cancellation covering the whole batch; the flag
   /// must outlive SummarizeAll. Unstarted items are stamped kCancelled.
   const CancellationFlag* cancellation = nullptr;
+  /// Transient-failure retry policy, applied per item inside the worker
+  /// loop. The default (max_retries = 0) never retries.
+  RetryPolicy retry_policy;
 };
 
 /// One item's outcome in a batch.
 struct BatchEntry {
   Status status;        // OK when `summary` is valid
   ItemSummary summary;  // default-constructed on error
+  /// Re-attempts this item consumed (also stamped on summary.retries for
+  /// OK entries, so it survives into ItemSummary::ToJson).
+  int retries = 0;
+  /// True when the final status is still retryable but the policy's
+  /// max_retries > 0 budget was used up — the item might have succeeded
+  /// with a larger budget, unlike a permanent failure.
+  bool exhausted_retries = false;
+  /// True when at least one attempt ended in an exception (bad_alloc or
+  /// otherwise) that the worker boundary converted to kInternal instead of
+  /// letting it terminate the process.
+  bool isolated_exception = false;
 };
 
 /// Batch-level roll-up of per-item diagnostics: outcome counts, latency
@@ -48,6 +86,11 @@ struct BatchStats {
   int64_t ok = 0;        // entries with an OK status
   int64_t failed = 0;    // entries with a non-OK status
   int64_t degraded = 0;  // OK entries whose summary is flagged degraded
+  int64_t retries = 0;   // re-attempts summed over all entries
+  /// Entries whose retry budget ran out on a still-retryable failure.
+  int64_t exhausted_retries = 0;
+  /// Entries where the worker exception boundary fired at least once.
+  int64_t isolated_exceptions = 0;
 
   /// End-to-end per-item milliseconds (ItemSummary::budget_spent_ms) and
   /// solver-only milliseconds, over the OK entries.
@@ -58,7 +101,8 @@ struct BatchStats {
   /// phase calls sum, counters sum.
   obs::SolverStats stats;
 
-  /// {"total":N,"ok":N,"failed":N,"degraded":N,
+  /// {"total":N,"ok":N,"failed":N,"degraded":N,"retries":N,
+  ///  "exhausted_retries":N,"isolated_exceptions":N,
   ///  "total_ms":<hist>,"solver_ms":<hist>,"stats":<SolverStats>}
   std::string ToJson() const;
 };
@@ -76,7 +120,12 @@ BatchStats AggregateBatchStats(const std::vector<BatchEntry>& entries);
 /// deadline plus one solver check interval. Per-item failures (invalid
 /// sentiments, k < 0, budget trips that exhausted the fallback chain) are
 /// confined to their entry's Status; k == 0 is valid and yields empty
-/// summaries.
+/// summaries. A hard exception boundary wraps every solve: an exception
+/// escaping one item (std::bad_alloc included) becomes that entry's
+/// kInternal status — flagged isolated_exception — and every other item
+/// proceeds untouched. Transient failures are re-attempted per
+/// BatchSummarizerOptions::retry_policy with deterministic jittered
+/// backoff; see README.md, "Failure semantics".
 class BatchSummarizer {
  public:
   /// `ontology` must outlive the batch summarizer.

@@ -110,11 +110,12 @@ std::string ItemSummary::ToJson() const {
   out += StrFormat(
       "\"diagnostics\":{\"degraded\":%s,\"algorithm\":\"%s\","
       "\"stop_reason\":\"%s\",\"budget_spent_ms\":%.3f,"
-      "\"solver_seconds\":%.6g,\"validation_warnings\":%s,\"stats\":%s},",
+      "\"solver_seconds\":%.6g,\"retries\":%d,"
+      "\"validation_warnings\":%s,\"stats\":%s},",
       degraded ? "true" : "false",
       JsonEscape(SummaryAlgorithmToString(algorithm_used)).c_str(),
       StatusCodeToString(stop_reason), budget_spent_ms, solver_seconds,
-      warnings_json.c_str(), stats.ToJson().c_str());
+      retries, warnings_json.c_str(), stats.ToJson().c_str());
   out += "\"entries\":[";
   for (size_t i = 0; i < entries.size(); ++i) {
     if (i > 0) out += ',';
@@ -193,8 +194,16 @@ Result<ItemSummary> ReviewSummarizer::Summarize(
   }
 
   PairDistance distance(ontology_, epsilon);
-  ItemGraph item_graph = BuildItemGraph(distance, item, options_.granularity,
-                                        options_.graph_build_threads);
+  CoverageBuildOptions build_options;
+  build_options.num_threads = options_.graph_build_threads;
+  build_options.max_memory_bytes = options_.max_memory_bytes;
+  Result<ItemGraph> built =
+      TryBuildItemGraph(distance, item, options_.granularity, build_options);
+  // Graph construction failures (memory budget, injected faults) have no
+  // partial result to degrade to; surface them for the caller's retry
+  // policy — kResourceExhausted and injected codes are retryable.
+  OSRS_RETURN_IF_ERROR(built.status());
+  ItemGraph item_graph = std::move(built).value();
   int effective_k = std::min<int>(k, item_graph.graph.num_candidates());
 
   if (options_.strict_validation) {

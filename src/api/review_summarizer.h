@@ -41,6 +41,13 @@ struct ReviewSummarizerOptions {
   /// InvalidArgument error at Summarize time. Worth raising only for large
   /// items — graph construction is a small fraction of a typical solve.
   int graph_build_threads = 1;
+  /// Upper bound on the bytes the item's coverage graph may occupy; 0 (the
+  /// default) means unlimited. The builder's counting pass knows the exact
+  /// edge total before allocating, so an over-budget item fails fast with
+  /// kResourceExhausted — a retryable code, so a BatchSummarizer
+  /// RetryPolicy will re-attempt it (useful when the pressure is transient)
+  /// and otherwise the item is isolated instead of OOM-killing the process.
+  size_t max_memory_bytes = 0;
   /// Seed of the randomized-rounding draw (unused by other algorithms).
   /// Fallback attempts reseed deterministically (seed + attempt index) so a
   /// retried randomized rounding draws a fresh sample.
@@ -132,6 +139,11 @@ struct ItemSummary {
   /// when ReviewSummarizerOptions::collect_stats is false or the tree was
   /// built with -DOSRS_OBS=OFF).
   obs::SolverStats stats;
+  /// Transient-failure retries this summary consumed before succeeding.
+  /// Always 0 from ReviewSummarizer::Summarize itself — retrying is
+  /// BatchSummarizer's job (see BatchSummarizerOptions::retry_policy),
+  /// which stamps the count on the entry it returns.
+  int retries = 0;
 
   /// Compact JSON rendering (entries, cost, diagnostics) for tooling.
   ///

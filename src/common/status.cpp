@@ -24,8 +24,21 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool StatusCodeIsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::ToString() const {

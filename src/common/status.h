@@ -23,10 +23,22 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// The operation was stopped by a cooperative cancellation flag.
   kCancelled,
+  /// A dependency (file system, allocator pressure, transient I/O) was
+  /// temporarily unusable; the operation may well succeed if retried.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
+
+/// The retryable-vs-permanent taxonomy used by BatchSummarizer's
+/// RetryPolicy (documented in README.md, "Failure semantics"). Transient:
+/// kUnavailable (I/O hiccup), kResourceExhausted (allocation spike or work
+/// budget on a shared machine), kInternal (includes exceptions isolated by
+/// the batch worker boundary). Everything else is permanent — retrying an
+/// kInvalidArgument burns budget to fail identically, and
+/// kDeadlineExceeded / kCancelled mean the caller's budget itself is gone.
+bool StatusCodeIsRetryable(StatusCode code);
 
 /// Result of a fallible operation: either OK or a code plus message.
 ///
@@ -72,6 +84,9 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

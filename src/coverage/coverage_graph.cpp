@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/strings.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -228,16 +230,56 @@ std::vector<double> RootDistances(
   return root_distance;
 }
 
+/// Exact forward-edge total after a counting pass: the sum of every
+/// (shard, candidate) degree.
+size_t TotalCountedEdges(const std::vector<std::vector<size_t>>& shard_degree) {
+  size_t total = 0;
+  for (const std::vector<size_t>& degree : shard_degree) {
+    for (size_t d : degree) total += d;
+  }
+  return total;
+}
+
+/// The TryBuild* memory gate, evaluated between the counting and scatter
+/// passes: the edge total is exact, nothing is allocated yet, so an
+/// over-budget build degrades to a clean kResourceExhausted instead of an
+/// allocation failure mid-construction.
+Status CheckMemoryBudget(const CoverageBuildOptions& options, size_t num_edges,
+                         size_t num_candidates, size_t num_targets,
+                         bool weighted) {
+  if (options.max_memory_bytes == 0) return Status::OK();
+  size_t needed = CoverageGraph::EstimateBytes(num_edges, num_candidates,
+                                               num_targets, weighted);
+  if (needed <= options.max_memory_bytes) return Status::OK();
+  return Status::ResourceExhausted(StrFormat(
+      "coverage graph needs %zu bytes (%zu edges, %zu candidates, "
+      "%zu targets) but max_memory_bytes is %zu",
+      needed, num_edges, num_candidates, num_targets,
+      options.max_memory_bytes));
+}
+
 }  // namespace
 
-CoverageGraph CoverageGraph::BuildForPairs(
+size_t CoverageGraph::EstimateBytes(size_t num_edges, size_t num_candidates,
+                                    size_t num_targets, bool weighted) {
+  // Both CSR edge copies, both offset arrays, root distances, and (when
+  // built weighted) the multiplicity array.
+  size_t bytes = 2 * num_edges * sizeof(Edge);
+  bytes += (num_candidates + 1 + num_targets + 1) * sizeof(size_t);
+  bytes += num_targets * sizeof(double);
+  if (weighted) bytes += num_targets * sizeof(double);
+  return bytes;
+}
+
+Result<CoverageGraph> CoverageGraph::BuildForPairsImpl(
     const PairDistance& distance,
-    const std::vector<ConceptSentimentPair>& pairs, int num_threads) {
+    const std::vector<ConceptSentimentPair>& pairs,
+    const CoverageBuildOptions& options, bool weighted) {
   obs::TraceSpan build_span(obs::Phase::kBuildCoverageGraph);
   const ConceptBuckets buckets = BucketByConcept(distance.ontology(), pairs);
   const int num_targets = static_cast<int>(pairs.size());
   const int num_candidates = num_targets;
-  const int num_shards = ResolveNumThreads(num_threads, pairs.size());
+  const int num_shards = ResolveNumThreads(options.num_threads, pairs.size());
 
   // Counting pass: the full closure/window enumeration with degrees as the
   // only output. Nothing is materialized, so the pass reads only the hot
@@ -258,6 +300,10 @@ CoverageGraph CoverageGraph::BuildForPairs(
             });
       });
   RecordBuildTelemetry(emitted);
+  OSRS_RETURN_IF_ERROR(CheckMemoryBudget(
+      options, TotalCountedEdges(shard_degree),
+      static_cast<size_t>(num_candidates), static_cast<size_t>(num_targets),
+      weighted));
 
   // Scatter pass: re-run the same enumeration, writing every edge straight
   // into both final CSR slots. Forward rows fill through per-(shard,
@@ -294,6 +340,26 @@ CoverageGraph CoverageGraph::BuildForPairs(
   return graph;
 }
 
+CoverageGraph CoverageGraph::BuildForPairs(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs, int num_threads) {
+  CoverageBuildOptions options;
+  options.num_threads = num_threads;
+  // No memory limit and no failpoint on the legacy path, so the impl
+  // cannot fail.
+  auto graph = BuildForPairsImpl(distance, pairs, options, /*weighted=*/false);
+  OSRS_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+Result<CoverageGraph> CoverageGraph::TryBuildForPairs(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs,
+    const CoverageBuildOptions& options) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.coverage.alloc"));
+  return BuildForPairsImpl(distance, pairs, options, /*weighted=*/false);
+}
+
 CoverageGraph CoverageGraph::BuildForPairsWeighted(
     const PairDistance& distance,
     const std::vector<ConceptSentimentPair>& pairs,
@@ -301,6 +367,23 @@ CoverageGraph CoverageGraph::BuildForPairsWeighted(
   OSRS_CHECK_EQ(target_weights.size(), pairs.size());
   CoverageGraph graph = BuildForPairs(distance, pairs, num_threads);
   graph.target_weights_ = target_weights;
+  return graph;
+}
+
+Result<CoverageGraph> CoverageGraph::TryBuildForPairsWeighted(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs,
+    const std::vector<double>& target_weights,
+    const CoverageBuildOptions& options) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.coverage.alloc"));
+  if (target_weights.size() != pairs.size()) {
+    return Status::InvalidArgument(
+        StrFormat("target_weights has %zu entries for %zu pairs",
+                  target_weights.size(), pairs.size()));
+  }
+  auto graph = BuildForPairsImpl(distance, pairs, options, /*weighted=*/true);
+  OSRS_RETURN_IF_ERROR(graph.status());
+  graph->target_weights_ = target_weights;
   return graph;
 }
 
@@ -368,10 +451,11 @@ DedupedPairs DedupePairs(const std::vector<ConceptSentimentPair>& pairs,
   return out;
 }
 
-CoverageGraph CoverageGraph::BuildForGroups(
+Result<CoverageGraph> CoverageGraph::BuildForGroupsImpl(
     const PairDistance& distance,
     const std::vector<ConceptSentimentPair>& pairs,
-    const std::vector<std::vector<int>>& groups, int num_threads) {
+    const std::vector<std::vector<int>>& groups,
+    const CoverageBuildOptions& options) {
   obs::TraceSpan build_span(obs::Phase::kBuildCoverageGraph);
   // Map each pair index to its owning group (a pair belongs to exactly one
   // sentence / review).
@@ -389,7 +473,7 @@ CoverageGraph CoverageGraph::BuildForGroups(
   const ConceptBuckets buckets = BucketByConcept(distance.ontology(), pairs);
   const int num_targets = static_cast<int>(pairs.size());
   const int num_candidates = static_cast<int>(groups.size());
-  const int num_shards = ResolveNumThreads(num_threads, pairs.size());
+  const int num_shards = ResolveNumThreads(options.num_threads, pairs.size());
 
   // Counting pass. Pair-level emits aggregate to group level: one group
   // may reach the same target through several member pairs, and
@@ -417,6 +501,10 @@ CoverageGraph CoverageGraph::BuildForGroups(
             });
       });
   RecordBuildTelemetry(emitted);
+  OSRS_RETURN_IF_ERROR(CheckMemoryBudget(
+      options, TotalCountedEdges(shard_degree),
+      static_cast<size_t>(num_candidates), static_cast<size_t>(num_targets),
+      /*weighted=*/false));
 
   // Scatter pass: identical enumeration; a repeat (group, target) emit
   // min-merges its weight into the forward and backward slots recorded by
@@ -466,6 +554,28 @@ CoverageGraph CoverageGraph::BuildForGroups(
   obs::TraceStat(obs::Stat::kGraphEdgesBuilt,
                  static_cast<int64_t>(graph.num_edges()));
   return graph;
+}
+
+CoverageGraph CoverageGraph::BuildForGroups(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs,
+    const std::vector<std::vector<int>>& groups, int num_threads) {
+  CoverageBuildOptions options;
+  options.num_threads = num_threads;
+  // No memory limit and no failpoint on the legacy path, so the impl
+  // cannot fail.
+  auto graph = BuildForGroupsImpl(distance, pairs, groups, options);
+  OSRS_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+Result<CoverageGraph> CoverageGraph::TryBuildForGroups(
+    const PairDistance& distance,
+    const std::vector<ConceptSentimentPair>& pairs,
+    const std::vector<std::vector<int>>& groups,
+    const CoverageBuildOptions& options) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.coverage.alloc"));
+  return BuildForGroupsImpl(distance, pairs, groups, options);
 }
 
 void CoverageGraph::PrepareForwardScatter(

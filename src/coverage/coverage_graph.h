@@ -1,13 +1,28 @@
 #ifndef OSRS_COVERAGE_COVERAGE_GRAPH_H_
 #define OSRS_COVERAGE_COVERAGE_GRAPH_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "core/distance.h"
 #include "core/model.h"
 
 namespace osrs {
+
+/// Options shared by the fallible TryBuild* graph constructors.
+struct CoverageBuildOptions {
+  /// Shard count for the two construction passes: 1 = serial (default),
+  /// 0 = hardware concurrency. Bit-identical output at every value.
+  int num_threads = 1;
+  /// When non-zero, an upper bound on the bytes the finished graph may
+  /// occupy (both CSR copies, offsets, root distances). The counting pass
+  /// already knows the exact edge total before anything is allocated, so
+  /// an over-budget build returns kResourceExhausted *without* attempting
+  /// the allocation — no bad_alloc, no partially built graph. 0 = no limit.
+  size_t max_memory_bytes = 0;
+};
 
 /// The edge-weighted bipartite graph G = (U, W, E) of §4.1.
 ///
@@ -70,6 +85,35 @@ class CoverageGraph {
       const std::vector<ConceptSentimentPair>& pairs,
       const std::vector<double>& target_weights, int num_threads = 1);
 
+  /// Fallible variants of the three builders. Same construction, same
+  /// bit-identical output, but resource failures surface as Status instead
+  /// of crashing: a build whose counting pass predicts more than
+  /// `options.max_memory_bytes` of graph storage returns kResourceExhausted
+  /// before allocating, and the "osrs.coverage.alloc" failpoint
+  /// (src/fault/failpoint.h) is evaluated on entry — only here, so callers
+  /// of the legacy value-returning builders are never affected by an armed
+  /// failpoint. Prefer these on any path with a RetryPolicy above it.
+  static Result<CoverageGraph> TryBuildForPairs(
+      const PairDistance& distance,
+      const std::vector<ConceptSentimentPair>& pairs,
+      const CoverageBuildOptions& options);
+  static Result<CoverageGraph> TryBuildForGroups(
+      const PairDistance& distance,
+      const std::vector<ConceptSentimentPair>& pairs,
+      const std::vector<std::vector<int>>& groups,
+      const CoverageBuildOptions& options);
+  static Result<CoverageGraph> TryBuildForPairsWeighted(
+      const PairDistance& distance,
+      const std::vector<ConceptSentimentPair>& pairs,
+      const std::vector<double>& target_weights,
+      const CoverageBuildOptions& options);
+
+  /// Bytes of heap storage this graph's vectors occupy (capacity-exact for
+  /// a freshly built graph). The same formula the TryBuild* memory gate
+  /// evaluates pre-allocation.
+  static size_t EstimateBytes(size_t num_edges, size_t num_candidates,
+                              size_t num_targets, bool weighted);
+
   int num_candidates() const { return static_cast<int>(forward_offsets_.size()) - 1; }
   int num_targets() const { return static_cast<int>(root_distance_.size()); }
   size_t num_edges() const { return forward_edges_.size(); }
@@ -106,6 +150,20 @@ class CoverageGraph {
   CoverageGraph() = default;
 
  private:
+  /// Shared implementations behind the legacy Build* (infallible, no limit)
+  /// and TryBuild* (memory-gated) entry points. The gate runs between the
+  /// counting and scatter passes, where the exact edge total is known but
+  /// nothing has been allocated yet.
+  static Result<CoverageGraph> BuildForPairsImpl(
+      const PairDistance& distance,
+      const std::vector<ConceptSentimentPair>& pairs,
+      const CoverageBuildOptions& options, bool weighted);
+  static Result<CoverageGraph> BuildForGroupsImpl(
+      const PairDistance& distance,
+      const std::vector<ConceptSentimentPair>& pairs,
+      const std::vector<std::vector<int>>& groups,
+      const CoverageBuildOptions& options);
+
   /// Turns the per-(shard, candidate) forward degree counts of the builders'
   /// counting pass into forward_offsets_ plus disjoint scatter cursors (one
   /// serial prefix sum), and sizes forward_edges_. On return,

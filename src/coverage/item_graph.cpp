@@ -4,21 +4,19 @@
 #include "core/cost.h"
 
 namespace osrs {
+namespace {
 
-ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
-                         SummaryGranularity granularity, int num_threads) {
-  ItemGraph out;
+/// Fills everything but `graph`: occurrences, and for sentence/review
+/// granularity the candidate groups. Returns the item's pairs (the W side).
+/// CollectPairs emits pairs in reading order, so each group is a
+/// contiguous run of consecutive occurrences.
+std::vector<ConceptSentimentPair> PrepareItemGraph(
+    const Item& item, SummaryGranularity granularity, ItemGraph& out) {
   out.granularity = granularity;
   out.occurrences = CollectPairs(item);
   std::vector<ConceptSentimentPair> pairs = PairsOf(out.occurrences);
+  if (granularity == SummaryGranularity::kPairs) return pairs;
 
-  if (granularity == SummaryGranularity::kPairs) {
-    out.graph = CoverageGraph::BuildForPairs(distance, pairs, num_threads);
-    return out;
-  }
-
-  // Group consecutive occurrences by sentence or review. CollectPairs
-  // emits pairs in reading order, so each group is a contiguous run.
   int current_review = -1;
   int current_sentence = -1;
   for (size_t i = 0; i < out.occurrences.size(); ++i) {
@@ -39,8 +37,39 @@ ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
     }
     out.groups.back().push_back(static_cast<int>(i));
   }
-  out.graph =
-      CoverageGraph::BuildForGroups(distance, pairs, out.groups, num_threads);
+  return pairs;
+}
+
+}  // namespace
+
+ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
+                         SummaryGranularity granularity, int num_threads) {
+  ItemGraph out;
+  std::vector<ConceptSentimentPair> pairs =
+      PrepareItemGraph(item, granularity, out);
+  if (granularity == SummaryGranularity::kPairs) {
+    out.graph = CoverageGraph::BuildForPairs(distance, pairs, num_threads);
+  } else {
+    out.graph =
+        CoverageGraph::BuildForGroups(distance, pairs, out.groups, num_threads);
+  }
+  return out;
+}
+
+Result<ItemGraph> TryBuildItemGraph(const PairDistance& distance,
+                                    const Item& item,
+                                    SummaryGranularity granularity,
+                                    const CoverageBuildOptions& options) {
+  ItemGraph out;
+  std::vector<ConceptSentimentPair> pairs =
+      PrepareItemGraph(item, granularity, out);
+  Result<CoverageGraph> graph =
+      granularity == SummaryGranularity::kPairs
+          ? CoverageGraph::TryBuildForPairs(distance, pairs, options)
+          : CoverageGraph::TryBuildForGroups(distance, pairs, out.groups,
+                                             options);
+  OSRS_RETURN_IF_ERROR(graph.status());
+  out.graph = std::move(graph).value();
   return out;
 }
 

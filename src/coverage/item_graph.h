@@ -34,6 +34,15 @@ struct ItemGraph {
 ItemGraph BuildItemGraph(const PairDistance& distance, const Item& item,
                          SummaryGranularity granularity, int num_threads = 1);
 
+/// Fallible BuildItemGraph: forwards `options` to the CoverageGraph
+/// TryBuild* constructors, so an over-budget graph surfaces as
+/// kResourceExhausted (and the "osrs.coverage.alloc" failpoint applies).
+/// Same output as BuildItemGraph when it succeeds.
+Result<ItemGraph> TryBuildItemGraph(const PairDistance& distance,
+                                    const Item& item,
+                                    SummaryGranularity granularity,
+                                    const CoverageBuildOptions& options);
+
 }  // namespace osrs
 
 #endif  // OSRS_COVERAGE_ITEM_GRAPH_H_

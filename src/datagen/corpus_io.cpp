@@ -1,9 +1,12 @@
 #include "datagen/corpus_io.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "common/strings.h"
+#include "fault/failpoint.h"
 
 namespace osrs {
 namespace {
@@ -11,6 +14,13 @@ namespace {
 bool HasForbiddenChars(std::string_view text) {
   return text.find('\t') != std::string_view::npos ||
          text.find('\n') != std::string_view::npos;
+}
+
+/// Renders the current errno as "<name/message> (errno N)" for file-level
+/// load/save errors: the *why* next to the *what*.
+std::string ErrnoDetail() {
+  int saved = errno;
+  return StrFormat("%s (errno %d)", std::strerror(saved), saved);
 }
 
 }  // namespace
@@ -56,13 +66,22 @@ Result<Corpus> LoadCorpus(std::string_view text) {
   bool have_ontology = false;
   Item* item = nullptr;
   Review* review = nullptr;
+  // 1-based line number of the record being parsed, carried into every
+  // error so a truncated or hand-edited corpus pinpoints its bad line.
+  int64_t line = 0;
+  auto parse_error = [&line](std::string detail) {
+    return Status::InvalidArgument(
+        StrFormat("line %lld: %s", static_cast<long long>(line),
+                  detail.c_str()));
+  };
   for (const std::string& raw_line : Split(text, '\n')) {
+    ++line;
     if (raw_line.empty() || raw_line[0] == '#') continue;
     // Only the record kind is split off here; the remainder may itself
     // contain tabs (the inlined ontology serialization does).
     size_t tab = raw_line.find('\t');
     if (tab == std::string::npos) {
-      return Status::InvalidArgument(
+      return parse_error(
           StrFormat("record without payload: '%s'", raw_line.c_str()));
     }
     std::string kind = raw_line.substr(0, tab);
@@ -74,7 +93,10 @@ Result<Corpus> LoadCorpus(std::string_view text) {
         if (c == '|') c = '\n';
       }
       auto parsed = Ontology::Deserialize(payload);
-      OSRS_RETURN_IF_ERROR(parsed.status());
+      if (!parsed.ok()) {
+        return parse_error(StrFormat("ontology record: %s",
+                                     parsed.status().message().c_str()));
+      }
       corpus.ontology = std::move(parsed).value();
       have_ontology = true;
     } else if (kind == "I") {
@@ -84,11 +106,11 @@ Result<Corpus> LoadCorpus(std::string_view text) {
       review = nullptr;
     } else if (kind == "R") {
       if (item == nullptr) {
-        return Status::InvalidArgument("R line before any item");
+        return parse_error("R line before any item");
       }
       double rating = 0.0;
       if (!ParseDouble(payload, &rating)) {
-        return Status::InvalidArgument(
+        return parse_error(
             StrFormat("malformed rating '%s'", payload.c_str()));
       }
       item->reviews.emplace_back();
@@ -96,7 +118,7 @@ Result<Corpus> LoadCorpus(std::string_view text) {
       review->rating = rating;
     } else if (kind == "S") {
       if (review == nullptr) {
-        return Status::InvalidArgument("S line before any review");
+        return parse_error("S line before any review");
       }
       std::vector<std::string> fields = Split(payload, '\t');
       Sentence sentence;
@@ -104,14 +126,14 @@ Result<Corpus> LoadCorpus(std::string_view text) {
       for (size_t f = 1; f < fields.size(); ++f) {
         size_t colon = fields[f].find(':');
         if (colon == std::string::npos) {
-          return Status::InvalidArgument(
+          return parse_error(
               StrFormat("bad pair field '%s'", fields[f].c_str()));
         }
         int64_t concept_id = 0;
         double sentiment = 0.0;
         if (!ParseInt64(fields[f].substr(0, colon), &concept_id) ||
             !ParseDouble(fields[f].substr(colon + 1), &sentiment)) {
-          return Status::InvalidArgument(
+          return parse_error(
               StrFormat("bad pair field '%s'", fields[f].c_str()));
         }
         ConceptSentimentPair pair;
@@ -121,15 +143,14 @@ Result<Corpus> LoadCorpus(std::string_view text) {
             (pair.concept_id < 0 ||
              static_cast<size_t>(pair.concept_id) >=
                  corpus.ontology.num_concepts())) {
-          return Status::InvalidArgument(
-              StrFormat("pair references unknown concept %d",
-                        pair.concept_id));
+          return parse_error(StrFormat("pair references unknown concept %d",
+                                       pair.concept_id));
         }
         sentence.pairs.push_back(pair);
       }
       review->sentences.push_back(std::move(sentence));
     } else {
-      return Status::InvalidArgument(
+      return parse_error(
           StrFormat("unknown record kind '%s'", kind.c_str()));
     }
   }
@@ -140,32 +161,52 @@ Result<Corpus> LoadCorpus(std::string_view text) {
 }
 
 Status SaveCorpusToFile(const Corpus& corpus, const std::string& path) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.io.write"));
   auto serialized = SaveCorpus(corpus);
   OSRS_RETURN_IF_ERROR(serialized.status());
+  errno = 0;
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
       std::fopen(path.c_str(), "wb"), &std::fclose);
   if (file == nullptr) {
-    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+    return Status::Unavailable(StrFormat("cannot open '%s' for writing: %s",
+                                         path.c_str(), ErrnoDetail().c_str()));
   }
+  errno = 0;
   size_t written =
       std::fwrite(serialized->data(), 1, serialized->size(), file.get());
   if (written != serialized->size()) {
-    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+    return Status::Unavailable(
+        StrFormat("short write to '%s' (%zu of %zu bytes): %s", path.c_str(),
+                  written, serialized->size(), ErrnoDetail().c_str()));
   }
   return Status::OK();
 }
 
 Result<Corpus> LoadCorpusFromFile(const std::string& path) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.io.read"));
+  errno = 0;
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
       std::fopen(path.c_str(), "rb"), &std::fclose);
   if (file == nullptr) {
-    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+    // Only a genuinely missing file is kNotFound (permanent); permission or
+    // other open failures are kUnavailable so RetryPolicy may retry them.
+    if (errno == ENOENT) {
+      return Status::NotFound(StrFormat("cannot open '%s': %s", path.c_str(),
+                                        ErrnoDetail().c_str()));
+    }
+    return Status::Unavailable(StrFormat("cannot open '%s': %s", path.c_str(),
+                                         ErrnoDetail().c_str()));
   }
   std::string contents;
   char buffer[1 << 16];
   size_t got;
+  errno = 0;
   while ((got = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
     contents.append(buffer, got);
+  }
+  if (std::ferror(file.get()) != 0) {
+    return Status::Unavailable(StrFormat("read error on '%s': %s",
+                                         path.c_str(), ErrnoDetail().c_str()));
   }
   return LoadCorpus(contents);
 }

@@ -23,10 +23,15 @@ namespace osrs {
 /// newlines (the generator never emits them; SaveCorpus rejects them).
 Result<std::string> SaveCorpus(const Corpus& corpus);
 
-/// Parses the SaveCorpus format.
+/// Parses the SaveCorpus format. Parse failures are kInvalidArgument with a
+/// "line N:" prefix naming the 1-based offending line.
 Result<Corpus> LoadCorpus(std::string_view text);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. File-level failures carry strerror/errno
+/// context. A missing input file is kNotFound (permanent); every other I/O
+/// failure — open permission, read error mid-file, short write — is
+/// kUnavailable, i.e. retryable under StatusCodeIsRetryable(). Both honor
+/// the "osrs.io.write" / "osrs.io.read" failpoints (src/fault/failpoint.h).
 Status SaveCorpusToFile(const Corpus& corpus, const std::string& path);
 Result<Corpus> LoadCorpusFromFile(const std::string& path);
 

@@ -1,0 +1,297 @@
+#include "fault/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace osrs::fault {
+namespace {
+
+obs::Counter* InjectionsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("osrs.fault.injections");
+  return counter;
+}
+
+/// Lower-snake-case StatusCode names accepted by `error(code)`.
+bool ParseStatusCodeName(std::string_view name, StatusCode* out) {
+  struct Entry {
+    std::string_view name;
+    StatusCode code;
+  };
+  static constexpr Entry kEntries[] = {
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"not_found", StatusCode::kNotFound},
+      {"failed_precondition", StatusCode::kFailedPrecondition},
+      {"out_of_range", StatusCode::kOutOfRange},
+      {"internal", StatusCode::kInternal},
+      {"unimplemented", StatusCode::kUnimplemented},
+      {"resource_exhausted", StatusCode::kResourceExhausted},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+      {"cancelled", StatusCode::kCancelled},
+      {"unavailable", StatusCode::kUnavailable},
+  };
+  for (const Entry& entry : kEntries) {
+    if (entry.name == name) {
+      *out = entry.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Splits "head(args)" into head and args; args empty when there are no
+/// parentheses. Returns false on unbalanced parentheses or trailing text.
+bool SplitCall(std::string_view text, std::string_view* head,
+               std::string_view* args) {
+  size_t open = text.find('(');
+  if (open == std::string_view::npos) {
+    *head = text;
+    *args = {};
+    return true;
+  }
+  if (text.back() != ')') return false;
+  *head = text.substr(0, open);
+  *args = text.substr(open + 1, text.size() - open - 2);
+  return true;
+}
+
+Status MalformedSpec(std::string_view text, const char* why) {
+  return Status::InvalidArgument(
+      StrFormat("malformed failpoint spec '%.*s': %s",
+                static_cast<int>(text.size()), text.data(), why));
+}
+
+}  // namespace
+
+Result<std::pair<std::string, FailpointSpec>> ParseFailpointSpec(
+    std::string_view text) {
+  text = Trim(text);
+  size_t eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return MalformedSpec(text, "expected name=action[:trigger]");
+  }
+  std::string name(Trim(text.substr(0, eq)));
+  std::string_view rest = Trim(text.substr(eq + 1));
+
+  // The trigger separator is the first ':' outside parentheses (failpoint
+  // names themselves may not contain ':').
+  size_t colon = std::string_view::npos;
+  int depth = 0;
+  for (size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == '(') ++depth;
+    if (rest[i] == ')') --depth;
+    if (rest[i] == ':' && depth == 0) {
+      colon = i;
+      break;
+    }
+  }
+  std::string_view action_text =
+      Trim(colon == std::string_view::npos ? rest : rest.substr(0, colon));
+  std::string_view trigger_text =
+      colon == std::string_view::npos ? std::string_view("always")
+                                      : Trim(rest.substr(colon + 1));
+
+  FailpointSpec spec;
+  std::string_view head, args;
+  if (!SplitCall(action_text, &head, &args)) {
+    return MalformedSpec(text, "unbalanced action arguments");
+  }
+  if (head == "error") {
+    spec.action = FailAction::kError;
+    if (!ParseStatusCodeName(Trim(args), &spec.code)) {
+      return MalformedSpec(text, "error() needs a status code name like "
+                                 "'unavailable' or 'resource_exhausted'");
+    }
+    if (spec.code == StatusCode::kOk) {
+      return MalformedSpec(text, "error() cannot inject OK");
+    }
+  } else if (head == "bad_alloc") {
+    if (!args.empty()) return MalformedSpec(text, "bad_alloc takes no args");
+    spec.action = FailAction::kThrowBadAlloc;
+  } else if (head == "delay") {
+    spec.action = FailAction::kDelay;
+    if (!ParseDouble(Trim(args), &spec.delay_ms) || spec.delay_ms < 0.0) {
+      return MalformedSpec(text, "delay() needs non-negative milliseconds");
+    }
+  } else {
+    return MalformedSpec(text,
+                         "unknown action (error(code), bad_alloc, delay(ms))");
+  }
+
+  if (!SplitCall(trigger_text, &head, &args)) {
+    return MalformedSpec(text, "unbalanced trigger arguments");
+  }
+  if (head == "always") {
+    if (!args.empty()) return MalformedSpec(text, "always takes no args");
+    spec.trigger = FailTrigger::kAlways;
+  } else if (head == "once") {
+    if (!args.empty()) return MalformedSpec(text, "once takes no args");
+    spec.trigger = FailTrigger::kOnce;
+  } else if (head == "times" || head == "every") {
+    spec.trigger =
+        head == "times" ? FailTrigger::kTimes : FailTrigger::kEveryNth;
+    if (!ParseInt64(Trim(args), &spec.n) || spec.n < 1) {
+      return MalformedSpec(text, "times()/every() need an integer >= 1");
+    }
+  } else if (head == "prob") {
+    spec.trigger = FailTrigger::kProbability;
+    std::vector<std::string> parts = Split(args, ',');
+    if (parts.empty() || parts.size() > 2 ||
+        !ParseDouble(Trim(parts[0]), &spec.probability) ||
+        spec.probability < 0.0 || spec.probability > 1.0) {
+      return MalformedSpec(text, "prob() needs p in [0,1] plus optional seed");
+    }
+    if (parts.size() == 2) {
+      int64_t seed = 0;
+      if (!ParseInt64(Trim(parts[1]), &seed) || seed < 0) {
+        return MalformedSpec(text, "prob() seed must be a non-negative int");
+      }
+      spec.seed = static_cast<uint64_t>(seed);
+    }
+  } else {
+    return MalformedSpec(
+        text, "unknown trigger (always, once, times(N), every(N), prob(p))");
+  }
+  return std::make_pair(std::move(name), std::move(spec));
+}
+
+void Failpoint::Arm(FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spec_ = std::move(spec);
+  fired_ = 0;
+  rng_.seed(spec_.seed);
+  hits_.store(0, std::memory_order_relaxed);
+  injections_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  fired_ = 0;
+}
+
+Status Failpoint::Evaluate() {
+  FailpointSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    bool fire = false;
+    switch (spec_.trigger) {
+      case FailTrigger::kAlways:
+        fire = true;
+        break;
+      case FailTrigger::kOnce:
+        fire = fired_ == 0;
+        break;
+      case FailTrigger::kTimes:
+        fire = fired_ < spec_.n;
+        break;
+      case FailTrigger::kEveryNth:
+        fire = hits_.load(std::memory_order_relaxed) % spec_.n == 0;
+        break;
+      case FailTrigger::kProbability: {
+        std::uniform_real_distribution<double> uniform(0.0, 1.0);
+        fire = uniform(rng_) < spec_.probability;
+        break;
+      }
+    }
+    if (!fire) return Status::OK();
+    ++fired_;
+    injections_.fetch_add(1, std::memory_order_relaxed);
+    spec = spec_;
+  }
+  InjectionsCounter()->Increment();
+  switch (spec.action) {
+    case FailAction::kError: {
+      std::string message =
+          spec.message.empty()
+              ? StrFormat("injected by failpoint '%s'", name_.c_str())
+              : spec.message;
+      return Status(spec.code, std::move(message));
+    }
+    case FailAction::kThrowBadAlloc:
+      throw std::bad_alloc();
+    case FailAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(spec.delay_ms));
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = []() {
+    auto* r = new FailpointRegistry();
+    // Environment arming happens exactly once, before any site can
+    // evaluate. A malformed spec cannot surface as a Status from static
+    // init, so it is reported on stderr and ignored — failing the whole
+    // process over a typo would defeat the point of fault *testing*.
+    if (const char* env = std::getenv("OSRS_FAILPOINTS");
+        env != nullptr && env[0] != '\0') {
+      Status status = r->ArmFromSpec(env);
+      if (!status.ok()) {
+        std::fprintf(stderr, "OSRS_FAILPOINTS ignored: %s\n",
+                     status.ToString().c_str());
+        r->DisarmAll();
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Failpoint* FailpointRegistry::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_
+             .emplace(std::string(name),
+                      std::make_unique<Failpoint>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Status FailpointRegistry::ArmFromSpec(std::string_view specs) {
+  for (const std::string& part : Split(specs, ';')) {
+    if (Trim(part).empty()) continue;
+    auto parsed = ParseFailpointSpec(part);
+    OSRS_RETURN_IF_ERROR(parsed.status());
+    Get(parsed->first)->Arm(std::move(parsed->second));
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+std::vector<std::string> FailpointRegistry::ArmedNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, point] : points_) {
+    if (point->armed()) names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::pair<std::string, int64_t>>
+FailpointRegistry::InjectionCounts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> counts;
+  for (const auto& [name, point] : points_) {
+    if (point->injections() > 0) counts.emplace_back(name, point->injections());
+  }
+  return counts;
+}
+
+}  // namespace osrs::fault

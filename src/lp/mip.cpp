@@ -71,6 +71,15 @@ void Dfs(SearchState& state) {
     state.interrupted = true;
     return;
   }
+  if (lp.status == LpStatus::kError) {
+    // Environmental failure (e.g. injected by a failpoint): abandon the
+    // search and surface the underlying Status — an incumbent found before
+    // the failure is not trustworthy evidence of optimality.
+    out.status = LpStatus::kError;
+    out.error = lp.error;
+    state.budget_exhausted = true;
+    return;
+  }
   if (lp.status == LpStatus::kInfeasible) return;
   if (lp.status == LpStatus::kUnbounded) {
     // A bounded-below MIP cannot have an unbounded node unless the root is
@@ -153,7 +162,10 @@ MipSolution MipSolver::Solve(LpProblem problem,
   obs::TraceStat(obs::Stat::kBnbNodes, solution.nodes);
   NodesCounter()->Add(solution.nodes);
 
-  if (solution.status == LpStatus::kUnbounded) return solution;
+  if (solution.status == LpStatus::kUnbounded ||
+      solution.status == LpStatus::kError) {
+    return solution;
+  }
   if (state.interrupted) {
     solution.status = LpStatus::kInterrupted;
   } else if (state.budget_exhausted) {

@@ -28,6 +28,7 @@ struct MipSolution {
   /// kOptimal: incumbent proven optimal. kIterationLimit: node/iteration
   /// budget exhausted, incumbent (if any) returned. kInterrupted: an
   /// ExecutionBudget fired mid-search, incumbent (if any) returned.
+  /// kError: an LP sub-solve failed environmentally (see `error`).
   /// kInfeasible/kUnbounded as usual.
   LpStatus status = LpStatus::kIterationLimit;
   bool has_incumbent = false;
@@ -37,6 +38,8 @@ struct MipSolution {
   int64_t nodes = 0;
   /// Total simplex iterations across all nodes.
   int64_t lp_iterations = 0;
+  /// The failure behind LpStatus::kError; OK otherwise.
+  Status error = Status::OK();
 };
 
 /// Depth-first branch-and-bound over the integer-flagged variables of an

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,6 +32,8 @@ const char* LpStatusToString(LpStatus status) {
       return "IterationLimit";
     case LpStatus::kInterrupted:
       return "Interrupted";
+    case LpStatus::kError:
+      return "Error";
   }
   return "Unknown";
 }
@@ -69,10 +72,13 @@ class SimplexEngine {
       LpStatus status = Optimize(&solution.iterations);
       if (status != LpStatus::kOptimal) {
         // Phase-1 LPs are bounded below by 0, so non-optimal means the
-        // iteration limit was hit — or the caller's budget ran out.
-        solution.status = status == LpStatus::kInterrupted
-                              ? LpStatus::kInterrupted
+        // iteration limit was hit — or the caller's budget ran out, or a
+        // failpoint injected an error.
+        solution.status = (status == LpStatus::kInterrupted ||
+                           status == LpStatus::kError)
+                              ? status
                               : LpStatus::kIterationLimit;
+        solution.error = injected_error_;
         return solution;
       }
       double infeasibility = CurrentObjective();
@@ -95,6 +101,7 @@ class SimplexEngine {
     LpStatus status = Optimize(&solution.iterations);
     solution.status = status;
     if (status != LpStatus::kOptimal && status != LpStatus::kIterationLimit) {
+      solution.error = injected_error_;
       return solution;
     }
     // (kInterrupted returns above: a budget-aborted basis can be anywhere,
@@ -312,9 +319,17 @@ class SimplexEngine {
       if (iter > 0 && iter % options_.resync_period == 0) {
         ResyncBasicValues();
       }
-      if (budget_ != nullptr && iter % kBudgetCheckPeriod == 0 &&
-          !budget_->Check(*iteration_counter).ok()) {
-        return LpStatus::kInterrupted;
+      if (iter % kBudgetCheckPeriod == 0) {
+        // The pivot failpoint shares the budget poll cadence: cheap, yet
+        // guaranteed to be evaluated at least once per Optimize call.
+        Status injected = OSRS_FAILPOINT("osrs.lp.pivot");
+        if (!injected.ok()) {
+          injected_error_ = std::move(injected);
+          return LpStatus::kError;
+        }
+        if (budget_ != nullptr && !budget_->Check(*iteration_counter).ok()) {
+          return LpStatus::kInterrupted;
+        }
       }
       ++*iteration_counter;
       const bool bland = degenerate_streak >= options_.bland_trigger;
@@ -489,6 +504,8 @@ class SimplexEngine {
   int first_artificial_ = 0;
   bool has_artificials_ = false;
   bool phase_one_ = false;
+  /// Set when Optimize returns LpStatus::kError (injected failure).
+  Status injected_error_ = Status::OK();
 
   std::vector<std::vector<std::pair<int, double>>> cols_;
   std::vector<double> lower_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/execution_budget.h"
+#include "common/status.h"
 #include "lp/lp_problem.h"
 
 namespace osrs {
@@ -18,6 +19,10 @@ enum class LpStatus {
   /// Stopped early by an ExecutionBudget (deadline, work bound, or
   /// cancellation); ask the budget itself which one fired.
   kInterrupted,
+  /// An environmental failure unrelated to the problem itself (today: an
+  /// injected "osrs.lp.pivot" failpoint). The Status in `error` says what;
+  /// the solution values are meaningless.
+  kError,
 };
 
 const char* LpStatusToString(LpStatus status);
@@ -31,6 +36,8 @@ struct LpSolution {
   std::vector<double> values;
   /// Simplex iterations across both phases.
   int64_t iterations = 0;
+  /// The failure behind LpStatus::kError; OK otherwise.
+  Status error = Status::OK();
 };
 
 /// Tuning knobs of the simplex solver.

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/strings.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace osrs {
@@ -68,6 +69,7 @@ Status Ontology::AddSynonym(ConceptId id, std::string term) {
 }
 
 Status Ontology::Finalize() {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.ontology.finalize"));
   if (finalized_) {
     return Status::FailedPrecondition("Finalize() called twice");
   }

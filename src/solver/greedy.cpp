@@ -8,6 +8,7 @@
 #include "common/indexed_heap.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -108,6 +109,9 @@ Result<SummaryResult> GreedySummarizer::SummarizeEager(
 
   obs::TraceSpan select_span(obs::Phase::kGreedyIterations);
   for (int round = 0; round < k && !heap.empty(); ++round) {
+    // Injected failures abort the solve with the injected Status — the
+    // facade's fallback chain then decides what (if anything) runs next.
+    OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.solver.step"));
     Status budget_status = budget.Check(key_updates);
     if (!budget_status.ok()) {
       if (budget_status.code() == StatusCode::kCancelled) {
@@ -204,6 +208,7 @@ Result<SummaryResult> GreedySummarizer::SummarizeLazy(
 
   obs::TraceSpan select_span(obs::Phase::kGreedyIterations);
   for (int round = 0; round < k && !heap.empty(); ++round) {
+    OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.solver.step"));
     Status budget_status = budget.Check(recomputes);
     if (!budget_status.ok()) {
       if (budget_status.code() == StatusCode::kCancelled) {

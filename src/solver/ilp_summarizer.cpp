@@ -36,6 +36,12 @@ Result<SummaryResult> IlpSummarizer::Summarize(const CoverageGraph& graph,
   MipSolution mip = solver.Solve(std::move(model.problem),
                                  budget.IsUnlimited() ? nullptr : &budget);
 
+  if (mip.status == LpStatus::kError) {
+    // Environmental failure inside an LP sub-solve (e.g. an injected
+    // "osrs.lp.pivot" failpoint): propagate the underlying Status so the
+    // caller's retry/fallback machinery sees the true code.
+    return mip.error;
+  }
   if (mip.status == LpStatus::kInfeasible || mip.status == LpStatus::kUnbounded) {
     return Status::Internal(StrFormat("k-median ILP reported %s",
                                       LpStatusToString(mip.status)));

@@ -50,6 +50,11 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
                ? Status::ResourceExhausted("LP relaxation budget tripped")
                : cause;
   }
+  if (lp.status == LpStatus::kError) {
+    // Environmental failure (e.g. an injected "osrs.lp.pivot" failpoint):
+    // propagate the underlying Status code, not a blanket kInternal.
+    return lp.error;
+  }
   if (lp.status != LpStatus::kOptimal) {
     return Status::Internal(StrFormat("k-median LP relaxation reported %s",
                                       LpStatusToString(lp.status)));

@@ -1,7 +1,10 @@
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include <gtest/gtest.h>
+
+#include "common/strings.h"
 
 #include "datagen/cellphone_corpus.h"
 #include "datagen/corpus_io.h"
@@ -64,6 +67,49 @@ TEST(CorpusIoTest, MissingFileFails) {
   auto result = LoadCorpusFromFile("/nonexistent/osrs/corpus.tsv");
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CorpusIoTest, UnreadableFileIsRetryableWithErrnoContext) {
+  // A directory opens fine but fails on the first read (EISDIR), the same
+  // shape as a disk error mid-file: kUnavailable — retryable, unlike the
+  // permanent kNotFound of a missing path — with strerror/errno context.
+  auto result = LoadCorpusFromFile(testing::TempDir());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(StatusCodeIsRetryable(result.status().code()));
+  EXPECT_NE(result.status().message().find("errno"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(CorpusIoTest, TruncatedFileNamesTheFailingLine) {
+  Corpus corpus = SmallCorpus();
+  auto serialized = SaveCorpus(corpus);
+  ASSERT_TRUE(serialized.ok());
+  // Cut the file mid-pair: the last "concept:sentiment" field loses its
+  // ':' and everything after, as if the writer died mid-flush.
+  std::string truncated = *serialized;
+  size_t cut = truncated.rfind(':');
+  ASSERT_NE(cut, std::string::npos);
+  truncated.resize(cut);
+  int64_t bad_line = 1;
+  for (char c : truncated) {
+    if (c == '\n') ++bad_line;
+  }
+  std::string path = testing::TempDir() + "/osrs_corpus_truncated.tsv";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fwrite(truncated.data(), 1, truncated.size(), file);
+  std::fclose(file);
+
+  auto result = LoadCorpusFromFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::string expected = StrFormat("line %lld:",
+                                   static_cast<long long>(bad_line));
+  EXPECT_NE(result.status().message().find(expected), std::string::npos)
+      << "message: " << result.status().ToString()
+      << " expected prefix: " << expected;
+  std::remove(path.c_str());
 }
 
 TEST(CorpusIoTest, RejectsMalformedInput) {

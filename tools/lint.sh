@@ -10,7 +10,12 @@
 #   4. no raw std::chrono::steady_clock::now() in src/solver — solver code
 #      times itself through Stopwatch (one ElapsedNanos read) and the
 #      obs/trace.h spans, so timing stays consistent and mockable;
-#   5. optionally, when clang-tidy and build/compile_commands.json exist,
+#   5. no naked `throw` in src/ outside src/fault — the library's main
+#      paths report failures through Status/Result (see README.md,
+#      "Failure semantics"); the one sanctioned thrower is the fault
+#      subsystem's bad_alloc injection, and the BatchSummarizer boundary
+#      only catches, never throws;
+#   6. optionally, when clang-tidy and build/compile_commands.json exist,
 #      the curated .clang-tidy pass over every src/ translation unit
 #      (skipped with --no-tidy or when either prerequisite is missing).
 #
@@ -67,7 +72,16 @@ done < <(grep -rn --include='*.h' --include='*.cpp' \
   'steady_clock::now()' src/solver | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' \
   || true)
 
-# -- 5. clang-tidy (optional) ------------------------------------------------
+# -- 5. naked throw in library code ------------------------------------------
+# Status/Result is the failure channel everywhere except src/fault, whose
+# entire purpose is to inject exceptions (bad_alloc) on demand.
+while IFS= read -r match; do
+  fail "naked throw in src/ (use Status; only src/fault may throw): $match"
+done < <(grep -rn --include='*.h' --include='*.cpp' -E '\bthrow\b' src \
+  | grep -v '^src/fault/' \
+  | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
+
+# -- 6. clang-tidy (optional) ------------------------------------------------
 if [[ $run_tidy -eq 1 ]]; then
   if command -v clang-tidy > /dev/null && [[ -f build/compile_commands.json ]]; then
     echo "lint: running clang-tidy over src/ (this takes a while)"

@@ -141,6 +141,15 @@ void PrintText(const std::string& name, const osrs::BatchStats& stats) {
               static_cast<long long>(stats.ok),
               static_cast<long long>(stats.failed),
               static_cast<long long>(stats.degraded));
+  if (stats.retries > 0 || stats.exhausted_retries > 0 ||
+      stats.isolated_exceptions > 0) {
+    std::printf(
+        "  resilience: %lld retrie(s), %lld exhausted, "
+        "%lld isolated exception(s)\n",
+        static_cast<long long>(stats.retries),
+        static_cast<long long>(stats.exhausted_retries),
+        static_cast<long long>(stats.isolated_exceptions));
+  }
   if (stats.total_ms.total_count > 0) {
     std::printf("  end-to-end: %.3f ms total over %lld solve(s)\n",
                 stats.total_ms.sum,
