@@ -55,6 +55,21 @@ if OSRS_FAILPOINTS='osrs.io.read=error(unavailable)' \
 fi
 ./build/bench/bench_retry_overhead --smoke --out=build/BENCH_retry_smoke.json
 
+echo "== chaos soak: serving layer under an injected failure schedule =="
+# bench_serve --smoke drives the SummaryServer at 1x/2x/4x estimated
+# capacity while the environment schedule injects allocation failures into
+# coverage-graph construction, LP pivot errors, and serve-layer faults at
+# all three sites. The binary exits non-zero if the process crashes or the
+# accounting identities (submitted == admitted + rejected; admitted ==
+# completed + shed + failed) are violated — overload plus injected faults
+# must never lose or double-count a request.
+OSRS_FAILPOINTS='osrs.coverage.alloc=bad_alloc:prob(0.02,7);osrs.lp.pivot=error(internal):prob(0.05,11);osrs.serve.admit=error(resource_exhausted):prob(0.01,13);osrs.serve.solve=error(unavailable):prob(0.03,17);osrs.serve.cache=error(unavailable):prob(0.05,19)' \
+    ./build/bench/bench_serve --smoke --out=build/BENCH_serve_soak.json
+if ! grep -q '"accounting_ok":true' build/BENCH_serve_soak.json; then
+  echo "ci.sh: chaos soak accounting violation" >&2
+  exit 1
+fi
+
 if [[ "$SKIP_LINT" == "1" ]]; then
   echo "== lint stage skipped =="
 else

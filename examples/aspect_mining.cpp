@@ -60,7 +60,11 @@ int main() {
   osrs::ReviewAnnotator annotator(&mined,
                                   osrs::SentimentEstimator::LexiconOnly());
   osrs::Item item = corpus.items[0];
-  annotator.Annotate(item);
+  if (osrs::Status status = annotator.Annotate(item); !status.ok()) {
+    std::fprintf(stderr, "annotation failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
   osrs::ReviewSummarizer summarizer(&mined, {});
   auto summary = summarizer.Summarize(item, /*k=*/5);
   if (!summary.ok()) {

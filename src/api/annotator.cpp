@@ -12,24 +12,32 @@ ReviewAnnotator::ReviewAnnotator(const Ontology* ontology,
                                  SentimentEstimator estimator)
     : extractor_(ontology), estimator_(std::move(estimator)) {}
 
-void ReviewAnnotator::AnnotateSentence(Sentence& sentence) const {
+Status ReviewAnnotator::AnnotateSentence(Sentence& sentence) const {
   sentence.pairs.clear();
   std::vector<std::string> tokens = Tokenize(sentence.text);
-  std::vector<ConceptId> concepts = extractor_.ExtractConcepts(tokens);
-  if (concepts.empty()) return;
-  double sentiment = estimator_.ScoreSentence(tokens);
-  sentence.pairs.reserve(concepts.size());
-  for (ConceptId concept_id : concepts) {
-    sentence.pairs.push_back({concept_id, sentiment});
+  // The Try variants exist for exactly this call site: they put the
+  // annotation phases behind failpoints so a chaos schedule can fail a
+  // live request during extraction or scoring.
+  Result<std::vector<ConceptId>> concepts =
+      extractor_.TryExtractConcepts(tokens);
+  OSRS_RETURN_IF_ERROR(concepts.status());
+  if (concepts->empty()) return Status::OK();
+  Result<double> sentiment = estimator_.TryScoreSentence(tokens);
+  OSRS_RETURN_IF_ERROR(sentiment.status());
+  sentence.pairs.reserve(concepts->size());
+  for (ConceptId concept_id : *concepts) {
+    sentence.pairs.push_back({concept_id, *sentiment});
   }
+  return Status::OK();
 }
 
-void ReviewAnnotator::Annotate(Item& item) const {
+Status ReviewAnnotator::Annotate(Item& item) const {
   for (Review& review : item.reviews) {
     for (Sentence& sentence : review.sentences) {
-      AnnotateSentence(sentence);
+      OSRS_RETURN_IF_ERROR(AnnotateSentence(sentence));
     }
   }
+  return Status::OK();
 }
 
 Result<Item> ReviewAnnotator::AnnotateTexts(
@@ -49,7 +57,7 @@ Result<Item> ReviewAnnotator::AnnotateTexts(
     for (std::string& text : SplitSentences(review_texts[r])) {
       Sentence sentence;
       sentence.text = std::move(text);
-      AnnotateSentence(sentence);
+      OSRS_RETURN_IF_ERROR(AnnotateSentence(sentence));
       review.sentences.push_back(std::move(sentence));
     }
     item.reviews.push_back(std::move(review));

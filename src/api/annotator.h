@@ -22,8 +22,11 @@ class ReviewAnnotator {
   /// `ontology` must outlive the annotator.
   ReviewAnnotator(const Ontology* ontology, SentimentEstimator estimator);
 
-  /// Recomputes every sentence's pairs in place from its text.
-  void Annotate(Item& item) const;
+  /// Recomputes every sentence's pairs in place from its text. Fails only
+  /// on injected faults (the osrs.extraction.pairs / osrs.sentiment.score
+  /// failpoints) — on a non-OK return the item is partially annotated and
+  /// should be re-annotated or dropped, never summarized as-is.
+  Status Annotate(Item& item) const;
 
   /// Builds an annotated Item from raw review texts (sentence splitting
   /// included). `ratings` are per-review normalized star ratings in
@@ -35,7 +38,7 @@ class ReviewAnnotator {
   const Ontology& ontology() const { return extractor_.ontology(); }
 
  private:
-  void AnnotateSentence(Sentence& sentence) const;
+  Status AnnotateSentence(Sentence& sentence) const;
 
   DictionaryExtractor extractor_;
   SentimentEstimator estimator_;

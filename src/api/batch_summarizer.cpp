@@ -137,13 +137,21 @@ void RunItemWithRetries(const ReviewSummarizer& summarizer, const Item& item,
       entry.status = std::move(failure);
       return;
     }
-    ++entry.retries;
-    RetriesCounter()->Increment();
     double backoff_ms = BackoffMs(policy, item_index, attempt + 1);
     double remaining_ms = batch_budget.RemainingMs();
-    if (std::isfinite(remaining_ms)) {
-      backoff_ms = std::min(backoff_ms, std::max(0.0, remaining_ms));
+    // A backoff the remaining batch budget cannot fund means the next
+    // attempt would start with (near-)zero budget and fail as
+    // kDeadlineExceeded at entry — masking the real transient failure and
+    // burning a worker on a doomed solve. Skip the attempt instead: the
+    // entry keeps its retryable status, flagged exhausted_retries because
+    // time (not the retry count) is what ran out.
+    if (std::isfinite(remaining_ms) && remaining_ms <= backoff_ms) {
+      entry.exhausted_retries = true;
+      entry.status = std::move(failure);
+      return;
     }
+    ++entry.retries;
+    RetriesCounter()->Increment();
     if (backoff_ms > 0.0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));

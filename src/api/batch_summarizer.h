@@ -25,8 +25,9 @@ struct RetryPolicy {
   /// Backoff before retry r (1-based): initial * multiplier^(r-1), capped
   /// at `max_backoff_ms`, then scaled by a deterministic jitter factor in
   /// [1 - jitter, 1] derived from (jitter_seed, item index, r) — fixed
-  /// seed means bit-reproducible retry timing decisions. The sleep is
-  /// additionally capped by the remaining batch deadline.
+  /// seed means bit-reproducible retry timing decisions. A retry whose
+  /// backoff the remaining batch deadline cannot fund is not started at
+  /// all: the entry keeps its transient status, flagged exhausted_retries.
   double initial_backoff_ms = 1.0;
   double max_backoff_ms = 100.0;
   double backoff_multiplier = 2.0;
@@ -69,9 +70,12 @@ struct BatchEntry {
   /// Re-attempts this item consumed (also stamped on summary.retries for
   /// OK entries, so it survives into ItemSummary::ToJson).
   int retries = 0;
-  /// True when the final status is still retryable but the policy's
-  /// max_retries > 0 budget was used up — the item might have succeeded
-  /// with a larger budget, unlike a permanent failure.
+  /// True when the final status is still retryable but the policy could
+  /// not fund another attempt: either the max_retries > 0 budget was used
+  /// up, or the remaining batch deadline could not cover the next backoff
+  /// (the attempt is skipped rather than started with near-zero budget).
+  /// Either way the item might have succeeded with a larger budget, unlike
+  /// a permanent failure.
   bool exhausted_retries = false;
   /// True when at least one attempt ended in an exception (bad_alloc or
   /// otherwise) that the worker boundary converted to kInternal instead of

@@ -1,6 +1,7 @@
 #include "api/review_summarizer.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <utility>
 
@@ -82,7 +83,47 @@ obs::Histogram* SolveMsHistogram() {
   return histogram;
 }
 
+/// splitmix64 finalizer, the same full-avalanche mix the retry jitter
+/// uses: each field is mixed into the running hash so field order and
+/// adjacent-value collisions cannot cancel out.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9E3779B97F4A7C15ull + (seed << 6)));
+}
+
+uint64_t BitsOf(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
+
+uint64_t OptionsFingerprint(const ReviewSummarizerOptions& options) {
+  uint64_t h = 0x05B5E0A1C0FFEE01ull;  // fingerprint-format version tag
+  h = HashCombine(h, BitsOf(options.epsilon));
+  h = HashCombine(h, options.auto_epsilon ? 1 : 0);
+  h = HashCombine(h, static_cast<uint64_t>(options.algorithm));
+  h = HashCombine(h, static_cast<uint64_t>(options.granularity));
+  h = HashCombine(h, options.seed);
+  h = HashCombine(h, static_cast<uint64_t>(options.max_solver_work));
+  h = HashCombine(h, options.strict_validation ? 1 : 0);
+  h = HashCombine(h, static_cast<uint64_t>(options.max_memory_bytes));
+  h = HashCombine(h, options.fallback_chain.size());
+  for (SummaryAlgorithm fallback : options.fallback_chain) {
+    h = HashCombine(h, static_cast<uint64_t>(fallback));
+  }
+  return h;
+}
 
 std::string ItemSummary::ToJson() const {
   std::string warnings_json = "[";

@@ -1,6 +1,7 @@
 #ifndef OSRS_API_REVIEW_SUMMARIZER_H_
 #define OSRS_API_REVIEW_SUMMARIZER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -12,6 +13,30 @@
 #include "ontology/ontology.h"
 
 namespace osrs {
+
+/// Monotonic corpus-version counter. Every mutation of the served corpus
+/// (a review added or removed, a re-annotation) bumps it; consumers that
+/// key derived artifacts by the epoch — the serving layer's summary cache
+/// today, the planned incremental engine's snapshots tomorrow — treat any
+/// entry carrying an older epoch as stale without having to diff the
+/// corpus itself. Thread-safe; bumping while solves are in flight is fine
+/// (in-flight results are stamped with the epoch they started under).
+class CorpusEpoch {
+ public:
+  CorpusEpoch() = default;
+  CorpusEpoch(const CorpusEpoch&) = delete;
+  CorpusEpoch& operator=(const CorpusEpoch&) = delete;
+
+  uint64_t value() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Advances the epoch; returns the new value. Safe from any thread.
+  uint64_t Bump() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+};
 
 /// Which §4 algorithm the facade runs.
 enum class SummaryAlgorithm {
@@ -90,6 +115,18 @@ struct ReviewSummarizerOptions {
   /// returns a summary, flagged `degraded`.
   std::vector<SummaryAlgorithm> fallback_chain = {SummaryAlgorithm::kGreedy};
 };
+
+/// 64-bit fingerprint of every option field that can change the *outcome*
+/// of a full-budget solve: epsilon / auto_epsilon, algorithm, granularity,
+/// seed, max_solver_work, strict_validation, max_memory_bytes, and the
+/// fallback chain. Runtime-only knobs that are proven not to affect the
+/// solution — deadline_ms, cancellation, collect_stats, and
+/// graph_build_threads (the sharded builder is bit-identical at any thread
+/// count) — are deliberately excluded, so a cache keyed by this hash keeps
+/// its hits across deployment-tuning changes. Two option structs with the
+/// same fingerprint produce bit-identical non-degraded summaries for the
+/// same item and k.
+uint64_t OptionsFingerprint(const ReviewSummarizerOptions& options);
 
 /// One representative in a summary.
 struct SummaryEntry {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fault/failpoint.h"
 #include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
 
@@ -73,6 +74,12 @@ std::vector<ConceptId> DictionaryExtractor::ExtractConcepts(
     }
   }
   return concepts;
+}
+
+Result<std::vector<ConceptId>> DictionaryExtractor::TryExtractConcepts(
+    const std::vector<std::string>& tokens) const {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.extraction.pairs"));
+  return ExtractConcepts(tokens);
 }
 
 }  // namespace osrs

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "extraction/aho_corasick.h"
 #include "ontology/ontology.h"
 
@@ -38,6 +39,14 @@ class DictionaryExtractor {
 
   /// Distinct concepts mentioned in the sentence, in first-mention order.
   std::vector<ConceptId> ExtractConcepts(
+      const std::vector<std::string>& tokens) const;
+
+  /// ExtractConcepts behind the "osrs.extraction.pairs" failpoint — the
+  /// variant serve-time annotation calls so the chaos suite can fail or
+  /// stall pair extraction like any other phase a live request crosses.
+  /// Extraction itself cannot fail, so the only non-OK outcomes are
+  /// injected ones.
+  Result<std::vector<ConceptId>> TryExtractConcepts(
       const std::vector<std::string>& tokens) const;
 
   const Ontology& ontology() const { return *ontology_; }

@@ -25,6 +25,27 @@ void HistogramSnapshot::Observe(double value) {
   sum += value;
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (total_count <= 0 || upper_bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(total_count);
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (static_cast<double>(seen + counts[i]) < rank) {
+      seen += counts[i];
+      continue;
+    }
+    if (i >= upper_bounds.size()) return upper_bounds.back();
+    double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+    double upper = upper_bounds[i];
+    if (counts[i] <= 0) return lower;
+    double within = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+  }
+  return upper_bounds.back();
+}
+
 std::string HistogramSnapshot::ToJson() const {
   std::string out = StrFormat("{\"count\":%lld,\"sum\":%.6g,\"buckets\":[",
                               static_cast<long long>(total_count), sum);

@@ -127,6 +127,14 @@ struct HistogramSnapshot {
 
   /// Index of the bucket `value` falls in (see the class comment).
   size_t BucketOf(double value) const;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket the quantile rank falls in — the Prometheus-style estimate the
+  /// serving layer uses for its p50 shed threshold and bench_serve reports
+  /// as p50/p99. The first bucket interpolates from a lower edge of 0 (the
+  /// layer's histograms hold non-negative latencies); ranks landing in the
+  /// overflow bucket return the last finite bound. Returns 0 when empty.
+  double Quantile(double q) const;
 };
 
 /// Thread-safe fixed-bucket histogram (see HistogramSnapshot for the

@@ -4,6 +4,7 @@
 
 #include "common/math_util.h"
 #include "common/strings.h"
+#include "fault/failpoint.h"
 
 namespace osrs {
 
@@ -44,6 +45,12 @@ SentimentEstimator SentimentEstimator::LexiconOnly() {
   SentimentEstimator estimator;
   estimator.lexicon_weight_ = 1.0;
   return estimator;
+}
+
+Result<double> SentimentEstimator::TryScoreSentence(
+    const std::vector<std::string>& tokens) const {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.sentiment.score"));
+  return ScoreSentence(tokens);
 }
 
 double SentimentEstimator::ScoreSentence(

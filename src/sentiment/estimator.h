@@ -43,6 +43,13 @@ class SentimentEstimator {
   /// Sentiment of a tokenized sentence, clamped to [-1, 1].
   double ScoreSentence(const std::vector<std::string>& tokens) const;
 
+  /// ScoreSentence behind the "osrs.sentiment.score" failpoint — the
+  /// variant serve-time annotation calls so the chaos suite can fail or
+  /// stall scoring like any other phase a live request crosses. Scoring
+  /// itself cannot fail, so the only non-OK outcomes are injected ones.
+  Result<double> TryScoreSentence(
+      const std::vector<std::string>& tokens) const;
+
   bool has_regression() const { return regression_ != nullptr; }
 
  private:

@@ -1,0 +1,566 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <exception>
+#include <new>
+#include <utility>
+
+#include "common/strings.h"
+#include "fault/failpoint.h"
+
+namespace osrs::serve {
+namespace {
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("osrs.serve.queue_depth");
+  return gauge;
+}
+
+obs::Gauge* InflightGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("osrs.serve.inflight");
+  return gauge;
+}
+
+obs::Counter* ServeCounter(const char* name) {
+  // One interned handle per name; the registry returns stable pointers so
+  // the static map here costs a lookup only on first use per call site.
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+const std::vector<double>& LatencyBounds() {
+  static const std::vector<double> bounds = {0.1, 0.25, 0.5,  1,   2.5,
+                                             5,   10,   25,   50,  100,
+                                             250, 500,  1000, 2500, 5000};
+  return bounds;
+}
+
+obs::Histogram* QueueMsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("osrs.serve.queue_ms",
+                                                  LatencyBounds());
+  return histogram;
+}
+
+obs::Histogram* SolveMsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("osrs.serve.solve_ms",
+                                                  LatencyBounds());
+  return histogram;
+}
+
+obs::Histogram* TotalMsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("osrs.serve.total_ms",
+                                                  LatencyBounds());
+  return histogram;
+}
+
+}  // namespace
+
+const char* ServeOutcomeToString(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kRejected:
+      return "rejected";
+    case ServeOutcome::kCacheHit:
+      return "cache_hit";
+    case ServeOutcome::kCoalesced:
+      return "coalesced";
+    case ServeOutcome::kSolved:
+      return "solved";
+    case ServeOutcome::kDegraded:
+      return "degraded";
+    case ServeOutcome::kShed:
+      return "shed";
+    case ServeOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::string ServerCounters::ToJson() const {
+  return StrFormat(
+      "{\"submitted\":%lld,\"admitted\":%lld,\"rejected\":%lld,"
+      "\"completed\":%lld,\"shed\":%lld,\"failed\":%lld,"
+      "\"coalesced\":%lld,\"solves\":%lld,\"cache_hits\":%lld,"
+      "\"degraded\":%lld,\"epoch_bumps\":%lld}",
+      static_cast<long long>(submitted), static_cast<long long>(admitted),
+      static_cast<long long>(rejected), static_cast<long long>(completed),
+      static_cast<long long>(shed), static_cast<long long>(failed),
+      static_cast<long long>(coalesced), static_cast<long long>(solves),
+      static_cast<long long>(cache_hits), static_cast<long long>(degraded),
+      static_cast<long long>(epoch_bumps));
+}
+
+/// One in-flight solve plus every request attached to it. The first
+/// request for a given (item, epoch, options, k) creates the flight and
+/// donates its budget; later requests attach under mutex_ and simply wait.
+/// A flight is removed from the coalescing map before its waiters are
+/// woken, so no request can attach to an already-completed flight.
+struct SummaryServer::Flight {
+  std::string coalesce_key;
+  CacheKey cache_key;
+  ExecutionBudget budget;
+  Stopwatch queued;  // reset at enqueue; read at dequeue for queue_ms
+  int requests = 1;  // guarded by SummaryServer::mutex_ until map removal
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  ServeResponse response;
+};
+
+SummaryServer::SummaryServer(const Ontology* ontology, std::vector<Item> items,
+                             ServeOptions options)
+    : ontology_(ontology),
+      options_(std::move(options)),
+      options_fingerprint_(OptionsFingerprint(options_.summarizer)),
+      cache_(options_.cache_capacity),
+      solve_cost_(LatencyBounds()) {
+  for (Item& item : items) {
+    std::string id = item.id;
+    items_[std::move(id)] = std::make_shared<const Item>(std::move(item));
+  }
+  num_workers_ = options_.num_threads > 0
+                     ? options_.num_threads
+                     : std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SummaryServer::~SummaryServer() { Stop(); }
+
+uint64_t SummaryServer::BumpEpoch() {
+  uint64_t next = epoch_.Bump();
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.epoch_bumps;
+  }
+  return next;
+}
+
+void SummaryServer::UpdateItem(Item item) {
+  {
+    std::lock_guard<std::mutex> lock(items_mutex_);
+    std::string id = item.id;
+    items_[std::move(id)] = std::make_shared<const Item>(std::move(item));
+  }
+  BumpEpoch();
+}
+
+ServeResponse SummaryServer::Serve(const ServeRequest& request) {
+  Stopwatch total;
+  ServeResponse response = ServeImpl(request);
+  response.total_ms = total.ElapsedMillis();
+  // The response-level degraded flag is authoritative; mirror it onto the
+  // summary so callers that only look at ItemSummary see it too.
+  if (response.degraded) response.summary.degraded = true;
+  TotalMsHistogram()->Observe(response.total_ms);
+  return response;
+}
+
+ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.submitted;
+  }
+
+  auto reject = [this](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.rejected;
+    }
+    ServeCounter("osrs.serve.rejected")->Increment();
+    ServeResponse response;
+    response.status = std::move(status);
+    response.outcome = ServeOutcome::kRejected;
+    return response;
+  };
+
+  // A stopped server rejects everything, cache hits included — Stop()
+  // promises no request started after it observes server state.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return reject(Status::Unavailable("server is stopped"));
+    }
+  }
+
+  // The admission failpoint models a failure of the serving front door
+  // itself (listener overload, malformed transport frame): the request is
+  // turned away before touching queue or cache.
+  if (Status admit = OSRS_FAILPOINT("osrs.serve.admit"); !admit.ok()) {
+    return reject(std::move(admit));
+  }
+
+  if (request.k < 0) {
+    return reject(Status::InvalidArgument(
+        StrFormat("k must be >= 0, got %d", request.k)));
+  }
+
+  std::shared_ptr<const Item> item;
+  {
+    std::lock_guard<std::mutex> lock(items_mutex_);
+    auto it = items_.find(request.item_id);
+    if (it != items_.end()) item = it->second;
+  }
+  if (item == nullptr) {
+    return reject(Status::NotFound(
+        StrFormat("no item '%s' loaded", request.item_id.c_str())));
+  }
+
+  double deadline_ms = request.deadline_ms > 0.0
+                           ? request.deadline_ms
+                           : options_.default_deadline_ms;
+  ExecutionBudget budget;
+  if (deadline_ms > 0.0) budget.SetDeadlineMs(deadline_ms);
+
+  uint64_t epoch_now = epoch_.value();
+  CacheKey key{request.item_id, epoch_now, options_fingerprint_, request.k};
+
+  // Exact cache read. A cache failpoint injection means the cache is
+  // unavailable, never that the request fails: degrade to a miss.
+  if (!request.bypass_cache) {
+    Status cache_status = OSRS_FAILPOINT("osrs.serve.cache");
+    ItemSummary cached;
+    if (cache_status.ok() && cache_.Lookup(key, &cached)) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.admitted;
+        ++counters_.completed;
+        ++counters_.cache_hits;
+      }
+      ServeCounter("osrs.serve.cache_hit")->Increment();
+      ServeResponse response;
+      response.status = Status::OK();
+      response.summary = std::move(cached);
+      response.outcome = ServeOutcome::kCacheHit;
+      response.epoch = epoch_now;
+      return response;
+    }
+    ServeCounter("osrs.serve.cache_miss")->Increment();
+  }
+
+  std::shared_ptr<Flight> flight;
+  bool attached = false;
+  std::string coalesce_key =
+      StrFormat("%s\x1f%llu\x1f%llx\x1f%d", request.item_id.c_str(),
+                static_cast<unsigned long long>(epoch_now),
+                static_cast<unsigned long long>(options_fingerprint_),
+                request.k);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      lock.unlock();
+      return reject(Status::Unavailable("server is stopping"));
+    }
+    auto it = flights_.find(coalesce_key);
+    if (it != flights_.end()) {
+      // Single-flight coalescing: ride the existing solve. Waiters adopt
+      // the leader's budget — their own deadline no longer matters because
+      // they add zero marginal work.
+      flight = it->second;
+      ++flight->requests;
+      attached = true;
+      {
+        std::lock_guard<std::mutex> counters_lock(counters_mutex_);
+        ++counters_.admitted;
+        ++counters_.coalesced;
+      }
+      ServeCounter("osrs.serve.coalesced")->Increment();
+    } else {
+      // Admission control. Queue depth first (absolute backstop), then the
+      // wait estimate once enough solve costs have been observed.
+      if (queue_.size() >= options_.max_queue_depth) {
+        lock.unlock();
+        return reject(Status::ResourceExhausted(
+            StrFormat("queue full (%zu requests)", options_.max_queue_depth)));
+      }
+      double p50 = p50_solve_ms();
+      if (p50 > 0.0) {
+        double estimated_wait_ms = static_cast<double>(queue_.size() + 1) *
+                                   p50 / static_cast<double>(num_workers_);
+        if (options_.max_estimated_wait_ms > 0.0 &&
+            estimated_wait_ms > options_.max_estimated_wait_ms) {
+          lock.unlock();
+          return reject(Status::ResourceExhausted(
+              StrFormat("estimated wait %.1f ms exceeds policy bound %.1f ms",
+                        estimated_wait_ms, options_.max_estimated_wait_ms)));
+        }
+        if (budget.has_deadline() &&
+            estimated_wait_ms > budget.RemainingMs()) {
+          lock.unlock();
+          return reject(Status::ResourceExhausted(StrFormat(
+              "estimated wait %.1f ms exceeds the request deadline",
+              estimated_wait_ms)));
+        }
+      }
+      flight = std::make_shared<Flight>();
+      flight->coalesce_key = coalesce_key;
+      flight->cache_key = std::move(key);
+      flight->budget = budget;
+      flight->queued.Reset();
+      flights_.emplace(coalesce_key, flight);
+      queue_.push_back(flight);
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+      {
+        std::lock_guard<std::mutex> counters_lock(counters_mutex_);
+        ++counters_.admitted;
+      }
+      ServeCounter("osrs.serve.admitted")->Increment();
+      work_cv_.notify_one();
+    }
+  }
+
+  ServeResponse response;
+  {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    response = flight->response;
+  }
+  if (attached && response.outcome == ServeOutcome::kSolved) {
+    response.outcome = ServeOutcome::kCoalesced;
+  }
+  return response;
+}
+
+void SummaryServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Flight> flight;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      flight = std::move(queue_.front());
+      queue_.pop_front();
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    }
+    ProcessFlight(flight);
+  }
+}
+
+void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
+  double queue_ms = flight->queued.ElapsedMillis();
+  QueueMsHistogram()->Observe(queue_ms);
+
+  ServeResponse response;
+  response.queue_ms = queue_ms;
+  response.epoch = flight->cache_key.epoch;
+
+  // Deadline-aware shedding: when what is left of the request's budget
+  // cannot plausibly fund a solve (observed p50 x safety factor), starting
+  // one only burns a worker that admitted requests behind it need. Prefer
+  // a stale cached answer; shed outright otherwise.
+  double remaining_ms = flight->budget.RemainingMs();
+  double p50 = p50_solve_ms();
+  bool over_budget =
+      remaining_ms <= 0.0 ||
+      (p50 > 0.0 && remaining_ms < p50 * options_.shed_safety_factor);
+  if (over_budget) {
+    if (!TryServeStale(*flight, &response)) {
+      response.status = Status::ResourceExhausted(StrFormat(
+          "shed: %.1f ms of budget left, p50 solve cost is %.1f ms",
+          std::max(remaining_ms, 0.0), p50));
+      response.outcome = ServeOutcome::kShed;
+    }
+    CompleteFlight(flight, std::move(response));
+    return;
+  }
+
+  std::shared_ptr<const Item> item;
+  {
+    std::lock_guard<std::mutex> lock(items_mutex_);
+    auto it = items_.find(flight->cache_key.item_id);
+    if (it != items_.end()) item = it->second;
+  }
+  if (item == nullptr) {
+    // UpdateItem cannot remove items today, but keep the invariant local:
+    // a flight must never dereference a null item.
+    response.status = Status::NotFound(StrFormat(
+        "item '%s' disappeared", flight->cache_key.item_id.c_str()));
+    response.outcome = ServeOutcome::kFailed;
+    CompleteFlight(flight, std::move(response));
+    return;
+  }
+
+  InflightGauge()->Increment();
+  Stopwatch solve_watch;
+  Result<ItemSummary> solved =
+      GuardedSolve(*item, flight->cache_key.k, flight->budget);
+  double solve_ms = solve_watch.ElapsedMillis();
+  InflightGauge()->Decrement();
+  SolveMsHistogram()->Observe(solve_ms);
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.solves;
+  }
+  ServeCounter("osrs.serve.solves")->Increment();
+
+  if (solved.ok()) {
+    ObserveSolveCost(solve_ms);
+    // Only full-budget answers enter the cache — the exact-hit
+    // bit-identity contract depends on it. A cache failpoint injection
+    // skips the insert (cache unavailable), nothing else.
+    if (!solved->degraded) {
+      if (OSRS_FAILPOINT("osrs.serve.cache").ok()) {
+        cache_.Insert(flight->cache_key, *solved);
+      }
+    }
+    response.status = Status::OK();
+    response.degraded = solved->degraded;
+    response.summary = std::move(solved).value();
+    response.outcome = ServeOutcome::kSolved;
+    CompleteFlight(flight, std::move(response));
+    return;
+  }
+
+  // Solve failed. Permanent input errors and cancellation propagate as-is;
+  // transient failures (injected faults, allocation pressure, budget trips
+  // at entry) fall back to a stale cached answer when one exists.
+  Status failure = solved.status();
+  bool permanent = failure.code() == StatusCode::kInvalidArgument ||
+                   failure.code() == StatusCode::kCancelled;
+  if (!permanent && TryServeStale(*flight, &response)) {
+    CompleteFlight(flight, std::move(response));
+    return;
+  }
+  response.status = std::move(failure);
+  response.outcome = ServeOutcome::kFailed;
+  CompleteFlight(flight, std::move(response));
+}
+
+bool SummaryServer::TryServeStale(const Flight& flight,
+                                  ServeResponse* response) {
+  if (!options_.serve_stale_when_over_budget) return false;
+  ItemSummary stale;
+  uint64_t stale_epoch = 0;
+  if (!cache_.LookupLatest(flight.cache_key.item_id,
+                           flight.cache_key.options_fingerprint,
+                           flight.cache_key.k, &stale, &stale_epoch)) {
+    return false;
+  }
+  response->status = Status::OK();
+  response->summary = std::move(stale);
+  response->summary.degraded = true;
+  response->degraded = true;
+  response->epoch = stale_epoch;
+  response->outcome = ServeOutcome::kDegraded;
+  return true;
+}
+
+Result<ItemSummary> SummaryServer::GuardedSolve(const Item& item, int k,
+                                                const ExecutionBudget& budget) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.serve.solve"));
+  // Exception boundary: whatever escapes a solve — an injected bad_alloc,
+  // a real allocation failure, a defect — is isolated to this flight. The
+  // process must outlive any single request.
+  try {
+    ReviewSummarizer summarizer(ontology_, options_.summarizer);
+    return summarizer.Summarize(item, k, budget);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("allocation failure during solve");
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        StrFormat("exception escaped solve: %s", e.what()));
+  } catch (...) {
+    return Status::Internal("unknown exception escaped solve");
+  }
+}
+
+void SummaryServer::CompleteFlight(const std::shared_ptr<Flight>& flight,
+                                   ServeResponse response) {
+  int requests;
+  {
+    // Remove from the coalescing map first: after this no request can
+    // attach, so the request count is final.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = flights_.find(flight->coalesce_key);
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+    requests = flight->requests;
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    switch (response.outcome) {
+      case ServeOutcome::kShed:
+        counters_.shed += requests;
+        break;
+      case ServeOutcome::kFailed:
+        counters_.failed += requests;
+        break;
+      default:
+        counters_.completed += requests;
+        break;
+    }
+    if (response.degraded) counters_.degraded += requests;
+  }
+  switch (response.outcome) {
+    case ServeOutcome::kShed:
+      ServeCounter("osrs.serve.shed")->Add(requests);
+      break;
+    case ServeOutcome::kFailed:
+      ServeCounter("osrs.serve.failed")->Add(requests);
+      break;
+    default:
+      ServeCounter("osrs.serve.completed")->Add(requests);
+      break;
+  }
+  if (response.degraded) ServeCounter("osrs.serve.degraded")->Add(requests);
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->response = std::move(response);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+void SummaryServer::ObserveSolveCost(double ms) {
+  std::lock_guard<std::mutex> lock(cost_mutex_);
+  solve_cost_.Observe(ms);
+  if (solve_cost_.total_count >= options_.min_cost_samples) {
+    p50_solve_ms_cached_ = solve_cost_.Quantile(0.5);
+  }
+}
+
+double SummaryServer::p50_solve_ms() const {
+  std::lock_guard<std::mutex> lock(cost_mutex_);
+  return p50_solve_ms_cached_;
+}
+
+obs::HistogramSnapshot SummaryServer::solve_cost_snapshot() const {
+  std::lock_guard<std::mutex> lock(cost_mutex_);
+  return solve_cost_;
+}
+
+void SummaryServer::Stop() {
+  std::deque<std::shared_ptr<Flight>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && queue_.empty() && workers_.empty()) return;
+    stopping_ = true;
+    drained.swap(queue_);
+    QueueDepthGauge()->Set(0);
+  }
+  work_cv_.notify_all();
+  for (const std::shared_ptr<Flight>& flight : drained) {
+    ServeResponse response;
+    response.status = Status::Unavailable("server stopped before the solve");
+    response.outcome = ServeOutcome::kFailed;
+    response.epoch = flight->cache_key.epoch;
+    CompleteFlight(flight, std::move(response));
+  }
+  std::vector<std::thread> workers;
+  workers.swap(workers_);
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ServerCounters SummaryServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+}  // namespace osrs::serve

@@ -1,0 +1,240 @@
+#ifndef OSRS_SERVE_SERVER_H_
+#define OSRS_SERVE_SERVER_H_
+
+// The overload-resilient serving layer: a long-lived SummaryServer that
+// answers per-item summary requests from a worker pool behind a bounded
+// queue, staying correct and responsive when offered load exceeds solve
+// capacity. Four mechanisms compose (see DESIGN.md, "Serving
+// architecture"):
+//
+//   * admission control — Serve() rejects with kResourceExhausted before
+//     enqueueing when the queue is full or the estimated wait (queue depth
+//     x observed p50 solve cost / workers) exceeds policy or the request's
+//     own deadline;
+//   * deadline-aware load shedding — a worker dequeuing a request whose
+//     remaining budget cannot cover the observed p50 solve cost drops it
+//     (kResourceExhausted) instead of starting a doomed solve, unless a
+//     degraded answer is available;
+//   * single-flight coalescing — concurrent requests for the same
+//     (item, epoch, options, k) attach to one in-flight solve and all
+//     receive its result, so a hot item costs one solve;
+//   * graceful degradation — when over budget or when a solve fails
+//     transiently, the server answers with the cached previous-epoch
+//     summary (flagged degraded) rather than erroring, when one exists.
+//
+// Results are cached in a bounded LRU keyed by (item, corpus epoch,
+// options fingerprint, k); BumpEpoch() invalidates the whole corpus
+// generation in O(1) without touching entries. Failpoints
+// osrs.serve.{admit,solve,cache} let the chaos suite drive every path;
+// an exception escaping a solve (injected bad_alloc included) is isolated
+// to that request — the process never dies.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/review_summarizer.h"
+#include "common/stopwatch.h"
+#include "core/model.h"
+#include "obs/metrics.h"
+#include "ontology/ontology.h"
+#include "serve/summary_cache.h"
+
+namespace osrs::serve {
+
+/// Server configuration. The summarizer options apply to every solve; the
+/// per-request knobs are deadline and k only, so one options fingerprint
+/// covers the whole server lifetime.
+struct ServeOptions {
+  ReviewSummarizerOptions summarizer;
+  /// Worker threads; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Admission bound: requests beyond this queue depth are rejected with
+  /// kResourceExhausted. Must be >= 1.
+  size_t max_queue_depth = 256;
+  /// Admission bound on estimated wait (queue depth x p50 / workers) in
+  /// milliseconds; <= 0 disables the wait-based check.
+  double max_estimated_wait_ms = 0.0;
+  /// Deadline for requests that do not carry their own; <= 0 = unlimited.
+  double default_deadline_ms = 0.0;
+  /// LRU capacity in summaries; 0 disables caching (and with it the
+  /// degraded stale-answer path).
+  size_t cache_capacity = 1024;
+  /// When true (default) an over-budget or transiently failed request is
+  /// answered with the latest cached summary for its item (any epoch),
+  /// flagged degraded, instead of being shed/failed.
+  bool serve_stale_when_over_budget = true;
+  /// Load shedding triggers when remaining budget < p50 x this factor.
+  double shed_safety_factor = 1.0;
+  /// Solve-cost observations required before the p50 estimate gates
+  /// admission and shedding (cold-start protection: with fewer samples
+  /// only queue depth and already-expired deadlines shed).
+  int64_t min_cost_samples = 20;
+};
+
+/// One summary request. The item must have been loaded into the server.
+struct ServeRequest {
+  std::string item_id;
+  int k = 5;
+  /// Wall-clock budget for this request (queue wait included); <= 0 uses
+  /// ServeOptions::default_deadline_ms.
+  double deadline_ms = 0.0;
+  /// Skip the exact-hit cache read (the result is still inserted).
+  bool bypass_cache = false;
+};
+
+/// Where a response came from — the failure-semantics-v3 taxonomy
+/// (DESIGN.md): every request ends in exactly one of these.
+enum class ServeOutcome {
+  kRejected,   // admission control refused it (kResourceExhausted)
+  kCacheHit,   // exact current-epoch cache hit
+  kCoalesced,  // attached to another request's in-flight solve
+  kSolved,     // a fresh solve (possibly internally degraded by budget)
+  kDegraded,   // answered with a stale cached summary, flagged degraded
+  kShed,       // dropped at dequeue: budget could not fund a solve
+  kFailed,     // solve failed and no degraded answer existed
+};
+
+const char* ServeOutcomeToString(ServeOutcome outcome);
+
+/// One request's answer plus serving diagnostics.
+struct ServeResponse {
+  Status status;        // OK for kCacheHit/kCoalesced/kSolved/kDegraded
+  ItemSummary summary;  // default-constructed on error
+  ServeOutcome outcome = ServeOutcome::kFailed;
+  /// True when `summary` is not a fresh full-budget answer: either the
+  /// solve degraded internally (summary.degraded) or a stale epoch was
+  /// served. Mirrored into summary.degraded.
+  bool degraded = false;
+  /// Corpus epoch the summary was solved under (== epoch at submit time
+  /// for fresh solves; older for stale degraded answers).
+  uint64_t epoch = 0;
+  double queue_ms = 0.0;  // admission to dequeue (0 for cache hits)
+  double total_ms = 0.0;  // Serve() entry to return
+};
+
+/// Monotonic request accounting. Invariants (checked by serve_test and
+/// bench_serve): submitted == admitted + rejected, and — once the queue is
+/// drained — admitted == completed + shed + failed. `completed` includes
+/// cache hits, coalesced waiters, fresh solves, and degraded answers.
+struct ServerCounters {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t failed = 0;
+  int64_t coalesced = 0;   // waiters that attached to an in-flight solve
+  int64_t solves = 0;      // solver invocations (not per-request)
+  int64_t cache_hits = 0;  // exact-epoch hits
+  int64_t degraded = 0;    // responses with degraded == true
+  int64_t epoch_bumps = 0;
+
+  std::string ToJson() const;
+};
+
+/// Long-lived serving daemon over one annotated corpus. Serve() is
+/// thread-safe and blocking — callers are the "connections"; concurrency
+/// comes from calling it on many threads, a worker pool solves behind the
+/// queue. Construction starts the workers; destruction (or Stop) drains
+/// the queue, failing still-queued requests with kUnavailable, and joins.
+class SummaryServer {
+ public:
+  /// `ontology` must outlive the server; `items` are copied in and served
+  /// by Item::id (duplicate ids: last wins).
+  SummaryServer(const Ontology* ontology, std::vector<Item> items,
+                ServeOptions options);
+  ~SummaryServer();
+  SummaryServer(const SummaryServer&) = delete;
+  SummaryServer& operator=(const SummaryServer&) = delete;
+
+  /// Answers one request (blocking). Never throws; every failure mode is
+  /// a Status per the ServeOutcome taxonomy.
+  ServeResponse Serve(const ServeRequest& request);
+
+  /// Invalidates every cached summary by advancing the corpus epoch —
+  /// O(1), no cache traversal. In-flight solves complete under the epoch
+  /// they started with and cache as already-stale entries.
+  uint64_t BumpEpoch();
+  uint64_t epoch() const { return epoch_.value(); }
+
+  /// Replaces (or adds) one item and bumps the epoch — the minimal
+  /// "reviews arrived" mutation the future incremental engine will do
+  /// in-place.
+  void UpdateItem(Item item);
+
+  /// Stops accepting requests, fails whatever is still queued with
+  /// kUnavailable, and joins the workers. Idempotent.
+  void Stop();
+
+  ServerCounters counters() const;
+  CacheStats cache_stats() const { return cache_.stats(); }
+  /// Observed solve-cost distribution (the shed threshold's input).
+  obs::HistogramSnapshot solve_cost_snapshot() const;
+  /// Current p50 solve-cost estimate in ms (0 until min_cost_samples).
+  double p50_solve_ms() const;
+  int num_workers() const { return num_workers_; }
+
+ private:
+  struct Flight;
+
+  ServeResponse ServeImpl(const ServeRequest& request);
+  void WorkerLoop();
+  void ProcessFlight(const std::shared_ptr<Flight>& flight);
+  /// Removes the flight from the coalescing map, applies per-request
+  /// accounting (once per attached request), fills the flight's response,
+  /// and wakes every waiter.
+  void CompleteFlight(const std::shared_ptr<Flight>& flight,
+                      ServeResponse response);
+  void ObserveSolveCost(double ms);
+  Result<ItemSummary> GuardedSolve(const Item& item, int k,
+                                   const ExecutionBudget& budget);
+  /// Stale-cache fallback; returns true and fills `response` when a
+  /// degraded answer exists and policy allows serving it.
+  bool TryServeStale(const Flight& flight, ServeResponse* response);
+
+  const Ontology* ontology_;
+  const ServeOptions options_;
+  const uint64_t options_fingerprint_;
+  int num_workers_ = 1;
+
+  /// Immutable snapshots so a worker can solve against an item while
+  /// UpdateItem swaps the map entry underneath it.
+  std::unordered_map<std::string, std::shared_ptr<const Item>> items_;
+  mutable std::mutex items_mutex_;  // UpdateItem vs worker reads
+
+  CorpusEpoch epoch_;
+  SummaryCache cache_;
+
+  /// Queue + coalescing state under one mutex.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Flight>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  bool stopping_ = false;
+
+  /// Per-worker ReviewSummarizer instances live in WorkerLoop.
+  std::vector<std::thread> workers_;
+
+  /// Solve-cost estimate feeding admission and shedding. Kept as a plain
+  /// snapshot under its own mutex so the policy works even when the
+  /// global metrics registry is disabled or compiled out.
+  mutable std::mutex cost_mutex_;
+  obs::HistogramSnapshot solve_cost_;
+  double p50_solve_ms_cached_ = 0.0;
+
+  /// Request accounting (own mutex: counters are read by admission while
+  /// workers update them).
+  mutable std::mutex counters_mutex_;
+  ServerCounters counters_;
+};
+
+}  // namespace osrs::serve
+
+#endif  // OSRS_SERVE_SERVER_H_

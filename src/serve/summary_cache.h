@@ -1,0 +1,113 @@
+#ifndef OSRS_SERVE_SUMMARY_CACHE_H_
+#define OSRS_SERVE_SUMMARY_CACHE_H_
+
+// Bounded LRU summary cache of the serving layer, keyed by
+// (item id, corpus epoch, options fingerprint, k).
+//
+// The epoch in the key is what makes invalidation O(1): bumping the
+// corpus epoch (SummaryServer::BumpEpoch) does not touch the cache at
+// all — every existing entry simply stops matching exact lookups and ages
+// out through normal LRU eviction. Stale entries are still reachable
+// through LookupLatest, which is how the server serves a degraded
+// previous-epoch summary when a request's budget cannot fund a fresh
+// solve. Only non-degraded summaries may be inserted, so an exact hit is
+// bit-identical to a fresh full-budget solve under the same options.
+//
+// Thread-safe; every operation is O(1) amortized under one mutex.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/review_summarizer.h"
+
+namespace osrs::serve {
+
+/// Exact cache identity of one summary.
+struct CacheKey {
+  std::string item_id;
+  uint64_t epoch = 0;
+  uint64_t options_fingerprint = 0;
+  int k = 0;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.epoch == b.epoch &&
+           a.options_fingerprint == b.options_fingerprint && a.k == b.k &&
+           a.item_id == b.item_id;
+  }
+};
+
+/// Point-in-time cache statistics (monotonic except `entries`).
+struct CacheStats {
+  int64_t entries = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t stale_hits = 0;  // LookupLatest fallbacks that found an entry
+  int64_t evictions = 0;
+  int64_t inserts = 0;
+};
+
+class SummaryCache {
+ public:
+  /// `capacity` is the maximum number of cached summaries; 0 disables the
+  /// cache entirely (every lookup misses, every insert is dropped).
+  explicit SummaryCache(size_t capacity);
+  SummaryCache(const SummaryCache&) = delete;
+  SummaryCache& operator=(const SummaryCache&) = delete;
+
+  /// Exact lookup; a hit copies the summary into `out` and refreshes the
+  /// entry's LRU position.
+  bool Lookup(const CacheKey& key, ItemSummary* out);
+
+  /// Epoch-agnostic lookup: the most recently *inserted* entry for
+  /// (item_id, options_fingerprint, k), whatever epoch it was solved
+  /// under. `epoch_out` receives that epoch so the caller can tell a
+  /// current-epoch hit from a stale one. Does not refresh LRU position —
+  /// degraded fallbacks should not keep stale entries alive forever.
+  bool LookupLatest(const std::string& item_id, uint64_t options_fingerprint,
+                    int k, ItemSummary* out, uint64_t* epoch_out);
+
+  /// Inserts (or refreshes) `summary` under `key`, evicting the least
+  /// recently used entry when full. Callers must only insert non-degraded
+  /// summaries — the bit-identity contract above depends on it.
+  void Insert(const CacheKey& key, const ItemSummary& summary);
+
+  /// Drops every entry (stats keep accumulating).
+  void Clear();
+
+  CacheStats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    ItemSummary summary;
+  };
+
+  struct KeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+
+  /// (item_id, fingerprint, k) rendered as a flat string — the index the
+  /// epoch-agnostic LookupLatest goes through.
+  static std::string LatestIndexKey(const std::string& item_id,
+                                    uint64_t options_fingerprint, int k);
+
+  void EraseLocked(std::list<Entry>::iterator it);
+
+  const size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_;
+  /// Latest inserted epoch per (item, fingerprint, k); entries point into
+  /// lru_ and are erased when their target is evicted.
+  std::unordered_map<std::string, std::list<Entry>::iterator> latest_;
+  CacheStats stats_;
+};
+
+}  // namespace osrs::serve
+
+#endif  // OSRS_SERVE_SUMMARY_CACHE_H_

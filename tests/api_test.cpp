@@ -210,7 +210,7 @@ TEST(AnnotatorTest, ReannotationOverwritesPairs) {
   // Poison the pairs; annotation must rebuild them from text.
   item.reviews[0].sentences[0].pairs = {{onto.FindByName("gps"), -1.0}};
   ReviewAnnotator annotator(&onto, SentimentEstimator::LexiconOnly());
-  annotator.Annotate(item);
+  ASSERT_TRUE(annotator.Annotate(item).ok());
   const auto& pairs = item.reviews[0].sentences[0].pairs;
   ASSERT_EQ(pairs.size(), 1u);
   EXPECT_EQ(pairs[0].concept_id, onto.FindByName("screen"));
@@ -232,7 +232,7 @@ TEST(PipelineTest, AnnotationRecoversGeneratorPairs) {
   int polar_pairs = 0, sentiment_sign_match = 0;
   for (Item item : corpus.items) {  // copy: we mutate
     Item annotated = item;
-    annotator.Annotate(annotated);
+    ASSERT_TRUE(annotator.Annotate(annotated).ok());
     for (size_t r = 0; r < item.reviews.size(); ++r) {
       for (size_t s = 0; s < item.reviews[r].sentences.size(); ++s) {
         const auto& truth = item.reviews[r].sentences[s].pairs;

@@ -20,9 +20,11 @@
 
 #include <gtest/gtest.h>
 
+#include "api/annotator.h"
 #include "api/batch_summarizer.h"
 #include "api/review_summarizer.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "core/model.h"
@@ -61,6 +63,8 @@ class FailpointTriggerTest : public ChaosTest {};
 class FailpointRegistryTest : public ChaosTest {};
 class ExceptionBoundaryTest : public ChaosTest {};
 class RetryPolicyTest : public ChaosTest {};
+class AnnotationFailpointTest : public ChaosTest {};
+class DeadlineRetryTest : public ChaosTest {};
 class IoFailpointTest : public ChaosTest {};
 class ChaosCampaignTest : public ChaosTest {};
 
@@ -448,6 +452,45 @@ TEST_F(RetryPolicyTest, DefaultPolicyNeverRetries) {
   EXPECT_EQ(hits, 1);
 }
 
+// Regression: a retry whose backoff the remaining batch deadline cannot
+// fund must be skipped outright, not started with near-zero budget. The
+// old behavior clamped the sleep to the remaining deadline and attempted
+// anyway, so the doomed attempt failed kDeadlineExceeded at entry —
+// masking the real transient failure — after burning the whole remaining
+// budget asleep. With a 10-second backoff against a sub-second batch
+// deadline, finishing fast with the transient status preserved is the fix.
+TEST_F(RetryPolicyTest, BackoffExceedingBatchDeadlineSkipsRetry) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  std::vector<Item> items = {SmallItem(onto, "a")};
+
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  FailpointRegistry::Global().Get("osrs.coverage.alloc")->Arm(spec);
+
+  BatchSummarizerOptions options;
+  options.num_threads = 1;
+  options.batch_deadline_ms = 500.0;
+  options.retry_policy.max_retries = 5;
+  options.retry_policy.initial_backoff_ms = 10000.0;
+  options.retry_policy.max_backoff_ms = 10000.0;
+  options.retry_policy.jitter = 0.0;
+  BatchSummarizer batch(&onto, options);
+
+  Stopwatch watch;
+  std::vector<BatchEntry> entries = batch.SummarizeAll(items, 2);
+  double elapsed_ms = watch.ElapsedMillis();
+  FailpointRegistry::Global().DisarmAll();
+
+  ASSERT_EQ(entries.size(), 1u);
+  // The transient status survives: not kDeadlineExceeded from a doomed
+  // attempt, and no retry was started (the 10 s backoff was never funded).
+  EXPECT_EQ(entries[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(entries[0].retries, 0);
+  EXPECT_TRUE(entries[0].exhausted_retries);
+  EXPECT_LT(elapsed_ms, 5000.0)
+      << "the unfunded 10 s backoff appears to have been slept";
+}
+
 TEST_F(RetryPolicyTest, RetryableTaxonomyMatchesDocs) {
   EXPECT_TRUE(StatusCodeIsRetryable(StatusCode::kUnavailable));
   EXPECT_TRUE(StatusCodeIsRetryable(StatusCode::kResourceExhausted));
@@ -457,6 +500,140 @@ TEST_F(RetryPolicyTest, RetryableTaxonomyMatchesDocs) {
   EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kNotFound));
   EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kDeadlineExceeded));
   EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kCancelled));
+}
+
+// ---------------------------------------------------- annotation sites -----
+
+// The serve-time annotation pipeline evaluates two failpoints per
+// sentence: osrs.extraction.pairs before concept extraction and
+// osrs.sentiment.score before sentiment scoring. An injection surfaces as
+// the annotator's Status — a live request crossing annotation fails
+// cleanly instead of producing a half-annotated item.
+
+TEST_F(AnnotationFailpointTest, ExtractionFailpointFailsAnnotation) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  ReviewAnnotator annotator(&onto, SentimentEstimator::LexiconOnly());
+  Item item = SmallItem(onto, "a");
+
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("osrs.extraction.pairs=error(unavailable):once")
+                  .ok());
+  Status first = annotator.Annotate(item);
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(StatusCodeIsRetryable(first.code()));
+  Status second = annotator.Annotate(item);  // 'once' spent
+  EXPECT_TRUE(second.ok()) << second.ToString();
+}
+
+TEST_F(AnnotationFailpointTest, SentimentFailpointFailsAnnotation) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  ReviewAnnotator annotator(&onto, SentimentEstimator::LexiconOnly());
+
+  FailpointSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.trigger = FailTrigger::kOnce;
+  FailpointRegistry::Global().Get("osrs.sentiment.score")->Arm(spec);
+
+  // The scoring site only evaluates for sentences that extracted at least
+  // one concept (no concepts = nothing to score).
+  auto annotated = annotator.AnnotateTexts(
+      "a", {"screen is great. battery is awful."}, {});
+  EXPECT_EQ(annotated.status().code(), StatusCode::kInternal);
+  auto retried = annotator.AnnotateTexts(
+      "a", {"screen is great. battery is awful."}, {});
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+}
+
+TEST_F(AnnotationFailpointTest, DelayInjectionStallsButSucceeds) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  ReviewAnnotator annotator(&onto, SentimentEstimator::LexiconOnly());
+  Item item = SmallItem(onto, "a");
+
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("osrs.sentiment.score=delay(1):always")
+                  .ok());
+  Status status = annotator.Annotate(item);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(FailpointRegistry::Global()
+                .Get("osrs.sentiment.score")
+                ->injections(),
+            0);
+}
+
+// ----------------------------------------------- deadline x retry ----------
+
+// Interaction of the batch deadline with the retry policy: backoffs are
+// only slept when the remaining deadline can fund them, so the deadline
+// cannot expire in the middle of a backoff, and every funded attempt
+// starts with real budget. Timings use wide margins (solves are ~10 ms,
+// backoffs hundreds of ms) so the assertions hold on slow machines.
+
+TEST_F(DeadlineRetryTest, TransientStatusSurvivesDeadlineLimitedRetries) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  std::vector<Item> items = {SmallItem(onto, "a")};
+
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;  // every attempt fails transient
+  FailpointRegistry::Global().Get("osrs.coverage.alloc")->Arm(spec);
+
+  BatchSummarizerOptions options;
+  options.num_threads = 1;
+  options.batch_deadline_ms = 500.0;
+  options.retry_policy.max_retries = 10;  // deadline, not count, limits
+  options.retry_policy.initial_backoff_ms = 200.0;
+  options.retry_policy.max_backoff_ms = 200.0;
+  options.retry_policy.backoff_multiplier = 1.0;
+  options.retry_policy.jitter = 0.0;
+  BatchSummarizer batch(&onto, options);
+
+  Stopwatch watch;
+  std::vector<BatchEntry> entries = batch.SummarizeAll(items, 2);
+  double elapsed_ms = watch.ElapsedMillis();
+  FailpointRegistry::Global().DisarmAll();
+
+  ASSERT_EQ(entries.size(), 1u);
+  // ~500 ms funds at most two 200 ms backoffs; the third is skipped. The
+  // final status is the transient failure, never kDeadlineExceeded.
+  EXPECT_EQ(entries[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(entries[0].exhausted_retries);
+  EXPECT_GE(entries[0].retries, 1);
+  EXPECT_LE(entries[0].retries, 2);
+  EXPECT_LT(elapsed_ms, 3000.0);
+}
+
+TEST_F(DeadlineRetryTest, ItemsShareOneBatchBudgetAcrossRetries) {
+  Ontology onto = BuildCellPhoneHierarchy();
+  std::vector<Item> items = {SmallItem(onto, "a"), SmallItem(onto, "b")};
+
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  FailpointRegistry::Global().Get("osrs.coverage.alloc")->Arm(spec);
+
+  BatchSummarizerOptions options;
+  options.num_threads = 1;  // item b runs after a drained the budget
+  options.batch_deadline_ms = 800.0;
+  options.retry_policy.max_retries = 10;
+  options.retry_policy.initial_backoff_ms = 300.0;
+  options.retry_policy.max_backoff_ms = 300.0;
+  options.retry_policy.backoff_multiplier = 1.0;
+  options.retry_policy.jitter = 0.0;
+  BatchSummarizer batch(&onto, options);
+
+  std::vector<BatchEntry> entries = batch.SummarizeAll(items, 2);
+  FailpointRegistry::Global().DisarmAll();
+
+  ASSERT_EQ(entries.size(), 2u);
+  // Item a funds ~two 300 ms backoffs from the 800 ms budget; item b then
+  // starts with only the leftovers, so its backoff is never funded. Both
+  // keep the transient status; the budget they shared is what differed.
+  EXPECT_EQ(entries[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(entries[0].exhausted_retries);
+  EXPECT_GE(entries[0].retries, 1);
+  EXPECT_EQ(entries[1].status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(entries[1].exhausted_retries);
+  EXPECT_EQ(entries[1].retries, 0)
+      << "item b found budget for a backoff item a should have drained";
+  EXPECT_LT(entries[1].retries, entries[0].retries);
 }
 
 // ------------------------------------------------------------ I/O sites ----

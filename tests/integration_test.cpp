@@ -169,7 +169,7 @@ TEST(PipelineShape, RawTextPipelineSupportsAllAlgorithms) {
   ReviewAnnotator annotator(&corpus.ontology,
                             SentimentEstimator::LexiconOnly());
   Item item = TruncateToPairBudget(corpus.items[0], 200);
-  annotator.Annotate(item);
+  ASSERT_TRUE(annotator.Annotate(item).ok());
   double ilp_cost = -1;
   for (SummaryAlgorithm algorithm :
        {SummaryAlgorithm::kIlp, SummaryAlgorithm::kGreedy,

@@ -142,6 +142,45 @@ TEST(HistogramTest, BucketBoundariesInclusiveExclusive) {
   EXPECT_DOUBLE_EQ(h.sum, 6.5);
 }
 
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  obs::HistogramSnapshot h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram
+
+  // 10 observations spread 4 / 4 / 2 across the first three buckets.
+  for (int i = 0; i < 4; ++i) h.Observe(0.5);
+  for (int i = 0; i < 4; ++i) h.Observe(1.5);
+  for (int i = 0; i < 2; ++i) h.Observe(3.0);
+
+  // rank 5 lands 1 observation into bucket [1, 2): 1 + (5-4)/4 * (2-1).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.25);
+  // rank 9 lands 1 observation into bucket [2, 4): 2 + (9-8)/2 * (4-2).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 3.0);
+  // Extremes clamp to the bucket edges rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));  // q clamps to [0,1]
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileInOverflowBucketReturnsLastBound) {
+  obs::HistogramSnapshot h({1.0, 2.0, 4.0});
+  h.Observe(100.0);
+  h.Observe(200.0);
+  // The overflow bucket has no upper edge; the last finite bound is the
+  // most honest answer available.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 4.0);
+}
+
+TEST(HistogramTest, QuantileWithSingleObservationHitsItsBucket) {
+  obs::HistogramSnapshot h({1.0, 2.0, 4.0});
+  h.Observe(1.5);
+  // One sample: every quantile interpolates inside its bucket [1, 2).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 1.99);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
 TEST(HistogramTest, ThreadSafeObserveMatchesSnapshot) {
   if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
   ScopedRegistryEnable enable;

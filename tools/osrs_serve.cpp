@@ -1,0 +1,321 @@
+// osrs_serve — the serving-layer daemon/CLI over one review corpus.
+//
+// Loads an `# osrs-corpus v1` file (or generates the synthetic cell-phone
+// corpus when no file is given) and serves per-item summaries through
+// SummaryServer: bounded queue with admission control, deadline-aware load
+// shedding, single-flight request coalescing, and the epoch-keyed summary
+// cache. Two modes:
+//
+//   * interactive (default) — a line protocol on stdin, one command per
+//     line, until EOF/quit. The "connections" of the daemon:
+//       get <item-id> [k]   serve a summary (outcome + entries)
+//       bump                bump the corpus epoch (invalidates the cache)
+//       stats               counters, cache stats, p50 solve cost
+//       quit
+//   * --drive <n> — a closed-loop load driver: <n> requests issued from
+//     --clients concurrent client threads round-robin over the items,
+//     then the counters (and the accounting identity
+//     submitted == admitted + rejected, admitted == completed+shed+failed)
+//     are printed/checked. Exit 1 when the identity is violated.
+//
+// Exit codes: 0 success, 1 accounting violation (--drive), 2 usage/IO.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "datagen/cellphone_corpus.h"
+#include "datagen/corpus_io.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace {
+
+using osrs::serve::ServeOutcome;
+using osrs::serve::ServeOutcomeToString;
+using osrs::serve::ServeRequest;
+using osrs::serve::ServeResponse;
+using osrs::serve::ServerCounters;
+using osrs::serve::SummaryServer;
+
+struct CliOptions {
+  std::string path;  // empty = synthetic corpus
+  double scale = 0.05;
+  int64_t drive = -1;  // -1 = interactive
+  int clients = 8;
+  int k = 5;
+  bool json = false;
+  osrs::serve::ServeOptions serve;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fputs(
+      "usage: osrs_serve [options] [<corpus-file>]\n"
+      "\n"
+      "Serves per-item summaries from a SummaryServer (bounded queue,\n"
+      "admission control, load shedding, coalescing, epoch-keyed cache).\n"
+      "Without a corpus file a synthetic cell-phone corpus is generated.\n"
+      "\n"
+      "modes:\n"
+      "  (default)           interactive stdin protocol:\n"
+      "                        get <item-id> [k] | bump | stats | quit\n"
+      "  --drive <n>         issue n requests from --clients threads,\n"
+      "                      print counters, verify accounting\n"
+      "\n"
+      "options:\n"
+      "  --threads <n>       solver worker threads (default: hardware)\n"
+      "  --clients <n>       --drive client threads (default 8)\n"
+      "  --queue <n>         max queue depth (default 256)\n"
+      "  --max-wait-ms <ms>  admission bound on estimated wait\n"
+      "  --deadline-ms <ms>  default per-request deadline\n"
+      "  --cache <n>         summary cache capacity (default 1024)\n"
+      "  --no-stale          never serve stale degraded summaries\n"
+      "  --scale <s>         synthetic corpus scale (default 0.05)\n"
+      "  -k <n>              summary size (default 5)\n"
+      "  --json              counters as JSON instead of text\n"
+      "  -h, --help          this message\n"
+      "\n"
+      "exit codes: 0 success, 1 accounting violation, 2 usage or I/O\n",
+      out);
+}
+
+void PrintStats(const SummaryServer& server, bool json) {
+  ServerCounters counters = server.counters();
+  osrs::serve::CacheStats cache = server.cache_stats();
+  if (json) {
+    std::printf(
+        "{\"counters\":%s,\"cache\":{\"entries\":%lld,\"hits\":%lld,"
+        "\"misses\":%lld,\"stale_hits\":%lld,\"evictions\":%lld},"
+        "\"p50_solve_ms\":%.3f,\"epoch\":%llu,\"workers\":%d}\n",
+        counters.ToJson().c_str(), static_cast<long long>(cache.entries),
+        static_cast<long long>(cache.hits),
+        static_cast<long long>(cache.misses),
+        static_cast<long long>(cache.stale_hits),
+        static_cast<long long>(cache.evictions), server.p50_solve_ms(),
+        static_cast<unsigned long long>(server.epoch()),
+        server.num_workers());
+    return;
+  }
+  std::printf(
+      "requests: %lld submitted, %lld admitted, %lld rejected\n"
+      "outcomes: %lld completed, %lld shed, %lld failed "
+      "(%lld coalesced, %lld cache hits, %lld degraded)\n"
+      "solves:   %lld (p50 %.2f ms, %d workers, epoch %llu)\n"
+      "cache:    %lld entries, %lld hits / %lld misses, %lld stale hits, "
+      "%lld evictions\n",
+      static_cast<long long>(counters.submitted),
+      static_cast<long long>(counters.admitted),
+      static_cast<long long>(counters.rejected),
+      static_cast<long long>(counters.completed),
+      static_cast<long long>(counters.shed),
+      static_cast<long long>(counters.failed),
+      static_cast<long long>(counters.coalesced),
+      static_cast<long long>(counters.cache_hits),
+      static_cast<long long>(counters.degraded),
+      static_cast<long long>(counters.solves), server.p50_solve_ms(),
+      server.num_workers(), static_cast<unsigned long long>(server.epoch()),
+      static_cast<long long>(cache.entries),
+      static_cast<long long>(cache.hits),
+      static_cast<long long>(cache.misses),
+      static_cast<long long>(cache.stale_hits),
+      static_cast<long long>(cache.evictions));
+}
+
+int RunInteractive(SummaryServer& server, const CliOptions& options) {
+  std::string line;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+    line.assign(buffer);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    std::vector<std::string> parts = osrs::Split(line, ' ');
+    if (parts.empty() || parts[0].empty()) continue;
+    const std::string& command = parts[0];
+    if (command == "quit" || command == "exit") break;
+    if (command == "bump") {
+      std::printf("epoch %llu\n",
+                  static_cast<unsigned long long>(server.BumpEpoch()));
+      continue;
+    }
+    if (command == "stats") {
+      PrintStats(server, options.json);
+      continue;
+    }
+    if (command == "get") {
+      if (parts.size() < 2) {
+        std::fputs("error: get needs an item id\n", stdout);
+        continue;
+      }
+      ServeRequest request;
+      request.item_id = parts[1];
+      request.k = options.k;
+      if (parts.size() >= 3) {
+        int64_t k = 0;
+        if (!osrs::ParseInt64(parts[2], &k) || k < 0) {
+          std::fputs("error: k must be a non-negative int\n", stdout);
+          continue;
+        }
+        request.k = static_cast<int>(k);
+      }
+      ServeResponse response = server.Serve(request);
+      if (!response.status.ok()) {
+        std::printf("%s: %s\n", ServeOutcomeToString(response.outcome),
+                    response.status.ToString().c_str());
+        continue;
+      }
+      std::printf("%s%s (epoch %llu, %.2f ms):\n",
+                  ServeOutcomeToString(response.outcome),
+                  response.degraded ? " [degraded]" : "",
+                  static_cast<unsigned long long>(response.epoch),
+                  response.total_ms);
+      for (const osrs::SummaryEntry& entry : response.summary.entries) {
+        std::printf("  %s\n", entry.display.c_str());
+      }
+      continue;
+    }
+    std::printf("error: unknown command '%s' (get/bump/stats/quit)\n",
+                command.c_str());
+  }
+  return 0;
+}
+
+int RunDrive(SummaryServer& server, const std::vector<std::string>& item_ids,
+             const CliOptions& options) {
+  int clients = options.clients > 0 ? options.clients : 1;
+  int64_t total = options.drive;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&server, &item_ids, &options, total, clients, c] {
+      for (int64_t i = c; i < total; i += clients) {
+        ServeRequest request;
+        request.item_id = item_ids[static_cast<size_t>(i) % item_ids.size()];
+        request.k = options.k;
+        (void)server.Serve(request);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  PrintStats(server, options.json);
+  ServerCounters counters = server.counters();
+  if (counters.submitted != counters.admitted + counters.rejected ||
+      counters.admitted !=
+          counters.completed + counters.shed + counters.failed) {
+    std::fputs("osrs_serve: accounting identity violated\n", stderr);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  options.serve.summarizer.collect_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto next_int = [&](const char* flag, int64_t* out) {
+      if (i + 1 >= argc || !osrs::ParseInt64(argv[i + 1], out) || *out < 0) {
+        std::fprintf(stderr, "osrs_serve: %s needs a non-negative int\n",
+                     flag);
+        return false;
+      }
+      ++i;
+      return true;
+    };
+    auto next_double = [&](const char* flag, double* out) {
+      if (i + 1 >= argc || !osrs::ParseDouble(argv[i + 1], out) ||
+          *out < 0.0) {
+        std::fprintf(stderr, "osrs_serve: %s needs a non-negative number\n",
+                     flag);
+        return false;
+      }
+      ++i;
+      return true;
+    };
+    int64_t value = 0;
+    if (arg == "--drive") {
+      if (!next_int("--drive", &options.drive)) return 2;
+    } else if (arg == "--threads") {
+      if (!next_int("--threads", &value)) return 2;
+      options.serve.num_threads = static_cast<int>(value);
+    } else if (arg == "--clients") {
+      if (!next_int("--clients", &value)) return 2;
+      options.clients = static_cast<int>(value);
+    } else if (arg == "--queue") {
+      if (!next_int("--queue", &value) || value == 0) {
+        std::fprintf(stderr, "osrs_serve: --queue needs a positive int\n");
+        return 2;
+      }
+      options.serve.max_queue_depth = static_cast<size_t>(value);
+    } else if (arg == "--max-wait-ms") {
+      if (!next_double("--max-wait-ms", &options.serve.max_estimated_wait_ms))
+        return 2;
+    } else if (arg == "--deadline-ms") {
+      if (!next_double("--deadline-ms", &options.serve.default_deadline_ms))
+        return 2;
+    } else if (arg == "--cache") {
+      if (!next_int("--cache", &value)) return 2;
+      options.serve.cache_capacity = static_cast<size_t>(value);
+    } else if (arg == "--no-stale") {
+      options.serve.serve_stale_when_over_budget = false;
+    } else if (arg == "--scale") {
+      if (!next_double("--scale", &options.scale)) return 2;
+    } else if (arg == "-k") {
+      if (!next_int("-k", &value)) return 2;
+      options.k = static_cast<int>(value);
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "osrs_serve: unknown option '%s'\n", argv[i]);
+      PrintUsage(stderr);
+      return 2;
+    } else if (options.path.empty()) {
+      options.path = std::string(arg);
+    } else {
+      std::fprintf(stderr, "osrs_serve: more than one corpus file given\n");
+      return 2;
+    }
+  }
+
+  osrs::Corpus corpus;
+  if (options.path.empty()) {
+    osrs::CellPhoneCorpusOptions corpus_options;
+    corpus_options.scale = options.scale;
+    corpus = osrs::GenerateCellPhoneCorpus(corpus_options);
+  } else {
+    auto loaded = osrs::LoadCorpusFromFile(options.path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "osrs_serve: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    corpus = std::move(loaded).value();
+  }
+  if (corpus.items.empty()) {
+    std::fputs("osrs_serve: corpus has no items\n", stderr);
+    return 2;
+  }
+
+  std::vector<std::string> item_ids;
+  item_ids.reserve(corpus.items.size());
+  for (const osrs::Item& item : corpus.items) item_ids.push_back(item.id);
+
+  osrs::obs::MetricsRegistry::Global().SetEnabled(true);
+  SummaryServer server(&corpus.ontology, std::move(corpus.items),
+                       options.serve);
+  std::fprintf(stderr, "osrs_serve: %zu item(s), %d worker(s), queue %zu\n",
+               item_ids.size(), server.num_workers(),
+               options.serve.max_queue_depth);
+
+  if (options.drive >= 0) return RunDrive(server, item_ids, options);
+  return RunInteractive(server, options);
+}
