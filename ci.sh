@@ -2,11 +2,14 @@
 # CI driver: the tier-1 suite in the default configuration, a chaos stage
 # (randomized failpoint schedules, env-spec arming end to end, retry
 # overhead bench), a lint stage (tools/lint.sh conventions + osrs_lint
-# over the shipped example data + clang-tidy when installed), OSRS_OBS=OFF
-# and OSRS_FAILPOINTS=OFF builds proving the telemetry and fault layers
-# compile out, the full suite (chaos included) under ASan+UBSan, and a
-# TSan pass over the multi-threaded BatchSummarizer and chaos tests.
-# Usage: ./ci.sh [--skip-sanitizers] [--skip-lint]
+# over the shipped example data + clang-tidy when installed), a clang
+# thread-safety stage (OSRS_THREAD_SAFETY=ON build of the concurrent core
+# plus the negative-compile harness, skipped when clang++ is not
+# installed), OSRS_OBS=OFF and OSRS_FAILPOINTS=OFF builds proving the
+# telemetry and fault layers compile out, the full suite (chaos included)
+# under ASan+UBSan, and a TSan pass over the multi-threaded
+# BatchSummarizer, sync-primitive, and chaos tests.
+# Usage: ./ci.sh [--skip-sanitizers] [--skip-lint] [--skip-clang]
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -14,12 +17,14 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 SKIP_SANITIZERS=0
 SKIP_LINT=0
+SKIP_CLANG=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitizers) SKIP_SANITIZERS=1 ;;
     --skip-lint) SKIP_LINT=1 ;;
+    --skip-clang) SKIP_CLANG=1 ;;
     *)
-      echo "usage: ./ci.sh [--skip-sanitizers] [--skip-lint]" >&2
+      echo "usage: ./ci.sh [--skip-sanitizers] [--skip-lint] [--skip-clang]" >&2
       exit 2
       ;;
   esac
@@ -81,6 +86,27 @@ else
                           examples/data/sample_corpus.txt
 fi
 
+if [[ "$SKIP_CLANG" == "1" ]]; then
+  echo "== clang thread-safety stage skipped =="
+elif ! command -v clang++ > /dev/null; then
+  echo "== clang thread-safety stage skipped: clang++ not on PATH =="
+  echo "   (install clang to run the -Wthread-safety capability analysis"
+  echo "    and tests/thread_safety_compile_test; annotations still compile"
+  echo "    away to nothing under the default compiler)"
+else
+  echo "== clang -Werror=thread-safety build + negative-compile harness =="
+  # Capability analysis over the annotated concurrent core (src/common/
+  # sync.h users): the whole src/ tree must compile with zero
+  # -Wthread-safety diagnostics, and every seeded violation in the
+  # negative harness must be rejected with the expected diagnostic.
+  cmake -B build-clang-ts -S . \
+        -DCMAKE_CXX_COMPILER=clang++ -DOSRS_THREAD_SAFETY=ON > /dev/null
+  cmake --build build-clang-ts -j "$JOBS" --target \
+        osrs_common osrs_obs osrs_fault osrs_api osrs_serving \
+        osrs_coverage osrs_solver osrs_lp
+  ./tests/thread_safety_compile_test/run.sh
+fi
+
 echo "== OSRS_OBS=OFF build + telemetry-adjacent tests =="
 # The telemetry layer must compile out cleanly: spans shrink to empty
 # objects and every instrumented call site still builds and passes.
@@ -115,11 +141,11 @@ run_suite build-asan -DOSRS_SANITIZE=address,undefined
  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
  ctest --output-on-failure -j "$JOBS")
 
-echo "== TSan build + batch/budget/graph-build tests =="
+echo "== TSan build + batch/budget/sync/graph-build tests =="
 run_suite build-tsan -DOSRS_SANITIZE=thread
 (cd build-tsan && \
  TSAN_OPTIONS=halt_on_error=1 \
  ctest --output-on-failure -j "$JOBS" \
-       -R 'budget_test|api_test|fuzz_robustness_test|integration_test|coverage_diff_test|chaos_test')
+       -R 'budget_test|api_test|fuzz_robustness_test|integration_test|coverage_diff_test|chaos_test|sync_test')
 
 echo "== ci.sh: all passes green =="

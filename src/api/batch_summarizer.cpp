@@ -253,6 +253,13 @@ std::vector<BatchEntry> BatchSummarizer::SummarizeAll(
   // Once the batch budget trips, remaining claimed items are stamped with
   // the budget's verdict instead of being solved, so the batch drains
   // quickly and still returns one entry per item.
+  //
+  // Deliberately lock-free, so nothing here carries common/sync.h
+  // capability annotations: the fetch_add on `cursor` hands each index to
+  // exactly one worker, `entries[index]` slots are therefore disjoint per
+  // worker, and the join below publishes every slot before SummarizeAll
+  // returns. TSan (ci.sh) is the checker for this protocol; the capability
+  // analysis guards the mutex-based modules it cannot see.
   std::atomic<size_t> cursor{0};
   auto worker = [&]() {
     ReviewSummarizer summarizer(ontology_, options_.summarizer);

@@ -21,6 +21,13 @@ namespace osrs {
 /// entry carrying an older epoch as stale without having to diff the
 /// corpus itself. Thread-safe; bumping while solves are in flight is fine
 /// (in-flight results are stamped with the epoch they started under).
+///
+/// Intentionally a bare atomic rather than a common/sync.h Mutex-guarded
+/// counter: there is no multi-field invariant to protect, and the acq_rel
+/// bump / acquire read pair is the whole ordering contract — a consumer
+/// that observes epoch N also observes every corpus write made before
+/// the bump to N. Atomics sit outside Clang's capability analysis by
+/// design (see DESIGN.md, "Static analysis v2").
 class CorpusEpoch {
  public:
   CorpusEpoch() = default;

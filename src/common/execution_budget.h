@@ -14,6 +14,14 @@ namespace osrs {
 /// number of concurrent solves (e.g. every worker of a batch); `Cancel()`
 /// from any thread asks all of them to stop at their next budget check.
 /// The flag must outlive every ExecutionBudget referencing it.
+///
+/// A single release-store / acquire-load atomic, not a common/sync.h
+/// Mutex: solver loops poll `cancelled()` on their hot path and must not
+/// block, and the release/acquire pair already guarantees that a solver
+/// observing the flag also observes whatever the cancelling thread wrote
+/// before calling Cancel(). Being lock-free, it carries no capability
+/// annotations — Clang's analysis covers the Mutex-guarded modules, TSan
+/// covers this one (see DESIGN.md, "Static analysis v2").
 class CancellationFlag {
  public:
   CancellationFlag() = default;

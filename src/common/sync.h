@@ -1,0 +1,223 @@
+#ifndef OSRS_COMMON_SYNC_H_
+#define OSRS_COMMON_SYNC_H_
+
+// Annotated synchronization primitives: the repo's only sanctioned mutex
+// and condition-variable types, carrying Clang capability-analysis
+// attributes so that lock invariants are checked at compile time.
+//
+// Every concurrent module declares which mutex guards which field
+// (OSRS_GUARDED_BY), which methods must be called with a mutex held
+// (OSRS_REQUIRES) or not held (OSRS_EXCLUDES), and the analysis — enabled
+// with -DOSRS_THREAD_SAFETY=ON under Clang, which adds
+// `-Wthread-safety -Wthread-safety-beta -Werror=thread-safety` — rejects
+// unguarded reads, double-locks, missing releases, and wrong-mutex
+// accesses as compile errors. tests/thread_safety_compile_test feeds
+// seeded violations through the compiler to prove the analysis itself
+// keeps working; tools/lint.sh bans raw std::mutex / std::lock_guard in
+// src/ outside this header so every lock in the tree is analyzable.
+//
+// On GCC (and any non-Clang compiler) the attribute macros expand to
+// nothing and the wrappers are zero-cost shims over std::mutex /
+// std::condition_variable, so sanitizer and production builds are
+// unaffected.
+//
+// Known analysis limits that shape the API (see the Clang docs,
+// "Thread Safety Analysis"):
+//
+//   * constructors/destructors are not analyzed, so member init of
+//     guarded fields needs no lock;
+//   * lambda bodies are analyzed as separate functions with no capability
+//     context, so predicates passed to CondVar::Wait must not touch
+//     guarded fields — write an explicit `while (!cond) cv.Wait(mu);`
+//     loop in the annotated caller instead;
+//   * a field guarded by another object's mutex (e.g. a queue node
+//     guarded by its owner's lock) cannot name that capability; document
+//     it in a comment and keep the handoff protocol local.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Clang exposes the capability analysis through GNU attributes; other
+// compilers get empty macros (and must not warn about them).
+#if defined(__clang__)
+#define OSRS_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define OSRS_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define OSRS_CAPABILITY(x) OSRS_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII class that acquires a capability at construction and
+/// releases it at destruction.
+#define OSRS_SCOPED_CAPABILITY OSRS_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define OSRS_GUARDED_BY(x) OSRS_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer-field annotation: dereferences require holding `x` (the
+/// pointer itself is unguarded).
+#define OSRS_PT_GUARDED_BY(x) OSRS_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the listed capabilities.
+#define OSRS_REQUIRES(...) \
+  OSRS_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the listed capabilities
+/// (the function acquires them itself — documents non-reentrancy).
+#define OSRS_EXCLUDES(...) \
+  OSRS_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities (held on return).
+#define OSRS_ACQUIRE(...) \
+  OSRS_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities.
+#define OSRS_RELEASE(...) \
+  OSRS_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function annotation: attempts acquisition; the first argument is the
+/// return value meaning success.
+#define OSRS_TRY_ACQUIRE(...) \
+  OSRS_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: asserts (at runtime, to the analysis) that the
+/// capability is held without acquiring it.
+#define OSRS_ASSERT_HELD(x) \
+  OSRS_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// Escape hatch: disables analysis of one function body. Reserve for
+/// low-level code whose safety argument lives in a comment.
+#define OSRS_NO_THREAD_SAFETY_ANALYSIS \
+  OSRS_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+namespace osrs {
+
+/// The repo's mutex: std::mutex carrying the "mutex" capability. Prefer
+/// MutexLock over manual Lock/Unlock pairs; the raw methods exist for the
+/// rare protocol (and for the negative-compile tests) and are themselves
+/// annotated so unbalanced use is a compile error under the analysis.
+class OSRS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() OSRS_ACQUIRE() { mu_.lock(); }
+  void Unlock() OSRS_RELEASE() { mu_.unlock(); }
+  bool TryLock() OSRS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock: acquires at construction, releases at destruction. The
+/// analysis tracks the scope, so a guarded field touched outside a
+/// MutexLock (or after one ends) is a compile error. Non-copyable and
+/// non-movable — a lock's lifetime is its scope, full stop.
+class OSRS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OSRS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() OSRS_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  MutexLock(MutexLock&&) = delete;
+  MutexLock& operator=(MutexLock&&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// MutexLock that can release early — for the "decide under the lock,
+/// act (reject, log, block) after dropping it" shape. After Release()
+/// the destructor is a no-op, and the analysis flags any guarded access
+/// in the remainder of the scope.
+class OSRS_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) OSRS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~ReleasableMutexLock() OSRS_RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+
+  /// Releases the mutex now instead of at scope end. Call at most once.
+  void Release() OSRS_RELEASE() {
+    mu_->Unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock(ReleasableMutexLock&&) = delete;
+  ReleasableMutexLock& operator=(ReleasableMutexLock&&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable bound to osrs::Mutex. Wait requires the mutex held
+/// (checked by the analysis); it atomically releases while blocked and
+/// re-acquires before returning, like std::condition_variable.
+///
+/// Predicates passed to the convenience overloads run with the mutex
+/// held, but the analysis treats lambda bodies as capability-free
+/// functions — a predicate reading a guarded field is flagged under
+/// Clang. Annotated code should use the plain Wait in an explicit
+/// `while (!cond) cv.Wait(mu);` loop; the predicate overloads remain for
+/// call sites whose predicate reads only local state. Predicates must
+/// not throw (a throwing predicate would unwind through two unlock
+/// paths).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) OSRS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) OSRS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  /// Waits up to `ms` milliseconds; returns false on timeout.
+  bool WaitForMs(Mutex& mu, double ms) OSRS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms));
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Waits up to `ms` milliseconds for `pred` to hold; returns the final
+  /// predicate value (true = condition met, false = timed out).
+  template <typename Predicate>
+  bool WaitForMs(Mutex& mu, double ms, Predicate pred) OSRS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    bool satisfied =
+        cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
+                     std::move(pred));
+    lock.release();
+    return satisfied;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace osrs
+
+#endif  // OSRS_COMMON_SYNC_H_

@@ -162,7 +162,7 @@ Result<std::pair<std::string, FailpointSpec>> ParseFailpointSpec(
 }
 
 void Failpoint::Arm(FailpointSpec spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spec_ = std::move(spec);
   fired_ = 0;
   rng_.seed(spec_.seed);
@@ -172,7 +172,7 @@ void Failpoint::Arm(FailpointSpec spec) {
 }
 
 void Failpoint::Disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_.store(false, std::memory_order_relaxed);
   fired_ = 0;
 }
@@ -180,7 +180,7 @@ void Failpoint::Disarm() {
 Status Failpoint::Evaluate() {
   FailpointSpec spec;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
     hits_.fetch_add(1, std::memory_order_relaxed);
     bool fire = false;
@@ -249,7 +249,7 @@ FailpointRegistry& FailpointRegistry::Global() {
 }
 
 Failpoint* FailpointRegistry::Get(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     it = points_
@@ -271,12 +271,12 @@ Status FailpointRegistry::ArmFromSpec(std::string_view specs) {
 }
 
 void FailpointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, point] : points_) point->Disarm();
 }
 
 std::vector<std::string> FailpointRegistry::ArmedNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [name, point] : points_) {
     if (point->armed()) names.push_back(name);
@@ -286,7 +286,7 @@ std::vector<std::string> FailpointRegistry::ArmedNames() const {
 
 std::vector<std::pair<std::string, int64_t>>
 FailpointRegistry::InjectionCounts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, int64_t>> counts;
   for (const auto& [name, point] : points_) {
     if (point->injections() > 0) counts.emplace_back(name, point->injections());

@@ -45,7 +45,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <string>
 #include <string_view>
@@ -53,6 +52,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace osrs::fault {
 
@@ -123,16 +123,16 @@ class Failpoint {
 
   /// Installs `spec` and resets the trigger state (hit and fire counts,
   /// RNG reseeded from spec.seed).
-  void Arm(FailpointSpec spec);
+  void Arm(FailpointSpec spec) OSRS_EXCLUDES(mutex_);
 
   /// Disarms; Evaluate() returns OK until re-armed. Trigger state resets.
-  void Disarm();
+  void Disarm() OSRS_EXCLUDES(mutex_);
 
   /// Evaluates one hit: advances the trigger and, when it fires, performs
   /// the action — returns the injected Status for kError, throws
   /// std::bad_alloc for kThrowBadAlloc, sleeps then returns OK for kDelay.
   /// Returns OK when disarmed or the trigger does not fire.
-  Status Evaluate();
+  Status Evaluate() OSRS_EXCLUDES(mutex_);
 
   /// Total Evaluate() calls since the last Arm().
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -148,10 +148,12 @@ class Failpoint {
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> injections_{0};
 
-  mutable std::mutex mutex_;
-  FailpointSpec spec_;        // guarded by mutex_
-  int64_t fired_ = 0;         // guarded by mutex_
-  std::mt19937_64 rng_;       // guarded by mutex_ (kProbability)
+  /// Guards the trigger state; the armed_/hits_/injections_ atomics stay
+  /// outside it so the disarmed fast path is one relaxed load.
+  mutable Mutex mutex_;
+  FailpointSpec spec_ OSRS_GUARDED_BY(mutex_);
+  int64_t fired_ OSRS_GUARDED_BY(mutex_) = 0;
+  std::mt19937_64 rng_ OSRS_GUARDED_BY(mutex_);  // kProbability draws
 };
 
 /// Global name-interned failpoint registry, mirroring obs::MetricsRegistry:
@@ -163,30 +165,32 @@ class FailpointRegistry {
   static FailpointRegistry& Global();
 
   /// Stable handle for `name`; creates the failpoint on first use.
-  Failpoint* Get(std::string_view name);
+  Failpoint* Get(std::string_view name) OSRS_EXCLUDES(mutex_);
 
   /// Parses and arms a ';'-separated list of specs (the OSRS_FAILPOINTS
   /// grammar). On a malformed spec nothing past it is armed and the error
   /// identifies the offending component.
-  Status ArmFromSpec(std::string_view specs);
+  Status ArmFromSpec(std::string_view specs) OSRS_EXCLUDES(mutex_);
 
   /// Disarms every registered failpoint (handles stay valid). Tests call
   /// this between schedules.
-  void DisarmAll();
+  void DisarmAll() OSRS_EXCLUDES(mutex_);
 
   /// Names of currently armed failpoints, sorted.
-  std::vector<std::string> ArmedNames() const;
+  std::vector<std::string> ArmedNames() const OSRS_EXCLUDES(mutex_);
 
   /// (name, injections) for every registered failpoint with at least one
   /// injection since its last Arm(), sorted by name.
-  std::vector<std::pair<std::string, int64_t>> InjectionCounts() const;
+  std::vector<std::pair<std::string, int64_t>> InjectionCounts() const
+      OSRS_EXCLUDES(mutex_);
 
  private:
   FailpointRegistry() = default;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // Sorted iteration for rendering; unique_ptr keeps handles stable.
-  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_
+      OSRS_GUARDED_BY(mutex_);
 };
 
 }  // namespace osrs::fault

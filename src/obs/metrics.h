@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace osrs::obs {
 
@@ -172,12 +173,13 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  Counter* GetCounter(std::string_view name) OSRS_EXCLUDES(mutex_);
+  Gauge* GetGauge(std::string_view name) OSRS_EXCLUDES(mutex_);
   /// `upper_bounds` is consulted only on first registration; later calls
   /// with the same name return the existing histogram unchanged.
   Histogram* GetHistogram(std::string_view name,
-                          std::vector<double> upper_bounds);
+                          std::vector<double> upper_bounds)
+      OSRS_EXCLUDES(mutex_);
 
   /// Runtime gate for every registered metric (process-wide).
   void SetEnabled(bool enabled) {
@@ -186,25 +188,31 @@ class MetricsRegistry {
   bool enabled() const { return Enabled(); }
 
   /// Zeroes every registered metric (test/tool hook; handles stay valid).
-  void ResetAll();
+  void ResetAll() OSRS_EXCLUDES(mutex_);
 
   /// "name value" lines, sorted by name; histograms render count/sum plus
   /// one "  le X: N" line per bucket.
-  std::string ToText() const;
+  std::string ToText() const OSRS_EXCLUDES(mutex_);
 
   /// {"enabled":bool,"counters":{name:value,...},"gauges":{...},
   ///  "histograms":{name:<HistogramSnapshot::ToJson()>,...}}
-  std::string ToJson() const;
+  std::string ToJson() const OSRS_EXCLUDES(mutex_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mutex_;
+  /// Guards only the interning maps below; the metrics themselves are
+  /// lock-free (relaxed atomics) and recorded through stable handles, so
+  /// the mutex is touched on registration and rendering, never per event.
+  mutable Mutex mutex_;
   // std::map keeps iteration sorted for rendering; unique_ptr keeps
   // handles stable across rehash-free inserts.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      OSRS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      OSRS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      OSRS_GUARDED_BY(mutex_);
 };
 
 }  // namespace osrs::obs

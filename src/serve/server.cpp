@@ -103,28 +103,35 @@ struct SummaryServer::Flight {
   CacheKey cache_key;
   ExecutionBudget budget;
   Stopwatch queued;  // reset at enqueue; read at dequeue for queue_ms
-  int requests = 1;  // guarded by SummaryServer::mutex_ until map removal
+  /// Guarded by the owning SummaryServer's mutex_ until map removal, then
+  /// read by the completing worker only. The analysis cannot name an
+  /// owner's capability from a nested struct, so this stays a comment-
+  /// level invariant (see common/sync.h).
+  int requests = 1;
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
-  ServeResponse response;
+  Mutex mutex;
+  CondVar cv;
+  bool done OSRS_GUARDED_BY(mutex) = false;
+  ServeResponse response OSRS_GUARDED_BY(mutex);
 };
+
+int SummaryServer::ResolveWorkerCount(int requested) {
+  if (requested > 0) return requested;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
 
 SummaryServer::SummaryServer(const Ontology* ontology, std::vector<Item> items,
                              ServeOptions options)
     : ontology_(ontology),
       options_(std::move(options)),
       options_fingerprint_(OptionsFingerprint(options_.summarizer)),
+      num_workers_(ResolveWorkerCount(options_.num_threads)),
       cache_(options_.cache_capacity),
       solve_cost_(LatencyBounds()) {
   for (Item& item : items) {
     std::string id = item.id;
     items_[std::move(id)] = std::make_shared<const Item>(std::move(item));
   }
-  num_workers_ = options_.num_threads > 0
-                     ? options_.num_threads
-                     : std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(static_cast<size_t>(num_workers_));
   for (int w = 0; w < num_workers_; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -136,7 +143,7 @@ SummaryServer::~SummaryServer() { Stop(); }
 uint64_t SummaryServer::BumpEpoch() {
   uint64_t next = epoch_.Bump();
   {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
+    MutexLock lock(counters_mutex_);
     ++counters_.epoch_bumps;
   }
   return next;
@@ -144,7 +151,7 @@ uint64_t SummaryServer::BumpEpoch() {
 
 void SummaryServer::UpdateItem(Item item) {
   {
-    std::lock_guard<std::mutex> lock(items_mutex_);
+    MutexLock lock(items_mutex_);
     std::string id = item.id;
     items_[std::move(id)] = std::make_shared<const Item>(std::move(item));
   }
@@ -164,13 +171,13 @@ ServeResponse SummaryServer::Serve(const ServeRequest& request) {
 
 ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
   {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
+    MutexLock lock(counters_mutex_);
     ++counters_.submitted;
   }
 
   auto reject = [this](Status status) {
     {
-      std::lock_guard<std::mutex> lock(counters_mutex_);
+      MutexLock lock(counters_mutex_);
       ++counters_.rejected;
     }
     ServeCounter("osrs.serve.rejected")->Increment();
@@ -183,7 +190,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
   // A stopped server rejects everything, cache hits included — Stop()
   // promises no request started after it observes server state.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       return reject(Status::Unavailable("server is stopped"));
     }
@@ -203,7 +210,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
 
   std::shared_ptr<const Item> item;
   {
-    std::lock_guard<std::mutex> lock(items_mutex_);
+    MutexLock lock(items_mutex_);
     auto it = items_.find(request.item_id);
     if (it != items_.end()) item = it->second;
   }
@@ -228,7 +235,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
     ItemSummary cached;
     if (cache_status.ok() && cache_.Lookup(key, &cached)) {
       {
-        std::lock_guard<std::mutex> lock(counters_mutex_);
+        MutexLock lock(counters_mutex_);
         ++counters_.admitted;
         ++counters_.completed;
         ++counters_.cache_hits;
@@ -252,9 +259,9 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
                 static_cast<unsigned long long>(options_fingerprint_),
                 request.k);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    ReleasableMutexLock lock(mutex_);
     if (stopping_) {
-      lock.unlock();
+      lock.Release();
       return reject(Status::Unavailable("server is stopping"));
     }
     auto it = flights_.find(coalesce_key);
@@ -266,7 +273,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
       ++flight->requests;
       attached = true;
       {
-        std::lock_guard<std::mutex> counters_lock(counters_mutex_);
+        MutexLock counters_lock(counters_mutex_);
         ++counters_.admitted;
         ++counters_.coalesced;
       }
@@ -275,7 +282,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
       // Admission control. Queue depth first (absolute backstop), then the
       // wait estimate once enough solve costs have been observed.
       if (queue_.size() >= options_.max_queue_depth) {
-        lock.unlock();
+        lock.Release();
         return reject(Status::ResourceExhausted(
             StrFormat("queue full (%zu requests)", options_.max_queue_depth)));
       }
@@ -285,14 +292,14 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
                                    p50 / static_cast<double>(num_workers_);
         if (options_.max_estimated_wait_ms > 0.0 &&
             estimated_wait_ms > options_.max_estimated_wait_ms) {
-          lock.unlock();
+          lock.Release();
           return reject(Status::ResourceExhausted(
               StrFormat("estimated wait %.1f ms exceeds policy bound %.1f ms",
                         estimated_wait_ms, options_.max_estimated_wait_ms)));
         }
         if (budget.has_deadline() &&
             estimated_wait_ms > budget.RemainingMs()) {
-          lock.unlock();
+          lock.Release();
           return reject(Status::ResourceExhausted(StrFormat(
               "estimated wait %.1f ms exceeds the request deadline",
               estimated_wait_ms)));
@@ -307,18 +314,21 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
       queue_.push_back(flight);
       QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
       {
-        std::lock_guard<std::mutex> counters_lock(counters_mutex_);
+        MutexLock counters_lock(counters_mutex_);
         ++counters_.admitted;
       }
       ServeCounter("osrs.serve.admitted")->Increment();
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
     }
   }
 
   ServeResponse response;
   {
-    std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->cv.wait(lock, [&flight] { return flight->done; });
+    MutexLock lock(flight->mutex);
+    // Explicit wait loop (not the predicate overload): the analysis
+    // checks this read of `done` against the held capability, which a
+    // lambda body would escape (see common/sync.h).
+    while (!flight->done) flight->cv.Wait(flight->mutex);
     response = flight->response;
   }
   if (attached && response.outcome == ServeOutcome::kSolved) {
@@ -331,8 +341,8 @@ void SummaryServer::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Flight> flight;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       flight = std::move(queue_.front());
       queue_.pop_front();
@@ -372,7 +382,7 @@ void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
 
   std::shared_ptr<const Item> item;
   {
-    std::lock_guard<std::mutex> lock(items_mutex_);
+    MutexLock lock(items_mutex_);
     auto it = items_.find(flight->cache_key.item_id);
     if (it != items_.end()) item = it->second;
   }
@@ -394,7 +404,7 @@ void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
   InflightGauge()->Decrement();
   SolveMsHistogram()->Observe(solve_ms);
   {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
+    MutexLock lock(counters_mutex_);
     ++counters_.solves;
   }
   ServeCounter("osrs.serve.solves")->Increment();
@@ -476,13 +486,13 @@ void SummaryServer::CompleteFlight(const std::shared_ptr<Flight>& flight,
   {
     // Remove from the coalescing map first: after this no request can
     // attach, so the request count is final.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = flights_.find(flight->coalesce_key);
     if (it != flights_.end() && it->second == flight) flights_.erase(it);
     requests = flight->requests;
   }
   {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
+    MutexLock lock(counters_mutex_);
     switch (response.outcome) {
       case ServeOutcome::kShed:
         counters_.shed += requests;
@@ -509,15 +519,15 @@ void SummaryServer::CompleteFlight(const std::shared_ptr<Flight>& flight,
   }
   if (response.degraded) ServeCounter("osrs.serve.degraded")->Add(requests);
   {
-    std::lock_guard<std::mutex> lock(flight->mutex);
+    MutexLock lock(flight->mutex);
     flight->response = std::move(response);
     flight->done = true;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
 }
 
 void SummaryServer::ObserveSolveCost(double ms) {
-  std::lock_guard<std::mutex> lock(cost_mutex_);
+  MutexLock lock(cost_mutex_);
   solve_cost_.Observe(ms);
   if (solve_cost_.total_count >= options_.min_cost_samples) {
     p50_solve_ms_cached_ = solve_cost_.Quantile(0.5);
@@ -525,25 +535,32 @@ void SummaryServer::ObserveSolveCost(double ms) {
 }
 
 double SummaryServer::p50_solve_ms() const {
-  std::lock_guard<std::mutex> lock(cost_mutex_);
+  MutexLock lock(cost_mutex_);
   return p50_solve_ms_cached_;
 }
 
 obs::HistogramSnapshot SummaryServer::solve_cost_snapshot() const {
-  std::lock_guard<std::mutex> lock(cost_mutex_);
+  MutexLock lock(cost_mutex_);
   return solve_cost_;
 }
 
 void SummaryServer::Stop() {
   std::deque<std::shared_ptr<Flight>> drained;
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ && queue_.empty() && workers_.empty()) return;
     stopping_ = true;
     drained.swap(queue_);
+    // Claim the worker threads under the same lock that guards them: a
+    // concurrent Stop() (or the destructor racing an explicit Stop) sees
+    // an empty vector and returns instead of double-joining. The join
+    // itself happens below, after the lock is dropped, so workers can
+    // still acquire mutex_ to observe stopping_ and drain.
+    workers.swap(workers_);
     QueueDepthGauge()->Set(0);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (const std::shared_ptr<Flight>& flight : drained) {
     ServeResponse response;
     response.status = Status::Unavailable("server stopped before the solve");
@@ -551,15 +568,13 @@ void SummaryServer::Stop() {
     response.epoch = flight->cache_key.epoch;
     CompleteFlight(flight, std::move(response));
   }
-  std::vector<std::thread> workers;
-  workers.swap(workers_);
   for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
 }
 
 ServerCounters SummaryServer::counters() const {
-  std::lock_guard<std::mutex> lock(counters_mutex_);
+  MutexLock lock(counters_mutex_);
   return counters_;
 }
 

@@ -29,11 +29,9 @@
 // an exception escaping a solve (injected bad_alloc included) is isolated
 // to that request — the process never dies.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -41,6 +39,7 @@
 
 #include "api/review_summarizer.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "core/model.h"
 #include "obs/metrics.h"
 #include "ontology/ontology.h"
@@ -156,43 +155,50 @@ class SummaryServer {
 
   /// Answers one request (blocking). Never throws; every failure mode is
   /// a Status per the ServeOutcome taxonomy.
-  ServeResponse Serve(const ServeRequest& request);
+  ServeResponse Serve(const ServeRequest& request)
+      OSRS_EXCLUDES(mutex_, items_mutex_, counters_mutex_, cost_mutex_);
 
   /// Invalidates every cached summary by advancing the corpus epoch —
   /// O(1), no cache traversal. In-flight solves complete under the epoch
   /// they started with and cache as already-stale entries.
-  uint64_t BumpEpoch();
+  uint64_t BumpEpoch() OSRS_EXCLUDES(counters_mutex_);
   uint64_t epoch() const { return epoch_.value(); }
 
   /// Replaces (or adds) one item and bumps the epoch — the minimal
   /// "reviews arrived" mutation the future incremental engine will do
   /// in-place.
-  void UpdateItem(Item item);
+  void UpdateItem(Item item) OSRS_EXCLUDES(items_mutex_, counters_mutex_);
 
   /// Stops accepting requests, fails whatever is still queued with
   /// kUnavailable, and joins the workers. Idempotent.
-  void Stop();
+  void Stop() OSRS_EXCLUDES(mutex_, counters_mutex_);
 
-  ServerCounters counters() const;
+  ServerCounters counters() const OSRS_EXCLUDES(counters_mutex_);
   CacheStats cache_stats() const { return cache_.stats(); }
   /// Observed solve-cost distribution (the shed threshold's input).
-  obs::HistogramSnapshot solve_cost_snapshot() const;
+  obs::HistogramSnapshot solve_cost_snapshot() const
+      OSRS_EXCLUDES(cost_mutex_);
   /// Current p50 solve-cost estimate in ms (0 until min_cost_samples).
-  double p50_solve_ms() const;
+  double p50_solve_ms() const OSRS_EXCLUDES(cost_mutex_);
   int num_workers() const { return num_workers_; }
 
  private:
   struct Flight;
 
-  ServeResponse ServeImpl(const ServeRequest& request);
-  void WorkerLoop();
-  void ProcessFlight(const std::shared_ptr<Flight>& flight);
+  static int ResolveWorkerCount(int requested);
+
+  ServeResponse ServeImpl(const ServeRequest& request)
+      OSRS_EXCLUDES(mutex_, items_mutex_, counters_mutex_, cost_mutex_);
+  void WorkerLoop() OSRS_EXCLUDES(mutex_);
+  void ProcessFlight(const std::shared_ptr<Flight>& flight)
+      OSRS_EXCLUDES(mutex_, items_mutex_, counters_mutex_, cost_mutex_);
   /// Removes the flight from the coalescing map, applies per-request
   /// accounting (once per attached request), fills the flight's response,
   /// and wakes every waiter.
   void CompleteFlight(const std::shared_ptr<Flight>& flight,
-                      ServeResponse response);
-  void ObserveSolveCost(double ms);
+                      ServeResponse response)
+      OSRS_EXCLUDES(mutex_, counters_mutex_);
+  void ObserveSolveCost(double ms) OSRS_EXCLUDES(cost_mutex_);
   Result<ItemSummary> GuardedSolve(const Item& item, int k,
                                    const ExecutionBudget& budget);
   /// Stale-cache fallback; returns true and fills `response` when a
@@ -202,37 +208,43 @@ class SummaryServer {
   const Ontology* ontology_;
   const ServeOptions options_;
   const uint64_t options_fingerprint_;
-  int num_workers_ = 1;
+  /// Fixed at construction (immutable thereafter, so admission may read
+  /// it without a lock).
+  const int num_workers_;
 
   /// Immutable snapshots so a worker can solve against an item while
   /// UpdateItem swaps the map entry underneath it.
-  std::unordered_map<std::string, std::shared_ptr<const Item>> items_;
-  mutable std::mutex items_mutex_;  // UpdateItem vs worker reads
+  mutable Mutex items_mutex_;  // UpdateItem vs worker reads
+  std::unordered_map<std::string, std::shared_ptr<const Item>> items_
+      OSRS_GUARDED_BY(items_mutex_);
 
   CorpusEpoch epoch_;
   SummaryCache cache_;
 
-  /// Queue + coalescing state under one mutex.
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Flight>> queue_;
-  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
-  bool stopping_ = false;
-
+  /// Queue + coalescing state under one mutex. workers_ lives here too:
+  /// Stop() swaps the thread vector out under the lock so two concurrent
+  /// Stop() calls (or Stop racing the destructor) cannot both join —
+  /// the join itself happens after the lock is dropped.
+  Mutex mutex_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Flight>> queue_ OSRS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
+      OSRS_GUARDED_BY(mutex_);
+  bool stopping_ OSRS_GUARDED_BY(mutex_) = false;
   /// Per-worker ReviewSummarizer instances live in WorkerLoop.
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ OSRS_GUARDED_BY(mutex_);
 
   /// Solve-cost estimate feeding admission and shedding. Kept as a plain
   /// snapshot under its own mutex so the policy works even when the
   /// global metrics registry is disabled or compiled out.
-  mutable std::mutex cost_mutex_;
-  obs::HistogramSnapshot solve_cost_;
-  double p50_solve_ms_cached_ = 0.0;
+  mutable Mutex cost_mutex_;
+  obs::HistogramSnapshot solve_cost_ OSRS_GUARDED_BY(cost_mutex_);
+  double p50_solve_ms_cached_ OSRS_GUARDED_BY(cost_mutex_) = 0.0;
 
   /// Request accounting (own mutex: counters are read by admission while
   /// workers update them).
-  mutable std::mutex counters_mutex_;
-  ServerCounters counters_;
+  mutable Mutex counters_mutex_;
+  ServerCounters counters_ OSRS_GUARDED_BY(counters_mutex_);
 };
 
 }  // namespace osrs::serve

@@ -29,7 +29,7 @@ std::string SummaryCache::LatestIndexKey(const std::string& item_id,
 SummaryCache::SummaryCache(size_t capacity) : capacity_(capacity) {}
 
 bool SummaryCache::Lookup(const CacheKey& key, ItemSummary* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -44,7 +44,7 @@ bool SummaryCache::Lookup(const CacheKey& key, ItemSummary* out) {
 bool SummaryCache::LookupLatest(const std::string& item_id,
                                 uint64_t options_fingerprint, int k,
                                 ItemSummary* out, uint64_t* epoch_out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = latest_.find(LatestIndexKey(item_id, options_fingerprint, k));
   if (it == latest_.end()) return false;
   ++stats_.stale_hits;
@@ -55,7 +55,7 @@ bool SummaryCache::LookupLatest(const std::string& item_id,
 
 void SummaryCache::Insert(const CacheKey& key, const ItemSummary& summary) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Refresh in place (a coalesced flight may insert what a racing
@@ -76,14 +76,14 @@ void SummaryCache::Insert(const CacheKey& key, const ItemSummary& summary) {
 }
 
 void SummaryCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   latest_.clear();
 }
 
 CacheStats SummaryCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CacheStats out = stats_;
   out.entries = static_cast<int64_t>(lru_.size());
   return out;

@@ -13,15 +13,18 @@
 // solve. Only non-degraded summaries may be inserted, so an exact hit is
 // bit-identical to a fresh full-budget solve under the same options.
 //
-// Thread-safe; every operation is O(1) amortized under one mutex.
+// Thread-safe; every operation is O(1) amortized under one mutex. Lock
+// discipline is compile-checked: every container is OSRS_GUARDED_BY the
+// cache mutex and the one lock-held helper is OSRS_REQUIRES-annotated
+// (see src/common/sync.h).
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "api/review_summarizer.h"
+#include "common/sync.h"
 
 namespace osrs::serve {
 
@@ -59,7 +62,7 @@ class SummaryCache {
 
   /// Exact lookup; a hit copies the summary into `out` and refreshes the
   /// entry's LRU position.
-  bool Lookup(const CacheKey& key, ItemSummary* out);
+  bool Lookup(const CacheKey& key, ItemSummary* out) OSRS_EXCLUDES(mutex_);
 
   /// Epoch-agnostic lookup: the most recently *inserted* entry for
   /// (item_id, options_fingerprint, k), whatever epoch it was solved
@@ -67,17 +70,19 @@ class SummaryCache {
   /// current-epoch hit from a stale one. Does not refresh LRU position —
   /// degraded fallbacks should not keep stale entries alive forever.
   bool LookupLatest(const std::string& item_id, uint64_t options_fingerprint,
-                    int k, ItemSummary* out, uint64_t* epoch_out);
+                    int k, ItemSummary* out, uint64_t* epoch_out)
+      OSRS_EXCLUDES(mutex_);
 
   /// Inserts (or refreshes) `summary` under `key`, evicting the least
   /// recently used entry when full. Callers must only insert non-degraded
   /// summaries — the bit-identity contract above depends on it.
-  void Insert(const CacheKey& key, const ItemSummary& summary);
+  void Insert(const CacheKey& key, const ItemSummary& summary)
+      OSRS_EXCLUDES(mutex_);
 
   /// Drops every entry (stats keep accumulating).
-  void Clear();
+  void Clear() OSRS_EXCLUDES(mutex_);
 
-  CacheStats stats() const;
+  CacheStats stats() const OSRS_EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
 
  private:
@@ -95,17 +100,20 @@ class SummaryCache {
   static std::string LatestIndexKey(const std::string& item_id,
                                     uint64_t options_fingerprint, int k);
 
-  void EraseLocked(std::list<Entry>::iterator it);
+  void EraseLocked(std::list<Entry>::iterator it) OSRS_REQUIRES(mutex_);
 
   const size_t capacity_;
 
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_;
+  mutable Mutex mutex_;
+  /// front = most recently used
+  std::list<Entry> lru_ OSRS_GUARDED_BY(mutex_);
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_
+      OSRS_GUARDED_BY(mutex_);
   /// Latest inserted epoch per (item, fingerprint, k); entries point into
   /// lru_ and are erased when their target is evicted.
-  std::unordered_map<std::string, std::list<Entry>::iterator> latest_;
-  CacheStats stats_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> latest_
+      OSRS_GUARDED_BY(mutex_);
+  CacheStats stats_ OSRS_GUARDED_BY(mutex_);
 };
 
 }  // namespace osrs::serve

@@ -1,0 +1,10 @@
+// Seeded violation: CondVar::Wait without holding the mutex it re-locks.
+// EXPECT: calling function 'Wait' requires holding mutex 'mu'
+#include "common/sync.h"
+
+int main() {
+  osrs::Mutex mu;
+  osrs::CondVar cv;
+  cv.Wait(mu);  // mutex not held: must not compile
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Seeded violation: acquiring a mutex the scope already holds.
+// EXPECT: acquiring mutex 'mu' that is already held
+#include "common/sync.h"
+
+int main() {
+  osrs::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // already held: must not compile
+  mu.Unlock();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Seeded violation: calling an OSRS_EXCLUDES method while holding the
+// mutex it acquires itself (self-deadlock).
+// EXPECT: cannot call function 'Bump' while mutex 'mu_' is held
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() OSRS_EXCLUDES(mu_) {
+    osrs::MutexLock lock(mu_);
+    ++value_;
+  }
+  void BumpTwice() {
+    osrs::MutexLock lock(mu_);
+    Bump();  // would self-deadlock: must not compile
+  }
+
+ private:
+  osrs::Mutex mu_;
+  int value_ OSRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.BumpTwice();
+  return 0;
+}

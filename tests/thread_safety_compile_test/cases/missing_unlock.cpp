@@ -1,0 +1,18 @@
+// Seeded violation: function returns with the mutex still held.
+// EXPECT: mutex 'mu' is still held at the end of function
+#include "common/sync.h"
+
+namespace {
+
+void LeakLock(osrs::Mutex& mu) {
+  mu.Lock();
+  // no Unlock: must not compile
+}
+
+}  // namespace
+
+int main() {
+  osrs::Mutex mu;
+  LeakLock(mu);
+  return 0;
+}

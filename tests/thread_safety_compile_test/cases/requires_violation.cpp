@@ -1,0 +1,23 @@
+// Seeded violation: calling an OSRS_REQUIRES method without the mutex.
+// EXPECT: calling function 'BumpLocked' requires holding mutex 'mu_'
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void BumpLocked() OSRS_REQUIRES(mu_) { ++value_; }
+  void Bump() { BumpLocked(); }  // caller holds nothing: must not compile
+
+ private:
+  osrs::Mutex mu_;
+  int value_ OSRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return 0;
+}

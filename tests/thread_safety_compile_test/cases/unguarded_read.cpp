@@ -1,0 +1,21 @@
+// Seeded violation: reading a guarded field with no lock held.
+// EXPECT: reading variable 'value_' requires holding mutex 'mu_'
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Peek() { return value_; }  // no lock: must not compile
+
+ private:
+  osrs::Mutex mu_;
+  int value_ OSRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Peek();
+}

@@ -1,0 +1,22 @@
+// Seeded violation: writing a guarded field with no lock held.
+// EXPECT: writing variable 'value_' requires holding mutex 'mu_' exclusively
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++value_; }  // no lock: must not compile
+
+ private:
+  osrs::Mutex mu_;
+  int value_ OSRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Seeded violation: releasing a mutex this scope never acquired.
+// EXPECT: releasing mutex 'mu' that was not held
+#include "common/sync.h"
+
+int main() {
+  osrs::Mutex mu;
+  mu.Unlock();  // never locked: must not compile
+  return 0;
+}

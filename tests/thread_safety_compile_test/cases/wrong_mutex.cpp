@@ -1,0 +1,26 @@
+// Seeded violation: holding mutex B while touching a field guarded by A.
+// EXPECT: requires holding mutex 'a_'
+#include "common/sync.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void Bump() {
+    osrs::MutexLock lock(b_);  // wrong mutex: must not compile
+    ++value_;
+  }
+
+ private:
+  osrs::Mutex a_;
+  osrs::Mutex b_;
+  int value_ OSRS_GUARDED_BY(a_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks two;
+  two.Bump();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Positive control: correct use of every sync.h primitive and annotation.
+// The harness compiles this with the same flags as the violation cases
+// and requires a clean pass — if it fails, the flags (not the cases) are
+// broken, and every "rejected" violation would be meaningless.
+#include "common/sync.h"
+
+namespace {
+
+class Everything {
+ public:
+  void Bump() OSRS_EXCLUDES(mu_) {
+    osrs::MutexLock lock(mu_);
+    ++value_;
+    cv_.NotifyOne();
+  }
+
+  int WaitForPositive() OSRS_EXCLUDES(mu_) {
+    osrs::MutexLock lock(mu_);
+    while (value_ <= 0) cv_.Wait(mu_);
+    return value_;
+  }
+
+  int PeekOrZero() OSRS_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return 0;
+    int out = value_;
+    mu_.Unlock();
+    return out;
+  }
+
+  int BumpLocked() OSRS_REQUIRES(mu_) { return ++value_; }
+
+  int TwoPhase() OSRS_EXCLUDES(mu_) {
+    osrs::ReleasableMutexLock lock(mu_);
+    int decision = value_;
+    lock.Release();
+    return decision;  // acting after the early release, no guarded access
+  }
+
+  int Compose() OSRS_EXCLUDES(mu_) {
+    osrs::MutexLock lock(mu_);
+    return BumpLocked();
+  }
+
+ private:
+  osrs::Mutex mu_;
+  osrs::CondVar cv_;
+  int value_ OSRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Everything everything;
+  everything.Bump();
+  int got = everything.WaitForPositive();
+  got += everything.PeekOrZero();
+  got += everything.TwoPhase();
+  got += everything.Compose();
+  return got > 0 ? 0 : 1;
+}

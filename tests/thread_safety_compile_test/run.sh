@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the Clang thread-safety layer (see
+# src/common/sync.h and DESIGN.md, "Static analysis v2").
+#
+# Each cases/*.cpp seeds exactly one lock-discipline violation — an
+# unguarded read/write, a double lock, a leaked lock, the wrong mutex, a
+# REQUIRES/EXCLUDES breach, a CondVar wait without the lock, an unlock of
+# a lock never taken — and declares the diagnostic it must provoke on a
+# `// EXPECT: <substring>` line. The harness compiles every case with the
+# same flags the OSRS_THREAD_SAFETY build uses and fails if any case is
+# ACCEPTED or rejected with the wrong diagnostic: both mean the analysis
+# (or our annotations) stopped doing its job. positive_control.cpp is the
+# inverse — correct usage of every primitive that must compile clean,
+# proving the flags themselves work.
+#
+# Requires clang++; exits 77 (the ctest/automake skip code) when it is
+# not installed, since GCC compiles the annotations away.
+#
+# Usage: tests/thread_safety_compile_test/run.sh [clang++-binary]
+set -uo pipefail
+
+cd "$(dirname "$0")"
+CXX="${1:-clang++}"
+
+if ! command -v "$CXX" > /dev/null; then
+  echo "thread_safety_compile_test: $CXX not on PATH — skipped" >&2
+  exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -I ../../src
+       -Wthread-safety -Wthread-safety-beta -Werror=thread-safety)
+
+failures=0
+
+# Positive control first: if correct code does not compile, every
+# rejection below would be vacuous.
+if ! "$CXX" "${FLAGS[@]}" positive_control.cpp 2> /tmp/osrs_ts_positive.err; then
+  echo "FAIL positive_control.cpp: correct code was rejected:" >&2
+  cat /tmp/osrs_ts_positive.err >&2
+  failures=$((failures + 1))
+else
+  echo "ok   positive_control.cpp (compiles clean)"
+fi
+
+for case_file in cases/*.cpp; do
+  expect=$(sed -n 's|^// EXPECT: ||p' "$case_file" | head -n 1)
+  if [[ -z "$expect" ]]; then
+    echo "FAIL $case_file: no '// EXPECT:' line" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if "$CXX" "${FLAGS[@]}" "$case_file" 2> /tmp/osrs_ts_case.err; then
+    echo "FAIL $case_file: seeded violation was ACCEPTED by the compiler" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! grep -qF "$expect" /tmp/osrs_ts_case.err; then
+    echo "FAIL $case_file: rejected, but without the expected" >&2
+    echo "     diagnostic [$expect]; got:" >&2
+    cat /tmp/osrs_ts_case.err >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "ok   $case_file (rejected: $expect)"
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "thread_safety_compile_test: ${failures} failure(s)" >&2
+  exit 1
+fi
+echo "thread_safety_compile_test: all cases behaved"

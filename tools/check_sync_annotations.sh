@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Annotation-coverage check for the thread-safety layer (see DESIGN.md,
+# "Static analysis v2"): every osrs::Mutex member declared in src/ must
+# have at least one user of its capability in the same file — an
+# OSRS_GUARDED_BY / OSRS_PT_GUARDED_BY field or an OSRS_REQUIRES /
+# OSRS_ACQUIRE / OSRS_RELEASE method naming it. A mutex with zero
+# annotated users is invisible to Clang's capability analysis, which is
+# exactly the state this PR-gate exists to prevent: new concurrent code
+# must declare what its lock protects.
+#
+# Also prints the coverage tally (mutexes, guarded fields, annotated
+# methods) so reviews can watch the numbers move.
+#
+# Usage: tools/check_sync_annotations.sh   (run from anywhere)
+# Exit: 0 when every mutex has at least one annotated user, 1 otherwise.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+mutexes=0
+guarded_fields=0
+annotated_methods=0
+
+# Declaration shape: optional `mutable`, optional namespace qualifier,
+# `Mutex name_;` possibly followed by a trailing comment. sync.h itself
+# (the definition site) and build trees are excluded.
+decl_re='^[[:space:]]*(mutable[[:space:]]+)?([A-Za-z_]+::)?Mutex[[:space:]]+([A-Za-z0-9_]+)[[:space:]]*;'
+
+while IFS= read -r file; do
+  # Collect this file's mutex member names.
+  while IFS= read -r name; do
+    [[ -z "$name" ]] && continue
+    mutexes=$((mutexes + 1))
+    users=$(grep -cE \
+      "OSRS_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|EXCLUDES|ASSERT_HELD)\((([A-Za-z_]+::)?[A-Za-z0-9_]+(, *)?)*${name}" \
+      "$file")
+    if [[ "$users" -eq 0 ]]; then
+      echo "sync-annotations: $file: Mutex '${name}' has no" \
+           "OSRS_GUARDED_BY/OSRS_REQUIRES user — annotate what it guards" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(sed -E -n "s/${decl_re}.*/\3/p" "$file" | sort -u)
+done < <(find src -name '*.h' -o -name '*.cpp' | grep -v '^src/common/sync\.h$' \
+         | grep -vE '/build[^/]*/' | sort)
+
+guarded_fields=$(grep -rE --include='*.h' --include='*.cpp' \
+  -c 'OSRS_(GUARDED_BY|PT_GUARDED_BY)\(' src 2>/dev/null \
+  | awk -F: '$1 != "src/common/sync.h" {sum += $2} END {print sum + 0}')
+annotated_methods=$(grep -rE --include='*.h' --include='*.cpp' \
+  -c 'OSRS_(REQUIRES|EXCLUDES|ACQUIRE|RELEASE|TRY_ACQUIRE)\(' src 2>/dev/null \
+  | awk -F: '$1 != "src/common/sync.h" {sum += $2} END {print sum + 0}')
+
+echo "sync-annotations: ${mutexes} mutexes, ${guarded_fields} guarded" \
+     "fields, ${annotated_methods} annotated methods"
+
+if [[ $failures -gt 0 ]]; then
+  echo "sync-annotations: ${failures} unannotated mutex(es)" >&2
+  exit 1
+fi
+echo "sync-annotations: every mutex has at least one annotated user"

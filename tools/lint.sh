@@ -15,9 +15,21 @@
 #      "Failure semantics"); the one sanctioned thrower is the fault
 #      subsystem's bad_alloc injection, and the BatchSummarizer boundary
 #      only catches, never throws;
-#   6. optionally, when clang-tidy and build/compile_commands.json exist,
+#   6. no raw std:: synchronization types (std::mutex, std::lock_guard,
+#      std::condition_variable, ...) in src/ outside src/common/sync.h —
+#      concurrent code goes through the annotated osrs::Mutex / MutexLock /
+#      CondVar wrappers so Clang's -Wthread-safety capability analysis
+#      sees every lock (see DESIGN.md, "Static analysis v2");
+#   7. annotation coverage (tools/check_sync_annotations.sh): every
+#      osrs::Mutex member must have at least one OSRS_GUARDED_BY /
+#      OSRS_REQUIRES user naming it, so no lock is invisible to the
+#      analysis;
+#   8. optionally, when clang-tidy and build/compile_commands.json exist,
 #      the curated .clang-tidy pass over every src/ translation unit
 #      (skipped with --no-tidy or when either prerequisite is missing).
+#
+# Build trees (build*/ at any depth) and anything they generate are
+# excluded from every check.
 #
 # Usage: tools/lint.sh [--no-tidy]
 # Exit: 0 clean, 1 violations found.
@@ -37,6 +49,12 @@ fail() {
   failures=$((failures + 1))
 }
 
+# Drops matches/paths under any build tree (build/, build-tsan/, nested
+# cmake trees) so checked-out sources are the only lint subjects.
+not_build() {
+  grep -vE '(^|/)build[^/]*/' || true
+}
+
 # -- 1. include guards -------------------------------------------------------
 while IFS= read -r header; do
   # src/core/model.h -> OSRS_CORE_MODEL_H_
@@ -47,12 +65,13 @@ while IFS= read -r header; do
   elif ! grep -q "^#define ${expected}\$" "$header"; then
     fail "$header: guard ${expected} is never #defined"
   fi
-done < <(find src -name '*.h' | sort)
+done < <(find src -name '*.h' | not_build | sort)
 
 # -- 2. using namespace in headers -------------------------------------------
 while IFS= read -r match; do
   fail "using-namespace in a header: $match"
-done < <(grep -rn --include='*.h' -E '^\s*using\s+namespace\b' src || true)
+done < <(grep -rn --include='*.h' -E '^\s*using\s+namespace\b' src \
+  | not_build)
 
 # -- 3. stdout writes in library code ----------------------------------------
 # std::fprintf(stderr, ...) is the sanctioned diagnostic channel; flag
@@ -61,7 +80,7 @@ while IFS= read -r match; do
   fail "stdout write in src/: $match"
 done < <(grep -rn --include='*.h' --include='*.cpp' -E \
   'std::cout|[^f.a-zA-Z_]printf\(|^\s*printf\(|std::puts|[^a-zA-Z_.]puts\(' \
-  src | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
+  src | not_build | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
 
 # -- 4. raw clock reads in solver code ----------------------------------------
 # Solvers must go through common/stopwatch.h (or obs/trace.h spans) so all
@@ -69,8 +88,8 @@ done < <(grep -rn --include='*.h' --include='*.cpp' -E \
 while IFS= read -r match; do
   fail "raw steady_clock::now() in src/solver (use Stopwatch): $match"
 done < <(grep -rn --include='*.h' --include='*.cpp' \
-  'steady_clock::now()' src/solver | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' \
-  || true)
+  'steady_clock::now()' src/solver | not_build \
+  | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
 
 # -- 5. naked throw in library code ------------------------------------------
 # Status/Result is the failure channel everywhere except src/fault, whose
@@ -78,14 +97,35 @@ done < <(grep -rn --include='*.h' --include='*.cpp' \
 while IFS= read -r match; do
   fail "naked throw in src/ (use Status; only src/fault may throw): $match"
 done < <(grep -rn --include='*.h' --include='*.cpp' -E '\bthrow\b' src \
-  | grep -v '^src/fault/' \
+  | not_build | grep -v '^src/fault/' \
   | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
 
-# -- 6. clang-tidy (optional) ------------------------------------------------
+# -- 6. raw std:: sync types outside src/common/sync.h -----------------------
+# The annotated wrappers (osrs::Mutex / MutexLock / ReleasableMutexLock /
+# CondVar, src/common/sync.h) are the only sanctioned lock types in src/:
+# a raw std::mutex carries no capability, so Clang's -Wthread-safety pass
+# cannot check anything it guards. sync.h itself wraps the std types and
+# is excluded; std::atomic is allowed (lock-free protocols are TSan's
+# territory, see DESIGN.md "Static analysis v2").
+while IFS= read -r match; do
+  fail "raw std:: sync type in src/ (use common/sync.h wrappers): $match"
+done < <(grep -rn --include='*.h' --include='*.cpp' -E \
+  'std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable|condition_variable_any)\b' \
+  src | not_build | grep -v '^src/common/sync\.h:' \
+  | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
+
+# -- 7. sync annotation coverage ---------------------------------------------
+# Every osrs::Mutex member must be named by at least one annotation, so no
+# lock silently escapes the capability analysis.
+if ! ./tools/check_sync_annotations.sh; then
+  fail "sync annotation coverage check failed (see above)"
+fi
+
+# -- 8. clang-tidy (optional) ------------------------------------------------
 if [[ $run_tidy -eq 1 ]]; then
   if command -v clang-tidy > /dev/null && [[ -f build/compile_commands.json ]]; then
     echo "lint: running clang-tidy over src/ (this takes a while)"
-    mapfile -t sources < <(find src -name '*.cpp' | sort)
+    mapfile -t sources < <(find src -name '*.cpp' | not_build | sort)
     if ! clang-tidy -p build --quiet "${sources[@]}"; then
       fail "clang-tidy reported findings"
     fi
