@@ -253,15 +253,12 @@ struct DatasetResult {
   }
 };
 
-std::string ToJson(const std::vector<DatasetResult>& results,
-                   int num_concepts, unsigned hardware_threads) {
-  // hardware_threads qualifies the scaling numbers: fast_ms at t threads
-  // can only improve over t = 1 when the host actually has t cores, so a
-  // reader (or CI) must gate scaling expectations on this field.
-  std::string out = StrFormat(
-      "{\"bench\":\"coverage_build\","
-      "\"ontology_concepts\":%d,\"hardware_threads\":%u,\"datasets\":[",
-      num_concepts, hardware_threads);
+/// The "datasets" array of the report; the envelope (bench name,
+/// hardware_threads — which qualifies the scaling numbers, since fast_ms
+/// at t threads can only improve over t = 1 when the host actually has t
+/// cores) comes from BenchJsonWriter.
+std::string DatasetsJson(const std::vector<DatasetResult>& results) {
+  std::string out = "[";
   for (size_t i = 0; i < results.size(); ++i) {
     const DatasetResult& r = results[i];
     if (i > 0) out += ',';
@@ -281,7 +278,7 @@ std::string ToJson(const std::vector<DatasetResult>& results,
         fast1 > 0.0 ? r.baseline_ms / fast1 : 0.0,
         fast4 > 0.0 && fast1 > 0.0 ? fast1 / fast4 : 0.0);
   }
-  out += "]}";
+  out += ']';
   return out;
 }
 
@@ -399,16 +396,10 @@ int Run(int argc, char** argv) {
     }
   }
 
-  const unsigned hardware_threads =
-      std::max(1u, std::thread::hardware_concurrency());
-  std::string json =
-      ToJson(results, onto_options.num_concepts, hardware_threads);
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  OSRS_CHECK_MSG(f != nullptr, "cannot open " << out_path);
-  std::fputs(json.c_str(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  std::printf("wrote %s\n", out_path.c_str());
+  BenchJsonWriter writer("coverage_build");
+  writer.Int("ontology_concepts", onto_options.num_concepts);
+  writer.Raw("datasets", DatasetsJson(results));
+  if (!writer.WriteFile(out_path, "bench_coverage_build")) return 2;
   return 0;
 }
 

@@ -27,6 +27,7 @@
 
 #include "api/batch_summarizer.h"
 #include "api/review_summarizer.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -185,27 +186,20 @@ int main(int argc, char** argv) {
   std::printf("  est. site overhead: %.4f%% of batch (< 1%%: %s)\n",
               site_overhead_percent, under_bar ? "yes" : "NO");
 
-  std::string json = StrFormat(
-      "{\"bench\":\"retry_overhead\",\"smoke\":%s,\"compiled_in\":%s,"
-      "\"num_items\":%d,\"disarmed_ns_per_eval\":%.4f,"
-      "\"armed_quiet_ns_per_eval\":%.4f,\"site_evals_per_batch\":%lld,"
-      "\"batch_ms\":%.4f,\"batch_retry3_ms\":%.4f,"
-      "\"retry_overhead_percent\":%.4f,"
-      "\"site_overhead_percent\":%.4f,\"under_one_percent\":%s}\n",
-      smoke ? "true" : "false", fault::kCompiledIn ? "true" : "false",
-      num_items, disarmed_ns, armed_quiet_ns,
-      static_cast<long long>(hits_per_batch), batch_ms, batch_retry_ms,
-      retry_overhead_percent, site_overhead_percent,
-      under_bar ? "true" : "false");
-  if (std::FILE* out = std::fopen(out_path.c_str(), "w");
-      out != nullptr) {
-    std::fputs(json.c_str(), out);
-    std::fclose(out);
-    std::printf("  wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "bench_retry_overhead: cannot write %s\n",
-                 out_path.c_str());
-    return 2;
-  }
+  BenchJsonWriter writer("retry_overhead");
+  writer.Bool("smoke", smoke);
+  writer.Bool("compiled_in", fault::kCompiledIn);
+  writer.Int("num_items", num_items);
+  writer.Raw("disarmed_ns_per_eval", StrFormat("%.4f", disarmed_ns));
+  writer.Raw("armed_quiet_ns_per_eval", StrFormat("%.4f", armed_quiet_ns));
+  writer.Int("site_evals_per_batch", hits_per_batch);
+  writer.Raw("batch_ms", StrFormat("%.4f", batch_ms));
+  writer.Raw("batch_retry3_ms", StrFormat("%.4f", batch_retry_ms));
+  writer.Raw("retry_overhead_percent",
+             StrFormat("%.4f", retry_overhead_percent));
+  writer.Raw("site_overhead_percent",
+             StrFormat("%.4f", site_overhead_percent));
+  writer.Bool("under_one_percent", under_bar);
+  if (!writer.WriteFile(out_path, "bench_retry_overhead")) return 2;
   return under_bar ? 0 : 1;
 }

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "datagen/cellphone_corpus.h"
 #include "common/stopwatch.h"
@@ -278,29 +279,24 @@ int main(int argc, char** argv) {
   std::string violation;
   bool accounting_ok = CheckAccounting(counters, &violation);
 
-  std::string json = StrFormat(
-      "{\"failpoints_compiled_in\":%s,\"smoke\":%s,"
-      "\"workers\":%d,\"items\":%d,\"mean_solve_ms\":%.4g,"
-      "\"capacity_rps\":%.4g,\"deadline_ms\":%.4g,\"levels\":[",
-      fault::kCompiledIn ? "true" : "false", smoke ? "true" : "false",
-      server.num_workers(), num_items, mean_solve_ms, capacity_rps,
-      deadline_ms);
+  BenchJsonWriter writer("serve");
+  writer.Bool("failpoints_compiled_in", fault::kCompiledIn);
+  writer.Bool("smoke", smoke);
+  writer.Int("workers", server.num_workers());
+  writer.Int("items", num_items);
+  writer.Raw("mean_solve_ms", StrFormat("%.4g", mean_solve_ms));
+  writer.Raw("capacity_rps", StrFormat("%.4g", capacity_rps));
+  writer.Raw("deadline_ms", StrFormat("%.4g", deadline_ms));
+  std::string level_array = "[";
   for (size_t i = 0; i < levels.size(); ++i) {
-    if (i > 0) json += ',';
-    json += levels[i].ToJson();
+    if (i > 0) level_array += ',';
+    level_array += levels[i].ToJson();
   }
-  json += StrFormat("],\"counters\":%s,\"accounting_ok\":%s}\n",
-                    counters.ToJson().c_str(),
-                    accounting_ok ? "true" : "false");
-
-  if (FILE* out = std::fopen(out_path.c_str(), "w")) {
-    std::fputs(json.c_str(), out);
-    std::fclose(out);
-    std::printf("bench_serve: wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "bench_serve: cannot write %s\n", out_path.c_str());
-    return 2;
-  }
+  level_array += ']';
+  writer.Raw("levels", level_array);
+  writer.Raw("counters", counters.ToJson());
+  writer.Bool("accounting_ok", accounting_ok);
+  if (!writer.WriteFile(out_path, "bench_serve")) return 2;
 
   if (!accounting_ok) {
     std::fprintf(stderr, "bench_serve: ACCOUNTING VIOLATION: %s\n",

@@ -7,15 +7,18 @@
 // the bundled simplex (the Gurobi stand-in, see DESIGN.md) stays fast; the
 // caps are printed so runs are self-describing.
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
 #include "core/distance.h"
 #include "core/model.h"
 #include "coverage/item_graph.h"
@@ -67,6 +70,67 @@ class StatsSession {
   bool enabled_ = false;
   obs::SolveTrace trace_;
   std::unique_ptr<obs::Tracer::Scope> scope_;
+};
+
+/// Uniform JSON report emitter for the bench binaries. Every report opens
+/// with "bench":<name> and "hardware_threads":<n> — the two fields a
+/// reader (or CI) needs to identify the experiment and gate scaling
+/// expectations on the host — then appends fields in call order. String
+/// keys and values go through JsonEscape; Raw splices pre-rendered JSON
+/// (arrays, nested objects, values needing a specific precision) verbatim.
+/// Output stays compact ("key":value, no spaces) so the ci.sh greps over
+/// report files keep matching.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string_view bench_name)
+      : json_(StrFormat("{\"bench\":\"%s\",\"hardware_threads\":%u",
+                        JsonEscape(bench_name).c_str(),
+                        std::max(1u, std::thread::hardware_concurrency()))) {}
+
+  void Bool(std::string_view key, bool value) {
+    Raw(key, value ? "true" : "false");
+  }
+  void Int(std::string_view key, int64_t value) {
+    Raw(key, StrFormat("%lld", static_cast<long long>(value)));
+  }
+  void Double(std::string_view key, double value) {
+    Raw(key, StrFormat("%.6g", value));
+  }
+  void Str(std::string_view key, std::string_view value) {
+    Raw(key, StrFormat("\"%s\"", JsonEscape(value).c_str()));
+  }
+  void Raw(std::string_view key, std::string_view raw_json) {
+    json_ += ",\"";
+    json_ += JsonEscape(key);
+    json_ += "\":";
+    json_ += raw_json;
+  }
+
+  /// The closed object, newline-terminated.
+  std::string Finish() const { return json_ + "}\n"; }
+
+  /// Writes the finished report to `path` and prints the standard
+  /// "<tool>: wrote <path>" line (or a stderr diagnostic). Returns false
+  /// on any I/O failure so mains can exit 2 uniformly.
+  bool WriteFile(const std::string& path, const char* tool) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", tool, path.c_str());
+      return false;
+    }
+    std::string report = Finish();
+    size_t written = std::fwrite(report.data(), 1, report.size(), out);
+    std::fclose(out);
+    if (written != report.size()) {
+      std::fprintf(stderr, "%s: short write to %s\n", tool, path.c_str());
+      return false;
+    }
+    std::printf("%s: wrote %s\n", tool, path.c_str());
+    return true;
+  }
+
+ private:
+  std::string json_;
 };
 
 struct QuantitativeConfig {

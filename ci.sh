@@ -5,10 +5,12 @@
 # over the shipped example data + clang-tidy when installed), a clang
 # thread-safety stage (OSRS_THREAD_SAFETY=ON build of the concurrent core
 # plus the negative-compile harness, skipped when clang++ is not
-# installed), OSRS_OBS=OFF and OSRS_FAILPOINTS=OFF builds proving the
-# telemetry and fault layers compile out, the full suite (chaos included)
+# installed), an observability stage (live `osrs_serve --drive` metrics
+# export validated by tools/check_openmetrics.sh), OSRS_OBS=OFF,
+# OSRS_LOGGING=OFF, and OSRS_FAILPOINTS=OFF builds proving the telemetry,
+# logging, and fault layers compile out, the full suite (chaos included)
 # under ASan+UBSan, and a TSan pass over the multi-threaded
-# BatchSummarizer, sync-primitive, and chaos tests.
+# BatchSummarizer, serving-layer, sync-primitive, and chaos tests.
 # Usage: ./ci.sh [--skip-sanitizers] [--skip-lint] [--skip-clang]
 set -euo pipefail
 
@@ -107,6 +109,23 @@ else
   ./tests/thread_safety_compile_test/run.sh
 fi
 
+echo "== observability stage: live metrics export + format validation =="
+# A real --drive run must leave behind a structurally valid OpenMetrics
+# snapshot: HELP/TYPE lines per family, counter _total suffixes, strictly
+# ascending histogram buckets with monotone cumulative counts, +Inf ==
+# _count, a _sum per histogram, and the # EOF terminator.
+./build/tools/osrs_serve --drive 200 --clients 4 --scale 0.02 \
+    --slow-ms 50 --metrics-file build/metrics_export.prom > /dev/null 2>&1
+./tools/check_openmetrics.sh build/metrics_export.prom
+
+echo "== OSRS_LOGGING=OFF build + logging-adjacent tests =="
+# The structured-logging sites must compile out cleanly: OSRS_LOG shrinks
+# to a dead branch (arguments stay type-checked) and every adopting layer
+# still builds and passes.
+run_suite build-nolog -DOSRS_LOGGING=OFF
+(cd build-nolog && \
+ ctest --output-on-failure -j "$JOBS" -R 'common_test|serve_test|api_test')
+
 echo "== OSRS_OBS=OFF build + telemetry-adjacent tests =="
 # The telemetry layer must compile out cleanly: spans shrink to empty
 # objects and every instrumented call site still builds and passes.
@@ -146,6 +165,6 @@ run_suite build-tsan -DOSRS_SANITIZE=thread
 (cd build-tsan && \
  TSAN_OPTIONS=halt_on_error=1 \
  ctest --output-on-failure -j "$JOBS" \
-       -R 'budget_test|api_test|fuzz_robustness_test|integration_test|coverage_diff_test|chaos_test|sync_test')
+       -R 'budget_test|api_test|fuzz_robustness_test|integration_test|coverage_diff_test|chaos_test|sync_test|serve_test')
 
 echo "== ci.sh: all passes green =="

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/slog.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "validate/model_validator.h"
@@ -128,6 +129,9 @@ void RunItemWithRetries(const ReviewSummarizer& summarizer, const Item& item,
     }
     if (attempt >= policy.max_retries) {
       entry.exhausted_retries = policy.max_retries > 0;
+      OSRS_LOG(::osrs::slog::Level::kWarn, "retry", "retries exhausted",
+               {"item_index", item_index}, {"attempts", attempt + 1},
+               {"code", StatusCodeToString(failure.code())});
       entry.status = std::move(failure);
       return;
     }
@@ -147,11 +151,20 @@ void RunItemWithRetries(const ReviewSummarizer& summarizer, const Item& item,
     // time (not the retry count) is what ran out.
     if (std::isfinite(remaining_ms) && remaining_ms <= backoff_ms) {
       entry.exhausted_retries = true;
+      OSRS_LOG(::osrs::slog::Level::kWarn, "retry",
+               "retry skipped, batch budget cannot fund backoff",
+               {"item_index", item_index}, {"backoff_ms", backoff_ms},
+               {"remaining_ms", remaining_ms},
+               {"code", StatusCodeToString(failure.code())});
       entry.status = std::move(failure);
       return;
     }
     ++entry.retries;
     RetriesCounter()->Increment();
+    OSRS_LOG(::osrs::slog::Level::kInfo, "retry", "retrying item",
+             {"item_index", item_index}, {"attempt", attempt + 1},
+             {"backoff_ms", backoff_ms},
+             {"code", StatusCodeToString(failure.code())});
     if (backoff_ms > 0.0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));

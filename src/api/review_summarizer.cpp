@@ -152,11 +152,14 @@ std::string ItemSummary::ToJson() const {
       "\"diagnostics\":{\"degraded\":%s,\"algorithm\":\"%s\","
       "\"stop_reason\":\"%s\",\"budget_spent_ms\":%.3f,"
       "\"solver_seconds\":%.6g,\"retries\":%d,"
+      "\"request_id\":%llu,\"trace_id\":\"%016llx\","
       "\"validation_warnings\":%s,\"stats\":%s},",
       degraded ? "true" : "false",
       JsonEscape(SummaryAlgorithmToString(algorithm_used)).c_str(),
       StatusCodeToString(stop_reason), budget_spent_ms, solver_seconds,
-      retries, warnings_json.c_str(), stats.ToJson().c_str());
+      retries, static_cast<unsigned long long>(request_id),
+      static_cast<unsigned long long>(trace_id), warnings_json.c_str(),
+      stats.ToJson().c_str());
   out += "\"entries\":[";
   for (size_t i = 0; i < entries.size(); ++i) {
     if (i > 0) out += ',';

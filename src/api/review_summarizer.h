@@ -188,12 +188,17 @@ struct ItemSummary {
   /// BatchSummarizer's job (see BatchSummarizerOptions::retry_policy),
   /// which stamps the count on the entry it returns.
   int retries = 0;
+  /// Log-correlation identity of the serving request that produced this
+  /// summary (see obs/request_trace.h). Stamped by SummaryServer; 0 for
+  /// summaries computed outside the serving layer.
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;
 
   /// Compact JSON rendering (entries, cost, diagnostics) for tooling.
   ///
   /// Diagnostic fields live under one "diagnostics" object (degraded,
-  /// algorithm, stop_reason, budget_spent_ms, solver_seconds,
-  /// validation_warnings, stats). The pre-existing top-level copies of
+  /// algorithm, stop_reason, budget_spent_ms, solver_seconds, request_id,
+  /// trace_id — the hex log-correlation id — validation_warnings, stats). The pre-existing top-level copies of
   /// degraded / algorithm / stop_reason / budget_spent_ms /
   /// validation_warnings remain for one release as deprecated aliases —
   /// see README.md ("Observability") for the migration note.

@@ -1,0 +1,156 @@
+#include "common/slog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/sync.h"
+
+namespace osrs::slog {
+namespace {
+
+/// Monotonic nanoseconds for the rate limiters (epoch is arbitrary).
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock milliseconds since the Unix epoch for the ts_ms field.
+int64_t WallMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SinkState {
+  Mutex mutex;
+  Sink sink OSRS_GUARDED_BY(mutex) = nullptr;
+  void* user_data OSRS_GUARDED_BY(mutex) = nullptr;
+};
+
+SinkState& GlobalSinkState() {
+  static SinkState* state = new SinkState();  // never freed
+  return *state;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void Field::AppendTo(std::string* out) const {
+  *out += StrFormat("\"%s\":", JsonEscape(key_).c_str());
+  switch (kind_) {
+    case Kind::kString:
+      *out += StrFormat("\"%s\"", JsonEscape(str_).c_str());
+      break;
+    case Kind::kBool:
+      *out += int_ != 0 ? "true" : "false";
+      break;
+    case Kind::kInt:
+      *out += StrFormat("%lld", static_cast<long long>(int_));
+      break;
+    case Kind::kUint:
+      *out += StrFormat("%llu", static_cast<unsigned long long>(uint_));
+      break;
+    case Kind::kDouble:
+      *out += StrFormat("%.6g", double_);
+      break;
+  }
+}
+
+void SetSink(Sink sink, void* user_data) {
+  SinkState& state = GlobalSinkState();
+  MutexLock lock(state.mutex);
+  state.sink = sink;
+  state.user_data = user_data;
+}
+
+void Emit(Level level, std::string_view module, uint64_t trace_id,
+          std::string_view message, std::initializer_list<Field> fields,
+          uint64_t dropped_since_last) {
+  std::string line;
+  line.reserve(192);
+  line += StrFormat("{\"ts_ms\":%lld,\"level\":\"%s\",\"module\":\"%s\"",
+                    static_cast<long long>(WallMillis()), LevelName(level),
+                    JsonEscape(module).c_str());
+  // Hex string, not a JSON number: 64-bit ids survive any parser's
+  // double-precision number path untouched.
+  if (trace_id != 0) {
+    line += StrFormat(",\"trace_id\":\"%016llx\"",
+                      static_cast<unsigned long long>(trace_id));
+  }
+  line += StrFormat(",\"message\":\"%s\"", JsonEscape(message).c_str());
+  for (const Field& field : fields) {
+    line += ',';
+    field.AppendTo(&line);
+  }
+  if (dropped_since_last > 0) {
+    line += StrFormat(",\"dropped\":%llu",
+                      static_cast<unsigned long long>(dropped_since_last));
+  }
+  line += "}\n";
+
+  SinkState& state = GlobalSinkState();
+  MutexLock lock(state.mutex);
+  if (state.sink != nullptr) {
+    state.sink(line, state.user_data);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+SiteRateLimiter::SiteRateLimiter(double burst, double per_second)
+    : burst_micro_(static_cast<int64_t>(burst * kMicroToken)),
+      per_second_(per_second),
+      micro_tokens_(burst_micro_),
+      last_refill_ns_(MonotonicNanos()) {}
+
+bool SiteRateLimiter::Admit(uint64_t* dropped_since_last) {
+  int64_t now = MonotonicNanos();
+  int64_t last = last_refill_ns_.load(std::memory_order_relaxed);
+  // One thread wins the refill window; the tokens it adds are visible to
+  // every concurrent Admit through the shared token count.
+  if (now > last && last_refill_ns_.compare_exchange_strong(
+                        last, now, std::memory_order_relaxed)) {
+    int64_t add = static_cast<int64_t>(static_cast<double>(now - last) *
+                                       1e-9 * per_second_ *
+                                       static_cast<double>(kMicroToken));
+    if (add > 0) {
+      int64_t current = micro_tokens_.load(std::memory_order_relaxed);
+      while (true) {
+        int64_t next = std::min(burst_micro_, current + add);
+        if (next == current) break;
+        if (micro_tokens_.compare_exchange_weak(current, next,
+                                                std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    }
+  }
+  int64_t current = micro_tokens_.load(std::memory_order_relaxed);
+  while (current >= kMicroToken) {
+    if (micro_tokens_.compare_exchange_weak(current, current - kMicroToken,
+                                            std::memory_order_relaxed)) {
+      *dropped_since_last = dropped_.exchange(0, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace osrs::slog

@@ -160,10 +160,8 @@ Result<Corpus> LoadCorpus(std::string_view text) {
   return corpus;
 }
 
-Status SaveCorpusToFile(const Corpus& corpus, const std::string& path) {
+Status WriteTextFile(const std::string& path, std::string_view contents) {
   OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.io.write"));
-  auto serialized = SaveCorpus(corpus);
-  OSRS_RETURN_IF_ERROR(serialized.status());
   errno = 0;
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
       std::fopen(path.c_str(), "wb"), &std::fclose);
@@ -172,17 +170,16 @@ Status SaveCorpusToFile(const Corpus& corpus, const std::string& path) {
                                          path.c_str(), ErrnoDetail().c_str()));
   }
   errno = 0;
-  size_t written =
-      std::fwrite(serialized->data(), 1, serialized->size(), file.get());
-  if (written != serialized->size()) {
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file.get());
+  if (written != contents.size()) {
     return Status::Unavailable(
         StrFormat("short write to '%s' (%zu of %zu bytes): %s", path.c_str(),
-                  written, serialized->size(), ErrnoDetail().c_str()));
+                  written, contents.size(), ErrnoDetail().c_str()));
   }
   return Status::OK();
 }
 
-Result<Corpus> LoadCorpusFromFile(const std::string& path) {
+Result<std::string> ReadTextFile(const std::string& path) {
   OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.io.read"));
   errno = 0;
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
@@ -208,7 +205,19 @@ Result<Corpus> LoadCorpusFromFile(const std::string& path) {
     return Status::Unavailable(StrFormat("read error on '%s': %s",
                                          path.c_str(), ErrnoDetail().c_str()));
   }
-  return LoadCorpus(contents);
+  return contents;
+}
+
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path) {
+  auto serialized = SaveCorpus(corpus);
+  OSRS_RETURN_IF_ERROR(serialized.status());
+  return WriteTextFile(path, *serialized);
+}
+
+Result<Corpus> LoadCorpusFromFile(const std::string& path) {
+  auto contents = ReadTextFile(path);
+  OSRS_RETURN_IF_ERROR(contents.status());
+  return LoadCorpus(*contents);
 }
 
 }  // namespace osrs

@@ -35,6 +35,16 @@ Result<Corpus> LoadCorpus(std::string_view text);
 Status SaveCorpusToFile(const Corpus& corpus, const std::string& path);
 Result<Corpus> LoadCorpusFromFile(const std::string& path);
 
+/// Generic whole-file text I/O with the same failure contract as the
+/// corpus wrappers above: missing input is kNotFound (permanent), every
+/// other failure is kUnavailable (retryable), and both honor the
+/// "osrs.io.read" / "osrs.io.write" failpoints. Tools route their file
+/// traffic through these so fault-injection runs and coded-Status error
+/// reporting cover tool I/O too (e.g. osrs_stats --registry, the
+/// osrs_serve metrics exporter).
+Status WriteTextFile(const std::string& path, std::string_view contents);
+Result<std::string> ReadTextFile(const std::string& path);
+
 }  // namespace osrs
 
 #endif  // OSRS_DATAGEN_CORPUS_IO_H_

@@ -6,11 +6,24 @@
 #include <new>
 #include <thread>
 
+#include "common/slog.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 
 namespace osrs::fault {
 namespace {
+
+const char* FailActionName(FailAction action) {
+  switch (action) {
+    case FailAction::kError:
+      return "error";
+    case FailAction::kThrowBadAlloc:
+      return "throw_bad_alloc";
+    case FailAction::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
 
 obs::Counter* InjectionsCounter() {
   static obs::Counter* counter =
@@ -209,6 +222,8 @@ Status Failpoint::Evaluate() {
     spec = spec_;
   }
   InjectionsCounter()->Increment();
+  OSRS_LOG(::osrs::slog::Level::kDebug, "fault", "failpoint injected",
+           {"failpoint", name_}, {"action", FailActionName(spec.action)});
   switch (spec.action) {
     case FailAction::kError: {
       std::string message =
@@ -232,14 +247,16 @@ FailpointRegistry& FailpointRegistry::Global() {
     auto* r = new FailpointRegistry();
     // Environment arming happens exactly once, before any site can
     // evaluate. A malformed spec cannot surface as a Status from static
-    // init, so it is reported on stderr and ignored — failing the whole
-    // process over a typo would defeat the point of fault *testing*.
+    // init, so it is logged and ignored — failing the whole process over
+    // a typo would defeat the point of fault *testing*.
     if (const char* env = std::getenv("OSRS_FAILPOINTS");
         env != nullptr && env[0] != '\0') {
       Status status = r->ArmFromSpec(env);
       if (!status.ok()) {
-        std::fprintf(stderr, "OSRS_FAILPOINTS ignored: %s\n",
-                     status.ToString().c_str());
+        OSRS_LOG(::osrs::slog::Level::kError, "fault",
+                 "OSRS_FAILPOINTS spec ignored",
+                 {"code", StatusCodeToString(status.code())},
+                 {"detail", status.message()});
         r->DisarmAll();
       }
     }

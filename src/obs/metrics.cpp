@@ -151,6 +151,25 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  snapshot.enabled = Enabled();
+  MutexLock lock(mutex_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, histogram->Snapshot()});
+  }
+  return snapshot;
+}
+
 std::string MetricsRegistry::ToText() const {
   MutexLock lock(mutex_);
   std::string out;

@@ -165,6 +165,31 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Plain-data copy of every registered metric at one instant — the input
+/// to the OpenMetrics renderer (obs/openmetrics.h) and to delta-based
+/// periodic reporters (osrs_serve): two snapshots subtract without
+/// touching live atomics. Samples are sorted by name (the registry's
+/// iteration order).
+struct RegistrySnapshot {
+  struct CounterSample {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    HistogramSnapshot histogram;
+  };
+
+  bool enabled = false;
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
 /// Global name-interned registry. Get* calls return a stable handle per
 /// name: the first call creates the metric, later calls (any thread)
 /// return the same pointer, so call sites may cache handles in
@@ -189,6 +214,9 @@ class MetricsRegistry {
 
   /// Zeroes every registered metric (test/tool hook; handles stay valid).
   void ResetAll() OSRS_EXCLUDES(mutex_);
+
+  /// Copies every registered metric into plain data (see RegistrySnapshot).
+  RegistrySnapshot Snapshot() const OSRS_EXCLUDES(mutex_);
 
   /// "name value" lines, sorted by name; histograms render count/sum plus
   /// one "  le X: N" line per bucket.

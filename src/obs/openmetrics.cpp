@@ -1,0 +1,74 @@
+#include "obs/openmetrics.h"
+
+#include "common/strings.h"
+
+namespace osrs::obs {
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+namespace {
+
+void AppendFamilyHeader(std::string* out, const std::string& family,
+                        const char* type, const std::string& source_name) {
+  *out += StrFormat("# HELP %s %s %s\n", family.c_str(), type,
+                    source_name.c_str());
+  *out += StrFormat("# TYPE %s %s\n", family.c_str(), type);
+}
+
+}  // namespace
+
+std::string RenderOpenMetrics(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const RegistrySnapshot::CounterSample& counter : snapshot.counters) {
+    std::string family = SanitizeMetricName(counter.name);
+    AppendFamilyHeader(&out, family, "counter", counter.name);
+    out += StrFormat("%s_total %lld\n", family.c_str(),
+                     static_cast<long long>(counter.value));
+  }
+  for (const RegistrySnapshot::GaugeSample& gauge : snapshot.gauges) {
+    std::string family = SanitizeMetricName(gauge.name);
+    AppendFamilyHeader(&out, family, "gauge", gauge.name);
+    out += StrFormat("%s %lld\n", family.c_str(),
+                     static_cast<long long>(gauge.value));
+  }
+  for (const RegistrySnapshot::HistogramSample& histogram :
+       snapshot.histograms) {
+    std::string family = SanitizeMetricName(histogram.name);
+    AppendFamilyHeader(&out, family, "histogram", histogram.name);
+    const HistogramSnapshot& snap = histogram.histogram;
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < snap.upper_bounds.size(); ++i) {
+      cumulative += i < snap.counts.size() ? snap.counts[i] : 0;
+      out += StrFormat("%s_bucket{le=\"%.6g\"} %lld\n", family.c_str(),
+                       snap.upper_bounds[i],
+                       static_cast<long long>(cumulative));
+    }
+    // The +Inf bucket is the full count by definition — including the
+    // overflow bucket the registry keeps past the last finite bound.
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", family.c_str(),
+                     static_cast<long long>(snap.total_count));
+    out += StrFormat("%s_sum %.6g\n", family.c_str(), snap.sum);
+    out += StrFormat("%s_count %lld\n", family.c_str(),
+                     static_cast<long long>(snap.total_count));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string RenderGlobalOpenMetrics() {
+  return RenderOpenMetrics(MetricsRegistry::Global().Snapshot());
+}
+
+}  // namespace osrs::obs

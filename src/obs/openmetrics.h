@@ -1,0 +1,46 @@
+#ifndef OSRS_OBS_OPENMETRICS_H_
+#define OSRS_OBS_OPENMETRICS_H_
+
+// OpenMetrics / Prometheus text-format rendering over a RegistrySnapshot
+// (see obs/metrics.h). The export half of the metrics pipeline: the
+// registry's dotted names ("osrs.serve.solve_ms") become sanitized metric
+// families ("osrs_serve_solve_ms") with the standard family comments and
+// sample suffixes:
+//
+//   # HELP osrs_serve_solves counter osrs.serve.solves
+//   # TYPE osrs_serve_solves counter
+//   osrs_serve_solves_total 42
+//
+// Histograms render the Prometheus cumulative-bucket form — one
+// `_bucket{le="..."}` sample per upper bound in ascending order, a
+// `+Inf` bucket equal to `_count`, then `_sum` and `_count` — so any
+// Prometheus-compatible scraper can ingest the file as-is. The registry's
+// internal buckets are half-open [lo, hi); rendering them under `le`
+// (<=) shifts boundary samples by at most one bucket, which the format
+// tolerates (bucket edges are estimates by design). Output ends with the
+// OpenMetrics `# EOF` terminator; tools/check_openmetrics.sh lints all of
+// the above in CI against live osrs_serve output.
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace osrs::obs {
+
+/// Maps a registry name onto the OpenMetrics charset [a-zA-Z0-9_:]:
+/// dots (and any other invalid byte) become '_'; a leading digit gets a
+/// '_' prefix. Empty input renders as "_".
+std::string SanitizeMetricName(std::string_view name);
+
+/// Renders one snapshot as an OpenMetrics text exposition (see the file
+/// comment for the exact shape). Deterministic: families appear in the
+/// snapshot's (sorted) order, counters then gauges then histograms.
+std::string RenderOpenMetrics(const RegistrySnapshot& snapshot);
+
+/// Convenience: snapshot the global registry and render it.
+std::string RenderGlobalOpenMetrics();
+
+}  // namespace osrs::obs
+
+#endif  // OSRS_OBS_OPENMETRICS_H_

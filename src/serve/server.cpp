@@ -5,6 +5,7 @@
 #include <new>
 #include <utility>
 
+#include "common/slog.h"
 #include "common/strings.h"
 #include "fault/failpoint.h"
 
@@ -108,6 +109,12 @@ struct SummaryServer::Flight {
   /// owner's capability from a nested struct, so this stays a comment-
   /// level invariant (see common/sync.h).
   int requests = 1;
+  /// The leader's request trace, handed over at enqueue and owned by the
+  /// processing worker until CompleteFlight moves it onto the response
+  /// (same handoff discipline as `requests`). Followers only call the
+  /// const, construction-immutable ElapsedNanos() on it.
+  obs::RequestTrace trace;
+  size_t root_span = 0;  // index of the still-open kServe root in `trace`
 
   Mutex mutex;
   CondVar cv;
@@ -127,7 +134,8 @@ SummaryServer::SummaryServer(const Ontology* ontology, std::vector<Item> items,
       options_fingerprint_(OptionsFingerprint(options_.summarizer)),
       num_workers_(ResolveWorkerCount(options_.num_threads)),
       cache_(options_.cache_capacity),
-      solve_cost_(LatencyBounds()) {
+      solve_cost_(LatencyBounds()),
+      trace_ring_(options_.trace_ring_capacity) {
   for (Item& item : items) {
     std::string id = item.id;
     items_[std::move(id)] = std::make_shared<const Item>(std::move(item));
@@ -163,27 +171,65 @@ ServeResponse SummaryServer::Serve(const ServeRequest& request) {
   ServeResponse response = ServeImpl(request);
   response.total_ms = total.ElapsedMillis();
   // The response-level degraded flag is authoritative; mirror it onto the
-  // summary so callers that only look at ItemSummary see it too.
+  // summary so callers that only look at ItemSummary see it too. The
+  // request/trace ids mirror the same way for log correlation.
   if (response.degraded) response.summary.degraded = true;
+  if (response.status.ok()) {
+    response.summary.request_id = response.request_id;
+    response.summary.trace_id = response.trace_id;
+  }
   TotalMsHistogram()->Observe(response.total_ms);
+  if (options_.slow_request_threshold_ms > 0.0 &&
+      response.total_ms > options_.slow_request_threshold_ms) {
+    OSRS_LOG_T(slog::Level::kWarn, "serve", response.trace_id,
+               "slow request", {"request_id", response.request_id},
+               {"outcome", ServeOutcomeToString(response.outcome)},
+               {"total_ms", response.total_ms},
+               {"queue_ms", response.queue_ms},
+               {"spans", response.trace.ToJson()});
+  }
+  trace_ring_.Push(response.trace);
   return response;
 }
 
 ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
+  // Every request gets a deterministic identity before anything can fail:
+  // ids start at 1, trace ids are the SplitMix64 image of the request id.
+  obs::RequestTrace trace;
+  trace.context.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace.context.trace_id = obs::DeriveTraceId(trace.context.request_id);
+  const size_t root_span = trace.BeginSpan(obs::RequestSpanKind::kServe);
+
   {
     MutexLock lock(counters_mutex_);
     ++counters_.submitted;
   }
 
-  auto reject = [this](Status status) {
+  // Closes the root span and hands the finished trace to the response —
+  // the single exit path for every outcome decided on this thread.
+  auto finalize = [&trace, root_span](ServeResponse* response) {
+    trace.EndSpan(root_span);
+    response->request_id = trace.context.request_id;
+    response->trace_id = trace.context.trace_id;
+    response->trace = std::move(trace);
+  };
+
+  auto reject = [this, &trace, &finalize](Status status) {
     {
       MutexLock lock(counters_mutex_);
       ++counters_.rejected;
     }
     ServeCounter("osrs.serve.rejected")->Increment();
+    OSRS_LOG_T(slog::Level::kInfo, "serve", trace.context.trace_id,
+               "request rejected",
+               {"request_id", trace.context.request_id},
+               {"code", StatusCodeToString(status.code())},
+               {"detail", status.message()});
     ServeResponse response;
     response.status = std::move(status);
     response.outcome = ServeOutcome::kRejected;
+    finalize(&response);
     return response;
   };
 
@@ -231,9 +277,12 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
   // Exact cache read. A cache failpoint injection means the cache is
   // unavailable, never that the request fails: degrade to a miss.
   if (!request.bypass_cache) {
+    size_t probe_span = trace.BeginSpan(obs::RequestSpanKind::kCacheProbe);
     Status cache_status = OSRS_FAILPOINT("osrs.serve.cache");
     ItemSummary cached;
-    if (cache_status.ok() && cache_.Lookup(key, &cached)) {
+    bool hit = cache_status.ok() && cache_.Lookup(key, &cached);
+    trace.EndSpan(probe_span);
+    if (hit) {
       {
         MutexLock lock(counters_mutex_);
         ++counters_.admitted;
@@ -246,6 +295,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
       response.summary = std::move(cached);
       response.outcome = ServeOutcome::kCacheHit;
       response.epoch = epoch_now;
+      finalize(&response);
       return response;
     }
     ServeCounter("osrs.serve.cache_miss")->Increment();
@@ -253,15 +303,18 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
 
   std::shared_ptr<Flight> flight;
   bool attached = false;
+  int64_t attach_ns = 0;  // offset into the leader's trace at attach time
   std::string coalesce_key =
       StrFormat("%s\x1f%llu\x1f%llx\x1f%d", request.item_id.c_str(),
                 static_cast<unsigned long long>(epoch_now),
                 static_cast<unsigned long long>(options_fingerprint_),
                 request.k);
+  size_t admission_span = trace.BeginSpan(obs::RequestSpanKind::kAdmission);
   {
     ReleasableMutexLock lock(mutex_);
     if (stopping_) {
       lock.Release();
+      trace.EndSpan(admission_span);
       return reject(Status::Unavailable("server is stopping"));
     }
     auto it = flights_.find(coalesce_key);
@@ -272,6 +325,9 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
       flight = it->second;
       ++flight->requests;
       attached = true;
+      // Safe concurrent read: only the construction-immutable clock base
+      // of the leader's trace (see RequestTrace::ElapsedNanos).
+      attach_ns = flight->trace.ElapsedNanos();
       {
         MutexLock counters_lock(counters_mutex_);
         ++counters_.admitted;
@@ -283,6 +339,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
       // wait estimate once enough solve costs have been observed.
       if (queue_.size() >= options_.max_queue_depth) {
         lock.Release();
+        trace.EndSpan(admission_span);
         return reject(Status::ResourceExhausted(
             StrFormat("queue full (%zu requests)", options_.max_queue_depth)));
       }
@@ -293,6 +350,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
         if (options_.max_estimated_wait_ms > 0.0 &&
             estimated_wait_ms > options_.max_estimated_wait_ms) {
           lock.Release();
+          trace.EndSpan(admission_span);
           return reject(Status::ResourceExhausted(
               StrFormat("estimated wait %.1f ms exceeds policy bound %.1f ms",
                         estimated_wait_ms, options_.max_estimated_wait_ms)));
@@ -300,6 +358,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
         if (budget.has_deadline() &&
             estimated_wait_ms > budget.RemainingMs()) {
           lock.Release();
+          trace.EndSpan(admission_span);
           return reject(Status::ResourceExhausted(StrFormat(
               "estimated wait %.1f ms exceeds the request deadline",
               estimated_wait_ms)));
@@ -310,6 +369,12 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
       flight->cache_key = std::move(key);
       flight->budget = budget;
       flight->queued.Reset();
+      // Hand the trace to the worker with the flight (the root span stays
+      // open; CompleteFlight closes it). After the move this thread only
+      // waits — it records nothing further.
+      trace.EndSpan(admission_span);
+      flight->root_span = root_span;
+      flight->trace = std::move(trace);
       flights_.emplace(coalesce_key, flight);
       queue_.push_back(flight);
       QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
@@ -321,6 +386,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
       work_cv_.NotifyOne();
     }
   }
+  if (attached) trace.EndSpan(admission_span);
 
   ServeResponse response;
   {
@@ -331,8 +397,20 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
     while (!flight->done) flight->cv.Wait(flight->mutex);
     response = flight->response;
   }
-  if (attached && response.outcome == ServeOutcome::kSolved) {
-    response.outcome = ServeOutcome::kCoalesced;
+  if (attached) {
+    if (response.outcome == ServeOutcome::kSolved) {
+      response.outcome = ServeOutcome::kCoalesced;
+    }
+    // The follower shares the leader's span tree (solve span included)
+    // but keeps its own identity: restamp the ids and append the wait on
+    // the shared flight as one closed span. Offsets stay coherent — the
+    // copied trace carries the leader's clock base.
+    int64_t wake_ns = response.trace.ElapsedNanos();
+    response.trace.context = trace.context;
+    response.trace.AddSpan(obs::RequestSpanKind::kCoalescedWait, attach_ns,
+                           wake_ns - attach_ns);
+    response.request_id = trace.context.request_id;
+    response.trace_id = trace.context.trace_id;
   }
   return response;
 }
@@ -355,6 +433,13 @@ void SummaryServer::WorkerLoop() {
 void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
   double queue_ms = flight->queued.ElapsedMillis();
   QueueMsHistogram()->Observe(queue_ms);
+  // The queue wait is only measurable now, so it enters the trace as an
+  // already-closed span backdated to the enqueue instant.
+  int64_t queue_ns = static_cast<int64_t>(queue_ms * 1e6);
+  int64_t dequeue_ns = flight->trace.ElapsedNanos();
+  flight->trace.AddSpan(obs::RequestSpanKind::kQueueWait,
+                        std::max<int64_t>(dequeue_ns - queue_ns, 0),
+                        queue_ns);
 
   ServeResponse response;
   response.queue_ms = queue_ms;
@@ -364,13 +449,21 @@ void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
   // cannot plausibly fund a solve (observed p50 x safety factor), starting
   // one only burns a worker that admitted requests behind it need. Prefer
   // a stale cached answer; shed outright otherwise.
+  size_t shed_span =
+      flight->trace.BeginSpan(obs::RequestSpanKind::kShedDecision);
   double remaining_ms = flight->budget.RemainingMs();
   double p50 = p50_solve_ms();
   bool over_budget =
       remaining_ms <= 0.0 ||
       (p50 > 0.0 && remaining_ms < p50 * options_.shed_safety_factor);
+  flight->trace.EndSpan(shed_span);
   if (over_budget) {
     if (!TryServeStale(*flight, &response)) {
+      OSRS_LOG_T(slog::Level::kWarn, "serve",
+                 flight->trace.context.trace_id, "request shed",
+                 {"item", flight->cache_key.item_id},
+                 {"remaining_ms", std::max(remaining_ms, 0.0)},
+                 {"p50_solve_ms", p50}, {"queue_ms", queue_ms});
       response.status = Status::ResourceExhausted(StrFormat(
           "shed: %.1f ms of budget left, p50 solve cost is %.1f ms",
           std::max(remaining_ms, 0.0), p50));
@@ -398,8 +491,10 @@ void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
 
   InflightGauge()->Increment();
   Stopwatch solve_watch;
+  size_t solve_span = flight->trace.BeginSpan(obs::RequestSpanKind::kSolve);
   Result<ItemSummary> solved =
       GuardedSolve(*item, flight->cache_key.k, flight->budget);
+  flight->trace.EndSpan(solve_span);
   double solve_ms = solve_watch.ElapsedMillis();
   InflightGauge()->Decrement();
   SolveMsHistogram()->Observe(solve_ms);
@@ -411,6 +506,18 @@ void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
 
   if (solved.ok()) {
     ObserveSolveCost(solve_ms);
+    // The per-phase solver breakdown (collect_stats on) rides the request
+    // trace, so a slow solve is attributable below the kSolve span.
+    if (!solved->stats.empty()) {
+      flight->trace.AttachSolverStats(solved->stats);
+    }
+    if (solved->degraded) {
+      OSRS_LOG_T(slog::Level::kWarn, "serve",
+                 flight->trace.context.trace_id, "solve degraded",
+                 {"item", flight->cache_key.item_id},
+                 {"stop_reason", StatusCodeToString(solved->stop_reason)},
+                 {"solve_ms", solve_ms});
+    }
     // Only full-budget answers enter the cache — the exact-hit
     // bit-identity contract depends on it. A cache failpoint injection
     // skips the insert (cache unavailable), nothing else.
@@ -437,14 +544,19 @@ void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
     CompleteFlight(flight, std::move(response));
     return;
   }
+  OSRS_LOG_T(slog::Level::kError, "serve", flight->trace.context.trace_id,
+             "solve failed", {"item", flight->cache_key.item_id},
+             {"code", StatusCodeToString(failure.code())},
+             {"detail", failure.message()}, {"permanent", permanent});
   response.status = std::move(failure);
   response.outcome = ServeOutcome::kFailed;
   CompleteFlight(flight, std::move(response));
 }
 
-bool SummaryServer::TryServeStale(const Flight& flight,
-                                  ServeResponse* response) {
+bool SummaryServer::TryServeStale(Flight& flight, ServeResponse* response) {
   if (!options_.serve_stale_when_over_budget) return false;
+  obs::RequestSpanScope scope(&flight.trace,
+                              obs::RequestSpanKind::kStaleFallback);
   ItemSummary stale;
   uint64_t stale_epoch = 0;
   if (!cache_.LookupLatest(flight.cache_key.item_id,
@@ -452,6 +564,10 @@ bool SummaryServer::TryServeStale(const Flight& flight,
                            flight.cache_key.k, &stale, &stale_epoch)) {
     return false;
   }
+  OSRS_LOG_T(slog::Level::kWarn, "serve", flight.trace.context.trace_id,
+             "serving stale summary", {"item", flight.cache_key.item_id},
+             {"stale_epoch", stale_epoch},
+             {"current_epoch", flight.cache_key.epoch});
   response->status = Status::OK();
   response->summary = std::move(stale);
   response->summary.degraded = true;
@@ -518,6 +634,12 @@ void SummaryServer::CompleteFlight(const std::shared_ptr<Flight>& flight,
       break;
   }
   if (response.degraded) ServeCounter("osrs.serve.degraded")->Add(requests);
+  // Close the root span and move the finished trace onto the response:
+  // the leader reads it back as its own; followers copy it and restamp.
+  flight->trace.EndSpan(flight->root_span);
+  response.request_id = flight->trace.context.request_id;
+  response.trace_id = flight->trace.context.trace_id;
+  response.trace = std::move(flight->trace);
   {
     MutexLock lock(flight->mutex);
     flight->response = std::move(response);

@@ -29,6 +29,7 @@
 // an exception escaping a solve (injected bad_alloc included) is isolated
 // to that request — the process never dies.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -42,6 +43,7 @@
 #include "common/sync.h"
 #include "core/model.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "ontology/ontology.h"
 #include "serve/summary_cache.h"
 
@@ -75,6 +77,13 @@ struct ServeOptions {
   /// admission and shedding (cold-start protection: with fewer samples
   /// only queue depth and already-expired deadlines shed).
   int64_t min_cost_samples = 20;
+  /// Completed request traces retained in memory (recent_traces(), the
+  /// osrs_serve `traces` REPL verb); 0 disables retention. Oldest are
+  /// evicted first.
+  size_t trace_ring_capacity = 128;
+  /// Requests whose total latency exceeds this emit their full span tree
+  /// as one structured "slow request" log event; <= 0 disables.
+  double slow_request_threshold_ms = 0.0;
 };
 
 /// One summary request. The item must have been loaded into the server.
@@ -116,6 +125,15 @@ struct ServeResponse {
   uint64_t epoch = 0;
   double queue_ms = 0.0;  // admission to dequeue (0 for cache hits)
   double total_ms = 0.0;  // Serve() entry to return
+  /// Monotonic per-server id of this request and the 64-bit trace id
+  /// derived from it (obs::DeriveTraceId). Coalesced followers keep their
+  /// own ids while sharing the leader's solve span.
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;
+  /// The request's span tree: balanced (every span closed) for every
+  /// outcome, with queue-wait and solve spans for requests that reached a
+  /// worker. Mirrored into the server's trace ring.
+  obs::RequestTrace trace;
 };
 
 /// Monotonic request accounting. Invariants (checked by serve_test and
@@ -174,6 +192,11 @@ class SummaryServer {
   void Stop() OSRS_EXCLUDES(mutex_, counters_mutex_);
 
   ServerCounters counters() const OSRS_EXCLUDES(counters_mutex_);
+  /// The most recent completed request traces, oldest first (bounded by
+  /// ServeOptions::trace_ring_capacity).
+  std::vector<obs::RequestTrace> recent_traces() const {
+    return trace_ring_.Snapshot();
+  }
   CacheStats cache_stats() const { return cache_.stats(); }
   /// Observed solve-cost distribution (the shed threshold's input).
   obs::HistogramSnapshot solve_cost_snapshot() const
@@ -202,8 +225,9 @@ class SummaryServer {
   Result<ItemSummary> GuardedSolve(const Item& item, int k,
                                    const ExecutionBudget& budget);
   /// Stale-cache fallback; returns true and fills `response` when a
-  /// degraded answer exists and policy allows serving it.
-  bool TryServeStale(const Flight& flight, ServeResponse* response);
+  /// degraded answer exists and policy allows serving it. Records a
+  /// kStaleFallback span on the flight's trace either way.
+  bool TryServeStale(Flight& flight, ServeResponse* response);
 
   const Ontology* ontology_;
   const ServeOptions options_;
@@ -245,6 +269,10 @@ class SummaryServer {
   /// workers update them).
   mutable Mutex counters_mutex_;
   ServerCounters counters_ OSRS_GUARDED_BY(counters_mutex_);
+
+  /// Request-id source (ids start at 1) and the ring of completed traces.
+  std::atomic<uint64_t> next_request_id_{0};
+  obs::TraceRing trace_ring_;
 };
 
 }  // namespace osrs::serve

@@ -13,6 +13,8 @@
 #include "common/rng.h"
 #include "core/distance.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/request_trace.h"
 #include "obs/solver_stats.h"
 #include "obs/trace.h"
 #include "ontology/cellphone_hierarchy.h"
@@ -373,6 +375,109 @@ TEST(BatchStatsTest, AggregatesCountsLatenciesAndStats) {
   BatchStats with_failure = AggregateBatchStats(entries);
   EXPECT_EQ(with_failure.failed, 1);
   EXPECT_EQ(with_failure.total_ms.total_count, 3);
+}
+
+// ------------------------------------------ export (OpenMetrics) -----------
+
+TEST(OpenMetricsTest, SanitizeMetricNameMapsDottedNames) {
+  EXPECT_EQ(obs::SanitizeMetricName("osrs.serve.cache_hit"),
+            "osrs_serve_cache_hit");
+  EXPECT_EQ(obs::SanitizeMetricName("a-b c"), "a_b_c");
+  EXPECT_EQ(obs::SanitizeMetricName("7up"), "_7up");
+  EXPECT_EQ(obs::SanitizeMetricName(""), "_");
+}
+
+TEST(OpenMetricsTest, SnapshotCapturesAllThreeKinds) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  ScopedRegistryEnable enable;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("osrs.test.snap_hits")->Reset();
+  registry.GetCounter("osrs.test.snap_hits")->Add(3);
+  registry.GetGauge("osrs.test.snap_depth")->Set(7);
+  registry.GetHistogram("osrs.test.snap_ms", {1.0, 10.0})->Observe(0.5);
+  registry.GetHistogram("osrs.test.snap_ms", {1.0, 10.0})->Observe(100.0);
+
+  obs::RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.enabled);
+  bool counter_found = false, gauge_found = false, histogram_found = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name != "osrs.test.snap_hits") continue;
+    counter_found = true;
+    EXPECT_EQ(counter.value, 3);
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name != "osrs.test.snap_depth") continue;
+    gauge_found = true;
+    EXPECT_EQ(gauge.value, 7);
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name != "osrs.test.snap_ms") continue;
+    histogram_found = true;
+    EXPECT_EQ(histogram.histogram.total_count, 2);
+  }
+  EXPECT_TRUE(counter_found && gauge_found && histogram_found);
+}
+
+TEST(OpenMetricsTest, RenderedTextHasMonotoneCumulativeBuckets) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  ScopedRegistryEnable enable;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("osrs.test.om_hits")->Reset();
+  registry.GetCounter("osrs.test.om_hits")->Add(5);
+  obs::Histogram* histogram =
+      registry.GetHistogram("osrs.test.om_latency_ms", {1.0, 10.0, 100.0});
+  histogram->Observe(0.5);
+  histogram->Observe(5.0);
+  histogram->Observe(50.0);
+  histogram->Observe(5000.0);  // overflow bucket
+
+  std::string text = obs::RenderOpenMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE osrs_test_om_hits counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("osrs_test_om_hits_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE osrs_test_om_latency_ms histogram"),
+            std::string::npos);
+  // Cumulative buckets: 1, 2, 3, and +Inf picks up the overflow count.
+  EXPECT_NE(text.find("osrs_test_om_latency_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("osrs_test_om_latency_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("osrs_test_om_latency_ms_bucket{le=\"100\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("osrs_test_om_latency_ms_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("osrs_test_om_latency_ms_count 4"), std::string::npos);
+  EXPECT_NE(text.find("osrs_test_om_latency_ms_sum"), std::string::npos);
+  // Spec terminator, exactly once, at the end.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+// --------------------------------------------- request-scoped traces -------
+
+TEST(RequestTraceTest, DeriveTraceIdIsDeterministicAndDispersed) {
+  EXPECT_EQ(obs::DeriveTraceId(1), obs::DeriveTraceId(1));
+  EXPECT_NE(obs::DeriveTraceId(1), obs::DeriveTraceId(2));
+  EXPECT_NE(obs::DeriveTraceId(1), 0u) << "ids must not collapse to zero";
+}
+
+TEST(RequestTraceTest, NestedSpansBalanceAndRecordDepth) {
+  obs::RequestTrace trace;
+  size_t root = trace.BeginSpan(obs::RequestSpanKind::kServe);
+  size_t inner = trace.BeginSpan(obs::RequestSpanKind::kCacheProbe);
+  EXPECT_FALSE(trace.balanced()) << "open spans are unbalanced";
+  trace.EndSpan(inner);
+  trace.AddSpan(obs::RequestSpanKind::kQueueWait, 10, 5);
+  trace.EndSpan(root);
+  EXPECT_TRUE(trace.balanced());
+  EXPECT_EQ(trace.spans().size(), 3u);
+  EXPECT_EQ(trace.spans()[0].depth, 0);
+  EXPECT_EQ(trace.spans()[1].depth, 1);
+  EXPECT_TRUE(trace.HasSpan(obs::RequestSpanKind::kQueueWait));
+  EXPECT_GE(trace.SpanDurationNs(obs::RequestSpanKind::kServe), 0);
+
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"trace_id\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"cache_probe\""), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // (submitted == admitted + rejected; admitted == completed + shed + failed
 // once drained).
 
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,9 +13,11 @@
 #include <gtest/gtest.h>
 
 #include "api/review_summarizer.h"
+#include "common/slog.h"
 #include "common/strings.h"
 #include "core/model.h"
 #include "fault/failpoint.h"
+#include "obs/request_trace.h"
 #include "ontology/cellphone_hierarchy.h"
 #include "ontology/ontology.h"
 #include "serve/server.h"
@@ -583,6 +586,179 @@ TEST_F(ServeTest, StopDrainsQueuedRequestsAndRejectsNewOnes) {
   EXPECT_EQ(counters.submitted, counters.admitted + counters.rejected);
   EXPECT_EQ(counters.admitted,
             counters.completed + counters.shed + counters.failed);
+}
+
+// ------------------------------------------------- request tracing ---------
+
+using obs::RequestSpanKind;
+
+TEST_F(ServeTest, CoalescedFollowersShareSolveSpanWithDistinctRequestIds) {
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("osrs.serve.solve=delay(250):always")
+                  .ok());
+  ServeOptions options;
+  options.num_threads = 1;
+  SummaryServer server(&onto_, Items(1), options);
+
+  constexpr int kClients = 6;
+  std::vector<ServeResponse> responses(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &responses, c] {
+      ServeRequest request;
+      request.item_id = "item0";
+      responses[static_cast<size_t>(c)] = server.Serve(request);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  FailpointRegistry::Global().DisarmAll();
+
+  std::set<uint64_t> request_ids;
+  const ServeResponse* leader = nullptr;
+  for (const ServeResponse& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_TRUE(response.trace.balanced());
+    EXPECT_TRUE(response.trace.HasSpan(RequestSpanKind::kSolve))
+        << "followers must carry the leader's solve span";
+    EXPECT_GT(response.request_id, 0u);
+    EXPECT_EQ(response.request_id, response.trace.context.request_id);
+    EXPECT_EQ(response.trace_id, obs::DeriveTraceId(response.request_id));
+    EXPECT_EQ(response.summary.request_id, response.request_id);
+    EXPECT_EQ(response.summary.trace_id, response.trace_id);
+    request_ids.insert(response.request_id);
+    if (response.outcome == ServeOutcome::kSolved) leader = &response;
+  }
+  EXPECT_EQ(request_ids.size(), static_cast<size_t>(kClients))
+      << "coalescing must not collapse request identities";
+  ASSERT_NE(leader, nullptr);
+  EXPECT_FALSE(leader->trace.HasSpan(RequestSpanKind::kCoalescedWait));
+  int64_t leader_solve_ns =
+      leader->trace.SpanDurationNs(RequestSpanKind::kSolve);
+  for (const ServeResponse& response : responses) {
+    if (response.outcome != ServeOutcome::kCoalesced) continue;
+    EXPECT_EQ(response.trace.SpanDurationNs(RequestSpanKind::kSolve),
+              leader_solve_ns)
+        << "the solve span is shared, byte for byte, with the leader";
+    EXPECT_TRUE(response.trace.HasSpan(RequestSpanKind::kCoalescedWait));
+  }
+}
+
+TEST_F(ServeTest, ShedDegradedAndCompletedOutcomesCarryBalancedSpanTrees) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;  // no stale fallback: shedding is visible
+  SummaryServer server(&onto_, Items(1), options);
+
+  ServeRequest hurried;
+  hurried.item_id = "item0";
+  hurried.deadline_ms = 0.001;  // expired by dequeue
+  ServeResponse shed = server.Serve(hurried);
+  ASSERT_EQ(shed.outcome, ServeOutcome::kShed);
+  EXPECT_TRUE(shed.trace.balanced());
+  EXPECT_TRUE(shed.trace.HasSpan(RequestSpanKind::kQueueWait));
+  EXPECT_TRUE(shed.trace.HasSpan(RequestSpanKind::kShedDecision));
+  EXPECT_FALSE(shed.trace.HasSpan(RequestSpanKind::kSolve))
+      << "a shed request must not carry a solve span";
+
+  ServeRequest request;
+  request.item_id = "item0";
+  ServeResponse completed = server.Serve(request);
+  ASSERT_TRUE(completed.status.ok());
+  EXPECT_TRUE(completed.trace.balanced());
+  EXPECT_TRUE(completed.trace.HasSpan(RequestSpanKind::kQueueWait));
+  EXPECT_TRUE(completed.trace.HasSpan(RequestSpanKind::kSolve));
+
+  // Degraded stale serve: cache on, epoch bumped, expired deadline.
+  ServeOptions stale_options;
+  stale_options.num_threads = 1;
+  SummaryServer stale_server(&onto_, Items(1), stale_options);
+  ASSERT_TRUE(stale_server.Serve(request).status.ok());
+  stale_server.BumpEpoch();
+  ServeResponse degraded = stale_server.Serve(hurried);
+  ASSERT_EQ(degraded.outcome, ServeOutcome::kDegraded);
+  EXPECT_TRUE(degraded.trace.balanced());
+  EXPECT_TRUE(degraded.trace.HasSpan(RequestSpanKind::kQueueWait));
+  EXPECT_TRUE(degraded.trace.HasSpan(RequestSpanKind::kStaleFallback));
+
+  // Front-door rejection: still one balanced trace.
+  ServeRequest unknown;
+  unknown.item_id = "no-such-item";
+  ServeResponse rejected = server.Serve(unknown);
+  ASSERT_EQ(rejected.outcome, ServeOutcome::kRejected);
+  EXPECT_TRUE(rejected.trace.balanced());
+}
+
+TEST(TraceRingTest, EvictsOldestFirstAtCapacity) {
+  obs::TraceRing ring(3);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    obs::RequestTrace trace;
+    trace.context.request_id = id;
+    ring.Push(trace);
+  }
+  std::vector<obs::RequestTrace> traces = ring.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].context.request_id, 3u) << "oldest evicted first";
+  EXPECT_EQ(traces[1].context.request_id, 4u);
+  EXPECT_EQ(traces[2].context.request_id, 5u);
+}
+
+TEST_F(ServeTest, ServerTraceRingKeepsTheMostRecentRequests) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.trace_ring_capacity = 2;
+  SummaryServer server(&onto_, Items(1), options);
+  for (int i = 0; i < 5; ++i) {
+    ServeRequest request;
+    request.item_id = "item0";
+    ASSERT_TRUE(server.Serve(request).status.ok());
+  }
+  std::vector<obs::RequestTrace> traces = server.recent_traces();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].context.request_id, 4u);
+  EXPECT_EQ(traces[1].context.request_id, 5u);
+  for (const obs::RequestTrace& trace : traces) {
+    EXPECT_TRUE(trace.balanced());
+  }
+}
+
+TEST_F(ServeTest, StructuredLogsEmitSlowAndShedEvents) {
+  if (!slog::kCompiledIn) {
+    GTEST_SKIP() << "logging compiled out (-DOSRS_LOGGING=OFF)";
+  }
+  // The sink runs under the logger's emit lock, so appends from the
+  // worker thread and the caller thread cannot interleave.
+  std::string captured;
+  slog::SetSink(
+      [](std::string_view line, void* user_data) {
+        static_cast<std::string*>(user_data)->append(line);
+      },
+      &captured);
+
+  ServeOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;
+  options.slow_request_threshold_ms = 1e-6;  // everything is "slow"
+  SummaryServer server(&onto_, Items(1), options);
+
+  ServeRequest hurried;
+  hurried.item_id = "item0";
+  hurried.deadline_ms = 0.001;
+  ASSERT_EQ(server.Serve(hurried).outcome, ServeOutcome::kShed);
+  ServeRequest request;
+  request.item_id = "item0";
+  ASSERT_TRUE(server.Serve(request).status.ok());
+  slog::SetSink(nullptr, nullptr);
+
+  EXPECT_NE(captured.find("\"message\":\"request shed\""), std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("\"message\":\"slow request\""), std::string::npos);
+  EXPECT_NE(captured.find("\"trace_id\":\""), std::string::npos)
+      << "events must carry the log-correlation id";
+  // The span tree rides inside the "spans" field as an escaped JSON
+  // string, so look for the bare kind token.
+  EXPECT_NE(captured.find("queue_wait"), std::string::npos)
+      << "the slow-request event must embed the span tree";
 }
 
 }  // namespace

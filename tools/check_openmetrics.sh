@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Validates an OpenMetrics/Prometheus text-format export (as written by
+# `osrs_serve --metrics-file`, the `metrics` REPL verb, or
+# `osrs_stats --prometheus`). Structural checks:
+#
+#   * every sample is preceded by a `# HELP` and `# TYPE` line for its
+#     metric family, and the declared type is counter/gauge/histogram;
+#   * counter samples use the `<family>_total` suffix;
+#   * histogram bucket `le` bounds are strictly ascending, cumulative
+#     counts are monotone non-decreasing, the `+Inf` bucket equals
+#     `<family>_count`, and `<family>_sum` is present;
+#   * the file ends with the `# EOF` terminator.
+#
+# Usage: tools/check_openmetrics.sh <file>
+# Exit: 0 valid, 1 violations found, 2 usage.
+set -uo pipefail
+
+if [[ $# -ne 1 || ! -r "$1" ]]; then
+  echo "usage: tools/check_openmetrics.sh <readable-file>" >&2
+  exit 2
+fi
+
+awk '
+function fail(msg) { printf "check_openmetrics: line %d: %s\n", NR, msg; bad = 1 }
+
+/^# HELP / { help[$3] = 1; next }
+/^# TYPE / {
+  type[$3] = $4
+  if ($4 != "counter" && $4 != "gauge" && $4 != "histogram")
+    fail("unknown type \"" $4 "\" for family " $3)
+  next
+}
+/^# EOF$/ { eof_line = NR; next }
+/^#/ { next }
+/^$/ { next }
+{
+  if (eof_line) fail("sample after # EOF terminator")
+  name = $1
+  value = $2
+  sub(/\{.*/, "", name)                # strip the label set
+  family = name
+  sub(/_(total|bucket|sum|count)$/, "", family)
+  if (!(family in type)) {
+    fail("sample " name " has no # TYPE line")
+  } else {
+    if (!(family in help)) fail("sample " name " has no # HELP line")
+    t = type[family]
+    if (t == "counter" && name !~ /_total$/)
+      fail("counter sample " name " must use the _total suffix")
+    if (t == "histogram" && name ~ /_bucket$/) {
+      if (match($0, /le="[^"]*"/) == 0) {
+        fail("histogram bucket without le label: " $0)
+      } else {
+        le = substr($0, RSTART + 4, RLENGTH - 5)
+        count = value + 0
+        if (family in last_count && count < last_count[family])
+          fail(family ": cumulative bucket count decreased (" \
+               last_count[family] " -> " count ")")
+        if (le == "+Inf") {
+          inf_count[family] = count
+        } else {
+          bound = le + 0
+          if ((family in last_bound) && bound <= last_bound[family])
+            fail(family ": bucket bounds not strictly ascending at le=" le)
+          if (family in inf_count)
+            fail(family ": finite bucket after the +Inf bucket")
+          last_bound[family] = bound
+        }
+        last_count[family] = count
+      }
+    }
+    if (t == "histogram" && name ~ /_sum$/) has_sum[family] = 1
+    if (t == "histogram" && name ~ /_count$/) total_count[family] = value + 0
+  }
+}
+END {
+  for (family in type) {
+    if (type[family] != "histogram") continue
+    if (!(family in inf_count)) {
+      printf "check_openmetrics: %s: histogram has no +Inf bucket\n", family
+      bad = 1
+    } else if (!(family in total_count)) {
+      printf "check_openmetrics: %s: histogram has no _count sample\n", family
+      bad = 1
+    } else if (inf_count[family] != total_count[family]) {
+      printf "check_openmetrics: %s: +Inf bucket (%d) != _count (%d)\n",
+             family, inf_count[family], total_count[family]
+      bad = 1
+    }
+    if (!(family in has_sum)) {
+      printf "check_openmetrics: %s: histogram has no _sum sample\n", family
+      bad = 1
+    }
+  }
+  if (!eof_line) { print "check_openmetrics: missing # EOF terminator"; bad = 1 }
+  exit bad ? 1 : 0
+}
+' "$1"
+status=$?
+if [[ $status -eq 0 ]]; then
+  echo "check_openmetrics: $1 is structurally valid"
+fi
+exit $status

@@ -26,7 +26,12 @@
 #      analysis;
 #   8. optionally, when clang-tidy and build/compile_commands.json exist,
 #      the curated .clang-tidy pass over every src/ translation unit
-#      (skipped with --no-tidy or when either prerequisite is missing).
+#      (skipped with --no-tidy or when either prerequisite is missing);
+#   9. no raw stderr logging (std::cerr / fprintf(stderr, ...)) in src/ —
+#      diagnostics go through the structured OSRS_LOG macros
+#      (src/common/slog.h) so every event is one parseable JSON line; the
+#      sanctioned exceptions are the logger's own stderr sink and the
+#      OSRS_CHECK abort path in common/logging.h.
 #
 # Build trees (build*/ at any depth) and anything they generate are
 # excluded from every check.
@@ -120,6 +125,20 @@ done < <(grep -rn --include='*.h' --include='*.cpp' -E \
 if ! ./tools/check_sync_annotations.sh; then
   fail "sync annotation coverage check failed (see above)"
 fi
+
+# -- 9. raw stderr logging in library code -----------------------------------
+# Structured logging (common/slog.h OSRS_LOG macros) is the only sanctioned
+# diagnostic channel in src/: ad-hoc std::cerr / fprintf(stderr, ...) lines
+# are invisible to log pipelines. The logger's own default sink
+# (common/slog.cpp) and the OSRS_CHECK abort path (common/logging.h) are
+# the two exceptions.
+while IFS= read -r match; do
+  fail "raw stderr logging in src/ (use OSRS_LOG, common/slog.h): $match"
+done < <(grep -rn --include='*.h' --include='*.cpp' -E \
+  'std::cerr|fprintf\s*\(\s*stderr' \
+  src | not_build \
+  | grep -vE '^src/common/(slog\.(h|cpp)|logging\.h):' \
+  | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
 
 # -- 8. clang-tidy (optional) ------------------------------------------------
 if [[ $run_tidy -eq 1 ]]; then

@@ -11,6 +11,8 @@
 //       get <item-id> [k]   serve a summary (outcome + entries)
 //       bump                bump the corpus epoch (invalidates the cache)
 //       stats               counters, cache stats, p50 solve cost
+//       metrics             the registry in OpenMetrics text format
+//       traces              recent request traces, one JSON line each
 //       quit
 //   * --drive <n> — a closed-loop load driver: <n> requests issued from
 //     --clients concurrent client threads round-robin over the items,
@@ -18,18 +20,28 @@
 //     submitted == admitted + rejected, admitted == completed+shed+failed)
 //     are printed/checked. Exit 1 when the identity is violated.
 //
+// Metrics export: --metrics-file <path> writes an OpenMetrics snapshot of
+// the registry at exit (and, with --metrics-interval <sec>, periodically
+// from a background thread that also logs a structured delta report).
+//
 // Exit codes: 0 success, 1 accounting violation (--drive), 2 usage/IO.
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/slog.h"
 #include "common/strings.h"
+#include "common/sync.h"
 #include "datagen/cellphone_corpus.h"
 #include "datagen/corpus_io.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/request_trace.h"
 #include "serve/server.h"
 
 namespace {
@@ -48,7 +60,92 @@ struct CliOptions {
   int clients = 8;
   int k = 5;
   bool json = false;
+  std::string metrics_file;       // empty = no file export
+  double metrics_interval = 0.0;  // seconds; <= 0 = export at exit only
   osrs::serve::ServeOptions serve;
+};
+
+/// Periodic OpenMetrics exporter: every interval it snapshots the global
+/// registry, writes the rendered text to `path` (when set, through the
+/// failpoint-aware corpus_io helper), and logs one structured
+/// "metrics report" event with the counter deltas since the last tick.
+/// `ExportOnce` is also the final-flush entry point — --drive calls it
+/// after the load run so ci can validate a deterministic snapshot.
+class MetricsExporter {
+ public:
+  MetricsExporter(std::string path, double interval_seconds)
+      : path_(std::move(path)) {
+    if (interval_seconds > 0.0) {
+      interval_ms_ = interval_seconds * 1000.0;
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+
+  ~MetricsExporter() {
+    if (!thread_.joinable()) return;
+    {
+      osrs::MutexLock lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.NotifyAll();
+    thread_.join();
+  }
+
+  osrs::Status ExportOnce() {
+    osrs::obs::RegistrySnapshot snapshot =
+        osrs::obs::MetricsRegistry::Global().Snapshot();
+    int64_t changed = 0;
+    int64_t delta_total = 0;
+    {
+      osrs::MutexLock lock(mutex_);
+      for (const auto& counter : snapshot.counters) {
+        auto [it, inserted] = last_counters_.emplace(counter.name, 0);
+        int64_t delta = counter.value - it->second;
+        if (delta != 0) {
+          ++changed;
+          delta_total += delta;
+          it->second = counter.value;
+        }
+      }
+    }
+    osrs::Status status;
+    if (!path_.empty()) {
+      status = osrs::WriteTextFile(path_, osrs::obs::RenderOpenMetrics(snapshot));
+    }
+    OSRS_LOG(::osrs::slog::Level::kInfo, "serve", "metrics report",
+             {"file", path_}, {"counters", snapshot.counters.size()},
+             {"changed", changed}, {"delta_total", delta_total},
+             {"write_ok", status.ok()});
+    return status;
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      {
+        osrs::MutexLock lock(mutex_);
+        // WaitForMs returns false on timeout — a tick; true wake-ups are
+        // either stop requests or spurious (re-wait the full interval).
+        while (!stopping_ && cv_.WaitForMs(mutex_, interval_ms_)) {
+        }
+        if (stopping_) return;
+      }
+      osrs::Status status = ExportOnce();
+      if (!status.ok()) {
+        OSRS_LOG(::osrs::slog::Level::kError, "serve",
+                 "metrics export failed",
+                 {"file", path_}, {"detail", status.message()});
+      }
+    }
+  }
+
+  const std::string path_;
+  double interval_ms_ = 0.0;
+  osrs::Mutex mutex_;
+  osrs::CondVar cv_;
+  bool stopping_ OSRS_GUARDED_BY(mutex_) = false;
+  std::map<std::string, int64_t> last_counters_ OSRS_GUARDED_BY(mutex_);
+  std::thread thread_;
 };
 
 void PrintUsage(std::FILE* out) {
@@ -61,7 +158,8 @@ void PrintUsage(std::FILE* out) {
       "\n"
       "modes:\n"
       "  (default)           interactive stdin protocol:\n"
-      "                        get <item-id> [k] | bump | stats | quit\n"
+      "                        get <item-id> [k] | bump | stats |\n"
+      "                        metrics | traces | quit\n"
       "  --drive <n>         issue n requests from --clients threads,\n"
       "                      print counters, verify accounting\n"
       "\n"
@@ -76,6 +174,13 @@ void PrintUsage(std::FILE* out) {
       "  --scale <s>         synthetic corpus scale (default 0.05)\n"
       "  -k <n>              summary size (default 5)\n"
       "  --json              counters as JSON instead of text\n"
+      "  --metrics-file <f>  write an OpenMetrics registry snapshot to f\n"
+      "                      at exit (and on every exporter tick)\n"
+      "  --metrics-interval <sec>\n"
+      "                      periodic export + structured delta report\n"
+      "  --slow-ms <ms>      log the full span tree of requests slower\n"
+      "                      than ms (0 = off)\n"
+      "  --trace-ring <n>    recent-trace ring capacity (default 128)\n"
       "  -h, --help          this message\n"
       "\n"
       "exit codes: 0 success, 1 accounting violation, 2 usage or I/O\n",
@@ -145,6 +250,18 @@ int RunInteractive(SummaryServer& server, const CliOptions& options) {
       PrintStats(server, options.json);
       continue;
     }
+    if (command == "metrics") {
+      std::fputs(osrs::obs::RenderGlobalOpenMetrics().c_str(), stdout);
+      continue;
+    }
+    if (command == "traces") {
+      std::vector<osrs::obs::RequestTrace> traces = server.recent_traces();
+      for (const osrs::obs::RequestTrace& trace : traces) {
+        std::printf("%s\n", trace.ToJson().c_str());
+      }
+      std::printf("# %zu trace(s)\n", traces.size());
+      continue;
+    }
     if (command == "get") {
       if (parts.size() < 2) {
         std::fputs("error: get needs an item id\n", stdout);
@@ -177,8 +294,9 @@ int RunInteractive(SummaryServer& server, const CliOptions& options) {
       }
       continue;
     }
-    std::printf("error: unknown command '%s' (get/bump/stats/quit)\n",
-                command.c_str());
+    std::printf(
+        "error: unknown command '%s' (get/bump/stats/metrics/traces/quit)\n",
+        command.c_str());
   }
   return 0;
 }
@@ -264,6 +382,22 @@ int main(int argc, char** argv) {
       options.serve.cache_capacity = static_cast<size_t>(value);
     } else if (arg == "--no-stale") {
       options.serve.serve_stale_when_over_budget = false;
+    } else if (arg == "--metrics-file") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "osrs_serve: --metrics-file needs a path\n");
+        return 2;
+      }
+      options.metrics_file = argv[++i];
+    } else if (arg == "--metrics-interval") {
+      if (!next_double("--metrics-interval", &options.metrics_interval))
+        return 2;
+    } else if (arg == "--slow-ms") {
+      if (!next_double("--slow-ms",
+                       &options.serve.slow_request_threshold_ms))
+        return 2;
+    } else if (arg == "--trace-ring") {
+      if (!next_int("--trace-ring", &value)) return 2;
+      options.serve.trace_ring_capacity = static_cast<size_t>(value);
     } else if (arg == "--scale") {
       if (!next_double("--scale", &options.scale)) return 2;
     } else if (arg == "-k") {
@@ -316,6 +450,23 @@ int main(int argc, char** argv) {
                item_ids.size(), server.num_workers(),
                options.serve.max_queue_depth);
 
-  if (options.drive >= 0) return RunDrive(server, item_ids, options);
-  return RunInteractive(server, options);
+  bool exporting =
+      !options.metrics_file.empty() || options.metrics_interval > 0.0;
+  MetricsExporter exporter(options.metrics_file, options.metrics_interval);
+
+  int code = options.drive >= 0 ? RunDrive(server, item_ids, options)
+                                : RunInteractive(server, options);
+
+  // Final flush: --drive runs (and interactive sessions) always leave one
+  // complete snapshot behind, so ci can validate the exported format
+  // deterministically regardless of the exporter tick phase.
+  if (exporting) {
+    osrs::Status status = exporter.ExportOnce();
+    if (!status.ok()) {
+      std::fprintf(stderr, "osrs_serve: metrics export: %s\n",
+                   status.ToString().c_str());
+      if (code == 0) code = 2;
+    }
+  }
+  return code;
 }

@@ -10,6 +10,10 @@
 // Usage: osrs_stats [options] <corpus-file>
 //   --json             one JSON object on stdout instead of text
 //   --registry         also dump the process-wide metrics registry
+//   --registry=<file>  dump a previously exported registry snapshot
+//                      (e.g. from `osrs_serve --metrics-file`) instead of
+//                      the live one; the corpus file becomes optional
+//   --prometheus       render the registry in OpenMetrics text format
 //   -k <n>             summary size per item (default 5)
 //   --epsilon <e>      sentiment threshold ε (default 0.5)
 //   --items <n>        only the first n items (default: all)
@@ -30,6 +34,7 @@
 #include "common/strings.h"
 #include "datagen/corpus_io.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 
 namespace {
 
@@ -42,6 +47,11 @@ using osrs::SummaryAlgorithm;
 struct StatsOptions {
   bool json = false;
   bool registry = false;
+  bool prometheus = false;
+  /// Non-empty: dump this exported snapshot file instead of the live
+  /// registry (read through the failpoint-aware corpus_io helpers so an
+  /// unreadable target is a coded Status, not a silent exit).
+  std::string registry_file;
   int k = 5;
   double epsilon = 0.5;
   int64_t max_items = -1;  // -1 = all
@@ -64,6 +74,9 @@ void PrintUsage(std::FILE* out) {
       "options:\n"
       "  --json             JSON on stdout instead of text\n"
       "  --registry         also dump the process-wide metrics registry\n"
+      "  --registry=<file>  dump an exported registry snapshot instead of\n"
+      "                     the live one (corpus file becomes optional)\n"
+      "  --prometheus       registry in OpenMetrics text format on stdout\n"
       "  -k <n>             summary size per item (default 5)\n"
       "  --epsilon <e>      sentiment threshold (default 0.5)\n"
       "  --items <n>        only the first n items\n"
@@ -171,6 +184,16 @@ int main(int argc, char** argv) {
       options.json = true;
     } else if (arg == "--registry") {
       options.registry = true;
+    } else if (arg.rfind("--registry=", 0) == 0) {
+      options.registry = true;
+      options.registry_file =
+          std::string(arg.substr(std::string_view("--registry=").size()));
+      if (options.registry_file.empty()) {
+        std::fprintf(stderr, "osrs_stats: --registry= needs a file path\n");
+        return 2;
+      }
+    } else if (arg == "--prometheus") {
+      options.prometheus = true;
     } else if (arg == "-k") {
       int64_t k = 0;
       if (i + 1 >= argc || !osrs::ParseInt64(argv[i + 1], &k) || k < 0) {
@@ -236,6 +259,30 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (options.json && options.prometheus) {
+    std::fprintf(stderr,
+                 "osrs_stats: --json and --prometheus are exclusive\n");
+    return 2;
+  }
+
+  // An exported-snapshot dump is read up front through the failpoint-aware
+  // corpus_io helpers, so an unreadable target reports a coded Status
+  // (kNotFound / kUnavailable) instead of exiting silently.
+  std::string registry_snapshot;
+  if (!options.registry_file.empty()) {
+    auto snapshot = osrs::ReadTextFile(options.registry_file);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "osrs_stats: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 2;
+    }
+    registry_snapshot = std::move(snapshot).value();
+    // Inspecting a snapshot needs no corpus run.
+    if (path.empty()) {
+      std::fputs(registry_snapshot.c_str(), stdout);
+      return 0;
+    }
+  }
   if (path.empty()) {
     PrintUsage(stderr);
     return 2;
@@ -260,6 +307,11 @@ int main(int argc, char** argv) {
     results.emplace_back(name, osrs::AggregateBatchStats(entries));
   }
 
+  if (options.prometheus) {
+    std::fputs(osrs::obs::RenderGlobalOpenMetrics().c_str(), stdout);
+    return 0;
+  }
+
   if (options.json) {
     std::string out = osrs::StrFormat(
         "{\"file\":\"%s\",\"k\":%d,\"epsilon\":%g,\"compiled_in\":%s,"
@@ -273,7 +325,12 @@ int main(int argc, char** argv) {
                              results[i].second.ToJson().c_str());
     }
     out += '}';
-    if (options.registry) {
+    if (!options.registry_file.empty()) {
+      out += osrs::StrFormat(
+          ",\"registry_file\":\"%s\",\"registry_snapshot\":\"%s\"",
+          osrs::JsonEscape(options.registry_file).c_str(),
+          osrs::JsonEscape(registry_snapshot).c_str());
+    } else if (options.registry) {
       out += ",\"registry\":";
       out += osrs::obs::MetricsRegistry::Global().ToJson();
     }
@@ -290,7 +347,10 @@ int main(int argc, char** argv) {
   for (const auto& [name, stats] : results) {
     PrintText(name, stats);
   }
-  if (options.registry) {
+  if (!options.registry_file.empty()) {
+    std::printf("registry (%s):\n", options.registry_file.c_str());
+    std::fputs(registry_snapshot.c_str(), stdout);
+  } else if (options.registry) {
     std::fputs("registry:\n", stdout);
     std::fputs(osrs::obs::MetricsRegistry::Global().ToText().c_str(),
                stdout);
