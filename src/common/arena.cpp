@@ -1,0 +1,12 @@
+#include "common/arena.h"
+
+namespace osrs {
+
+Arena& PerThreadSolveArena() {
+  // One arena per thread, warmed across solves. thread_local construction
+  // is lazy, so threads that never solve pay nothing.
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace osrs

@@ -2,8 +2,12 @@
 #define OSRS_COMMON_INDEXED_HEAP_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace osrs {
@@ -15,29 +19,45 @@ namespace osrs {
 /// neighbor-of-neighbor was selected. Ids removed by PopMax stay out.
 /// Ties break toward the smaller id so runs are deterministic.
 ///
+/// Storage is either owned (vector constructor) or arena-backed (span +
+/// Arena constructor, the greedy solver's per-solve path — zero heap
+/// allocation at steady state). Because the arena form aliases external
+/// storage, the heap is neither copyable nor movable.
+///
 /// Precondition checks on the per-operation paths are OSRS_DCHECKs: they
 /// run in Debug builds only, because this heap sits in the greedy solver's
 /// innermost loop (one Update per touched neighbor per selection).
 class IndexedMaxHeap {
  public:
-  /// Builds a heap containing every id in [0, keys.size()) in O(n).
-  explicit IndexedMaxHeap(std::vector<double> keys) : keys_(std::move(keys)) {
-    heap_.resize(keys_.size());
-    position_.resize(keys_.size());
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      heap_[i] = static_cast<int>(i);
-      position_[i] = static_cast<int>(i);
-    }
-    // Floyd's linear-time heapify.
-    for (size_t i = heap_.size(); i-- > 0;) SiftDown(i);
+  /// Builds a heap containing every id in [0, keys.size()) in O(n),
+  /// owning all storage.
+  explicit IndexedMaxHeap(std::vector<double> keys)
+      : owned_keys_(std::move(keys)),
+        owned_nodes_(2 * owned_keys_.size()) {
+    Init(owned_keys_.data(),
+         owned_nodes_.data(),
+         owned_nodes_.data() + owned_keys_.size(),
+         owned_keys_.size());
   }
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  /// Arena-backed form: `keys` (keyed by id, mutated in place by
+  /// UpdateKey) stays caller-allocated — typically itself arena scratch —
+  /// and the heap/position arrays come from `arena`. Everything must
+  /// outlive the heap; nothing is freed on destruction.
+  IndexedMaxHeap(std::span<double> keys, Arena& arena) {
+    std::span<int32_t> nodes = arena.AllocateArray<int32_t>(2 * keys.size());
+    Init(keys.data(), nodes.data(), nodes.data() + keys.size(), keys.size());
+  }
+
+  IndexedMaxHeap(const IndexedMaxHeap&) = delete;
+  IndexedMaxHeap& operator=(const IndexedMaxHeap&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
 
   /// True iff `id` is still in the heap (never popped).
   bool Contains(int id) const {
-    return id >= 0 && static_cast<size_t>(id) < position_.size() &&
+    return id >= 0 && static_cast<size_t>(id) < num_ids_ &&
            position_[static_cast<size_t>(id)] >= 0;
   }
 
@@ -49,18 +69,18 @@ class IndexedMaxHeap {
 
   /// Id with the maximum key (smallest id on ties), without removing it.
   int PeekMax() const {
-    OSRS_DCHECK(!heap_.empty());
+    OSRS_DCHECK(size_ > 0);
     return heap_[0];
   }
 
   /// Removes and returns the id with the maximum key.
   int PopMax() {
-    OSRS_DCHECK(!heap_.empty());
+    OSRS_DCHECK(size_ > 0);
     int top = heap_[0];
-    SwapNodes(0, heap_.size() - 1);
-    heap_.pop_back();
+    SwapNodes(0, size_ - 1);
+    --size_;
     position_[static_cast<size_t>(top)] = -1;
-    if (!heap_.empty()) SiftDown(0);
+    if (size_ > 0) SiftDown(0);
     return top;
   }
 
@@ -78,6 +98,20 @@ class IndexedMaxHeap {
   }
 
  private:
+  void Init(double* keys, int32_t* heap, int32_t* position, size_t n) {
+    keys_ = keys;
+    heap_ = heap;
+    position_ = position;
+    num_ids_ = n;
+    size_ = n;
+    for (size_t i = 0; i < n; ++i) {
+      heap_[i] = static_cast<int32_t>(i);
+      position_[i] = static_cast<int32_t>(i);
+    }
+    // Floyd's linear-time heapify.
+    for (size_t i = n; i-- > 0;) SiftDown(i);
+  }
+
   /// Priority order: larger key first, then smaller id.
   bool Precedes(int a, int b) const {
     double ka = keys_[static_cast<size_t>(a)];
@@ -88,8 +122,8 @@ class IndexedMaxHeap {
 
   void SwapNodes(size_t i, size_t j) {
     std::swap(heap_[i], heap_[j]);
-    position_[static_cast<size_t>(heap_[i])] = static_cast<int>(i);
-    position_[static_cast<size_t>(heap_[j])] = static_cast<int>(j);
+    position_[static_cast<size_t>(heap_[i])] = static_cast<int32_t>(i);
+    position_[static_cast<size_t>(heap_[j])] = static_cast<int32_t>(j);
   }
 
   void SiftUp(size_t pos) {
@@ -102,7 +136,7 @@ class IndexedMaxHeap {
   }
 
   void SiftDown(size_t pos) {
-    const size_t n = heap_.size();
+    const size_t n = size_;
     while (true) {
       size_t left = 2 * pos + 1;
       size_t right = left + 1;
@@ -115,9 +149,15 @@ class IndexedMaxHeap {
     }
   }
 
-  std::vector<double> keys_;   // keyed by id
-  std::vector<int> heap_;      // heap of ids
-  std::vector<int> position_;  // id -> index in heap_, -1 once popped
+  // Backing storage when constructed from a vector; empty in arena form.
+  std::vector<double> owned_keys_;
+  std::vector<int32_t> owned_nodes_;  // heap followed by position
+
+  double* keys_ = nullptr;      // keyed by id
+  int32_t* heap_ = nullptr;     // heap of ids, first size_ live
+  int32_t* position_ = nullptr; // id -> index in heap_, -1 once popped
+  size_t num_ids_ = 0;
+  size_t size_ = 0;
 };
 
 }  // namespace osrs

@@ -120,7 +120,7 @@ uint64_t Rng::NextZipf(uint64_t n, double s) {
   }
 }
 
-size_t Rng::NextDiscrete(const std::vector<double>& weights) {
+size_t Rng::NextDiscrete(std::span<const double> weights) {
   OSRS_CHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -57,7 +58,10 @@ class Rng {
 
   /// Index in [0, weights.size()) sampled proportionally to `weights`.
   /// Weights must be non-negative with a positive sum.
-  size_t NextDiscrete(const std::vector<double>& weights);
+  size_t NextDiscrete(std::span<const double> weights);
+  size_t NextDiscrete(const std::vector<double>& weights) {
+    return NextDiscrete(std::span<const double>(weights));
+  }
 
   /// In-place Fisher-Yates shuffle.
   template <typename T>

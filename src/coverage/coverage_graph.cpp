@@ -1,6 +1,7 @@
 #include "coverage/coverage_graph.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <thread>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/strings.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
@@ -119,6 +121,13 @@ size_t ForEachCoveringPairInRange(const PairDistance& distance,
   // `s ± eps` (a few ulps) while admitting essentially no extra window
   // candidates for the exact predicate to reject.
   const double kWindowSlack = 1e-9;
+  // Windows at least this long go through the vectorized eps predicate
+  // (simd::EpsWindowMask); shorter ones scan scalar. The kernel evaluates
+  // the *same* exact `|ds| <= eps` predicate with the same IEEE ops, so
+  // the emitted edge set is independent of the threshold — it only moves
+  // the crossover where the mask setup pays for itself.
+  constexpr size_t kSimdWindowThreshold = 16;
+  std::vector<uint64_t> window_mask;  // per-shard scratch, reused across w
   size_t emitted = 0;
   for (int w = w_begin; w < w_end; ++w) {
     const ConceptSentimentPair& target = pairs[static_cast<size_t>(w)];
@@ -138,6 +147,23 @@ size_t ForEachCoveringPairInRange(const PairDistance& distance,
         end -= static_cast<size_t>(
             last - std::upper_bound(first, last,
                                     target.sentiment + eps + kWindowSlack));
+        if (end - begin >= kSimdWindowThreshold) {
+          const size_t window = end - begin;
+          window_mask.resize((window + 63) / 64);
+          simd::EpsWindowMask(buckets.sentiments.data() + begin, window,
+                              target.sentiment, eps, window_mask.data());
+          for (size_t word = 0; word < window_mask.size(); ++word) {
+            uint64_t bits = window_mask[word];
+            while (bits != 0) {
+              size_t i = begin + (word << 6) +
+                         static_cast<size_t>(std::countr_zero(bits));
+              emit(buckets.pair_indices[i], w, weight);
+              ++emitted;
+              bits &= bits - 1;
+            }
+          }
+          continue;
+        }
         for (size_t i = begin; i < end; ++i) {
           if (std::abs(buckets.sentiments[i] - target.sentiment) > eps) {
             continue;
@@ -262,11 +288,13 @@ Status CheckMemoryBudget(const CoverageBuildOptions& options, size_t num_edges,
 
 size_t CoverageGraph::EstimateBytes(size_t num_edges, size_t num_candidates,
                                     size_t num_targets, bool weighted) {
-  // Both CSR edge copies, both offset arrays, root distances, and (when
-  // built weighted) the multiplicity array.
-  size_t bytes = 2 * num_edges * sizeof(Edge);
+  // Both CSR directions as SoA lanes (endpoint int32 + distance float per
+  // edge — byte-identical to the former 8-byte Edge struct), both offset
+  // arrays, root distances in double and in the float kernel lane, and
+  // (when built weighted) the multiplicity array.
+  size_t bytes = 2 * num_edges * (sizeof(int32_t) + sizeof(float));
   bytes += (num_candidates + 1 + num_targets + 1) * sizeof(size_t);
-  bytes += num_targets * sizeof(double);
+  bytes += num_targets * (sizeof(double) + sizeof(float));
   if (weighted) bytes += num_targets * sizeof(double);
   return bytes;
 }
@@ -314,6 +342,8 @@ Result<CoverageGraph> CoverageGraph::BuildForPairsImpl(
   // the backward CSR needs no transpose pass at all.
   CoverageGraph graph;
   graph.root_distance_ = RootDistances(distance, pairs);
+  graph.root_distance_f32_.assign(graph.root_distance_.begin(),
+                                  graph.root_distance_.end());
   graph.PrepareForwardScatter(num_candidates, shard_degree);
   graph.PrepareBackwardFill(num_targets, backward_degree);
   RunSharded(num_targets, num_shards,
@@ -326,9 +356,12 @@ Result<CoverageGraph> CoverageGraph::BuildForPairsImpl(
                    distance, pairs, buckets, w_begin, w_end,
                    [&](int u, int w, double weight) {
                      const float fw = static_cast<float>(weight);
-                     graph.forward_edges_[cursor[static_cast<size_t>(u)]++] =
-                         Edge{w, fw};
-                     graph.backward_edges_[backward_cursor++] = Edge{u, fw};
+                     const size_t fslot = cursor[static_cast<size_t>(u)]++;
+                     graph.forward_endpoint_[fslot] = w;
+                     graph.forward_distance_[fslot] = fw;
+                     graph.backward_endpoint_[backward_cursor] = u;
+                     graph.backward_distance_[backward_cursor] = fw;
+                     ++backward_cursor;
                    });
                OSRS_DCHECK_EQ(
                    backward_cursor,
@@ -512,6 +545,8 @@ Result<CoverageGraph> CoverageGraph::BuildForGroupsImpl(
   // Definition 2's minimum over member pairs in both CSR copies.
   CoverageGraph graph;
   graph.root_distance_ = RootDistances(distance, pairs);
+  graph.root_distance_f32_.assign(graph.root_distance_.begin(),
+                                  graph.root_distance_.end());
   graph.PrepareForwardScatter(num_candidates, shard_degree);
   graph.PrepareBackwardFill(num_targets, backward_degree);
   RunSharded(
@@ -530,21 +565,24 @@ Result<CoverageGraph> CoverageGraph::BuildForGroupsImpl(
               if (g < 0) return;
               const float fw = static_cast<float>(weight);
               if (last_target[static_cast<size_t>(g)] == w) {
-                Edge& forward =
-                    graph.forward_edges_[last_findex[static_cast<size_t>(g)]];
-                if (fw < forward.weight) {
-                  forward.weight = fw;
-                  graph.backward_edges_[last_bindex[static_cast<size_t>(g)]]
-                      .weight = fw;
+                float& forward_distance =
+                    graph.forward_distance_[last_findex[static_cast<size_t>(g)]];
+                if (fw < forward_distance) {
+                  forward_distance = fw;
+                  graph.backward_distance_[last_bindex[static_cast<size_t>(g)]] =
+                      fw;
                 }
               } else {
                 last_target[static_cast<size_t>(g)] = w;
-                last_findex[static_cast<size_t>(g)] =
-                    cursor[static_cast<size_t>(g)];
+                const size_t fslot = cursor[static_cast<size_t>(g)];
+                last_findex[static_cast<size_t>(g)] = fslot;
                 last_bindex[static_cast<size_t>(g)] = backward_cursor;
-                graph.forward_edges_[cursor[static_cast<size_t>(g)]++] =
-                    Edge{w, fw};
-                graph.backward_edges_[backward_cursor++] = Edge{g, fw};
+                graph.forward_endpoint_[fslot] = w;
+                graph.forward_distance_[fslot] = fw;
+                ++cursor[static_cast<size_t>(g)];
+                graph.backward_endpoint_[backward_cursor] = g;
+                graph.backward_distance_[backward_cursor] = fw;
+                ++backward_cursor;
               }
             });
         OSRS_DCHECK_EQ(backward_cursor,
@@ -597,7 +635,8 @@ void CoverageGraph::PrepareForwardScatter(
     }
   }
   forward_offsets_[static_cast<size_t>(num_candidates)] = running;
-  forward_edges_.resize(running);
+  forward_endpoint_.resize(running);
+  forward_distance_.resize(running);
 }
 
 void CoverageGraph::PrepareBackwardFill(
@@ -609,24 +648,26 @@ void CoverageGraph::PrepareBackwardFill(
         backward_degree[static_cast<size_t>(w)];
   }
   OSRS_CHECK_EQ(backward_offsets_[static_cast<size_t>(num_targets)],
-                forward_edges_.size());
-  backward_edges_.resize(forward_edges_.size());
+                forward_endpoint_.size());
+  backward_endpoint_.resize(forward_endpoint_.size());
+  backward_distance_.resize(forward_distance_.size());
 }
 
-std::span<const CoverageGraph::Edge> CoverageGraph::EdgesOf(int u) const {
+CoverageGraph::EdgeLanes CoverageGraph::ForwardLanesOf(int u) const {
   OSRS_DCHECK_GE(u, 0);
   OSRS_DCHECK_LT(u, num_candidates());
-  return {forward_edges_.data() + forward_offsets_[static_cast<size_t>(u)],
-          forward_offsets_[static_cast<size_t>(u) + 1] -
-              forward_offsets_[static_cast<size_t>(u)]};
+  const size_t begin = forward_offsets_[static_cast<size_t>(u)];
+  return {forward_endpoint_.data() + begin, forward_distance_.data() + begin,
+          forward_offsets_[static_cast<size_t>(u) + 1] - begin};
 }
 
-std::span<const CoverageGraph::Edge> CoverageGraph::CoveringOf(int w) const {
+CoverageGraph::EdgeLanes CoverageGraph::BackwardLanesOf(int w) const {
   OSRS_DCHECK_GE(w, 0);
   OSRS_DCHECK_LT(w, num_targets());
-  return {backward_edges_.data() + backward_offsets_[static_cast<size_t>(w)],
-          backward_offsets_[static_cast<size_t>(w) + 1] -
-              backward_offsets_[static_cast<size_t>(w)]};
+  const size_t begin = backward_offsets_[static_cast<size_t>(w)];
+  return {backward_endpoint_.data() + begin,
+          backward_distance_.data() + begin,
+          backward_offsets_[static_cast<size_t>(w) + 1] - begin};
 }
 
 double CoverageGraph::EmptySummaryCost() const {
@@ -638,23 +679,34 @@ double CoverageGraph::EmptySummaryCost() const {
 }
 
 double CoverageGraph::CostOfSelection(const std::vector<int>& selected) const {
-  std::vector<double> best(root_distance_);
+  std::vector<float> best(root_distance_f32_.size());
+  return CostOfSelection(std::span<const int>(selected),
+                         std::span<float>(best));
+}
+
+double CoverageGraph::CostOfSelection(std::span<const int> selected,
+                                      std::span<float> best_scratch) const {
+  OSRS_DCHECK_EQ(best_scratch.size(), root_distance_f32_.size());
+  std::copy(root_distance_f32_.begin(), root_distance_f32_.end(),
+            best_scratch.begin());
   for (int u : selected) {
-    for (const Edge& e : EdgesOf(u)) {
-      double& b = best[static_cast<size_t>(e.endpoint)];
-      b = std::min(b, static_cast<double>(e.weight));
+    const EdgeLanes lanes = ForwardLanesOf(u);
+    for (size_t i = 0; i < lanes.size; ++i) {
+      float& b = best_scratch[static_cast<size_t>(lanes.endpoint[i])];
+      if (lanes.distance[i] < b) b = lanes.distance[i];
     }
   }
   double total = 0.0;
-  for (size_t w = 0; w < best.size(); ++w) {
-    total += best[w] * target_weight(static_cast<int>(w));
+  for (size_t w = 0; w < best_scratch.size(); ++w) {
+    total += static_cast<double>(best_scratch[w]) *
+             target_weight(static_cast<int>(w));
   }
   return total;
 }
 
 double CoverageGraph::AverageCandidateDegree() const {
   if (num_candidates() == 0) return 0.0;
-  return static_cast<double>(forward_edges_.size()) /
+  return static_cast<double>(num_edges()) /
          static_cast<double>(num_candidates());
 }
 

@@ -2,9 +2,12 @@
 #define OSRS_COVERAGE_COVERAGE_GRAPH_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <iterator>
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "core/distance.h"
 #include "core/model.h"
@@ -36,16 +39,106 @@ struct CoverageBuildOptions {
 /// Storage is CSR in both directions: the greedy algorithm walks forward
 /// edges (candidate → targets) when applying a selection and backward edges
 /// (target → candidates) to find the neighbor-of-neighbor keys to update.
+///
+/// The CSR is structure-of-arrays: each direction keeps a 64-byte-aligned
+/// endpoint lane (int32) and a distance lane (float) rather than an array
+/// of {endpoint, distance} structs. The SIMD kernels (common/simd.h)
+/// stream one lane per register — 8 endpoints or 8 distances per load —
+/// which an interleaved layout would halve; scalar consumers keep the
+/// struct view through EdgesOf/CoveringOf, whose iterator zips the lanes
+/// back into Edge values.
 class CoverageGraph {
  public:
-  /// A half-edge: the opposite endpoint and the coverage distance. The
-  /// weight is stored as float — coverage distances are small integer hop
-  /// counts (min over hops for group candidates), which float represents
-  /// exactly, and the 8-byte edge halves the CSR's memory traffic, the
-  /// dominant cost of construction and of the solvers' edge walks.
+  /// A half-edge view: the opposite endpoint and the coverage distance.
+  /// The weight is float — coverage distances are small integer hop counts
+  /// (min over hops for group candidates), which float represents exactly.
+  /// Edges are materialized from the lanes on access; nothing stores them.
   struct Edge {
     int32_t endpoint;
     float weight;
+  };
+
+  /// One CSR row as raw lane pointers — the view the SIMD kernels consume.
+  /// `endpoint[i]` pairs with `distance[i]`; both lanes are slices of
+  /// 64-byte-aligned arrays (the slice itself starts at an arbitrary
+  /// offset; the kernels use unaligned loads).
+  struct EdgeLanes {
+    const int32_t* endpoint = nullptr;
+    const float* distance = nullptr;
+    size_t size = 0;
+  };
+
+  /// Random-access range zipping the two lanes of a CSR row back into Edge
+  /// values for scalar consumers (tests, LP assembly, local search). The
+  /// iterator yields Edge by value; binding `const Edge&` in a range-for
+  /// works as usual (lifetime extension).
+  class EdgeRange {
+   public:
+    class Iterator {
+     public:
+      using iterator_category = std::random_access_iterator_tag;
+      using value_type = Edge;
+      using difference_type = std::ptrdiff_t;
+      using reference = Edge;
+      using pointer = const Edge*;
+
+      Iterator() = default;
+      Iterator(const int32_t* endpoint, const float* distance)
+          : endpoint_(endpoint), distance_(distance) {}
+
+      Edge operator*() const { return Edge{*endpoint_, *distance_}; }
+      Edge operator[](difference_type i) const {
+        return Edge{endpoint_[i], distance_[i]};
+      }
+      Iterator& operator++() {
+        ++endpoint_;
+        ++distance_;
+        return *this;
+      }
+      Iterator operator++(int) {
+        Iterator copy = *this;
+        ++*this;
+        return copy;
+      }
+      Iterator& operator+=(difference_type n) {
+        endpoint_ += n;
+        distance_ += n;
+        return *this;
+      }
+      friend Iterator operator+(Iterator it, difference_type n) {
+        return it += n;
+      }
+      friend difference_type operator-(const Iterator& a, const Iterator& b) {
+        return a.endpoint_ - b.endpoint_;
+      }
+      friend bool operator==(const Iterator& a, const Iterator& b) {
+        return a.endpoint_ == b.endpoint_;
+      }
+      friend bool operator!=(const Iterator& a, const Iterator& b) {
+        return a.endpoint_ != b.endpoint_;
+      }
+
+     private:
+      const int32_t* endpoint_ = nullptr;
+      const float* distance_ = nullptr;
+    };
+
+    EdgeRange() = default;
+    EdgeRange(EdgeLanes lanes) : lanes_(lanes) {}  // NOLINT
+
+    Iterator begin() const { return {lanes_.endpoint, lanes_.distance}; }
+    Iterator end() const {
+      return {lanes_.endpoint + lanes_.size, lanes_.distance + lanes_.size};
+    }
+    size_t size() const { return lanes_.size; }
+    bool empty() const { return lanes_.size == 0; }
+    Edge operator[](size_t i) const {
+      return Edge{lanes_.endpoint[i], lanes_.distance[i]};
+    }
+    EdgeLanes lanes() const { return lanes_; }
+
+   private:
+    EdgeLanes lanes_;
   };
 
   /// Builds the k-Pairs graph: U = W = `pairs`. Mirrors the paper's two-pass
@@ -116,16 +209,27 @@ class CoverageGraph {
 
   int num_candidates() const { return static_cast<int>(forward_offsets_.size()) - 1; }
   int num_targets() const { return static_cast<int>(root_distance_.size()); }
-  size_t num_edges() const { return forward_edges_.size(); }
+  size_t num_edges() const { return forward_endpoint_.size(); }
 
   /// Targets covered by candidate `u` with their distances.
-  std::span<const Edge> EdgesOf(int u) const;
+  EdgeRange EdgesOf(int u) const { return EdgeRange(ForwardLanesOf(u)); }
 
   /// Candidates covering target `w` with their distances.
-  std::span<const Edge> CoveringOf(int w) const;
+  EdgeRange CoveringOf(int w) const { return EdgeRange(BackwardLanesOf(w)); }
+
+  /// Raw SoA lanes of candidate u's forward row (targets + distances) —
+  /// what the SIMD gain/update kernels stream.
+  EdgeLanes ForwardLanesOf(int u) const;
+
+  /// Raw SoA lanes of target w's backward row (coverers + distances).
+  EdgeLanes BackwardLanesOf(int w) const;
 
   /// d(r, pair_w): the always-available root coverage distance of target w.
   double root_distance(int w) const { return root_distance_[w]; }
+
+  /// The root distances as a 64-byte-aligned float lane (exact: hop
+  /// counts), indexed by target — the solvers' initial best[] image.
+  const float* root_distances_f32() const { return root_distance_f32_.data(); }
 
   /// Multiplicity of target w (1.0 unless built weighted).
   double target_weight(int w) const {
@@ -134,12 +238,25 @@ class CoverageGraph {
                : target_weights_[static_cast<size_t>(w)];
   }
 
+  /// The multiplicity lane for the SIMD kernels: null when the graph is
+  /// unweighted (all ones), else `num_targets()` doubles.
+  const double* target_weights_or_null() const {
+    return target_weights_.empty() ? nullptr : target_weights_.data();
+  }
+
   /// Σ_w root_distance(w) — the cost of the empty summary.
   double EmptySummaryCost() const;
 
   /// Definition 2 cost of selecting candidate set `selected` (indices into
   /// U), computed from the graph: Σ_w min(root, min over selected coverers).
   double CostOfSelection(const std::vector<int>& selected) const;
+
+  /// Allocation-free form for hot callers (rounding trials, local-search
+  /// passes): `best_scratch` must hold num_targets() floats and is fully
+  /// overwritten. Distances are integral hop counts — exact in float — so
+  /// the result is identical to the owning overload.
+  double CostOfSelection(std::span<const int> selected,
+                         std::span<float> best_scratch) const;
 
   /// Mean forward degree of candidates (graph sparsity diagnostic; §4.4's
   /// running-time discussion depends on it).
@@ -184,14 +301,21 @@ class CoverageGraph {
   void PrepareBackwardFill(int num_targets,
                            const std::vector<size_t>& backward_degree);
 
-  // Forward CSR: candidate u covers forward_edges_[forward_offsets_[u] ..].
+  // Forward CSR, structure-of-arrays: candidate u's row is
+  // forward_endpoint_/forward_distance_[forward_offsets_[u] ..
+  // forward_offsets_[u + 1]). Lanes are 64-byte aligned for the SIMD
+  // kernels' streaming loads.
   std::vector<size_t> forward_offsets_;
-  std::vector<Edge> forward_edges_;
-  // Backward CSR: target w is covered by backward_edges_[...].
+  AlignedVector<int32_t> forward_endpoint_;
+  AlignedVector<float> forward_distance_;
+  // Backward CSR, same layout: target w is covered by the row at
+  // backward_offsets_[w].
   std::vector<size_t> backward_offsets_;
-  std::vector<Edge> backward_edges_;
+  AlignedVector<int32_t> backward_endpoint_;
+  AlignedVector<float> backward_distance_;
   std::vector<double> root_distance_;
-  std::vector<double> target_weights_;  // empty = all ones
+  AlignedVector<float> root_distance_f32_;  // same values, kernel lane
+  std::vector<double> target_weights_;      // empty = all ones
 };
 
 /// Collapses duplicate pairs: pairs with the same concept whose sentiments

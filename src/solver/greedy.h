@@ -7,6 +7,14 @@
 
 namespace osrs {
 
+/// Tally of coverage-distance evaluations made while scoring candidates.
+/// Passed by reference into the gain kernels (previously a raw int64_t*
+/// out-param, which compiled fine when null and crashed at the first
+/// edge); flushed to the kDistanceEvaluations trace stat once per phase.
+struct EvalCounter {
+  int64_t distance_evals = 0;
+};
+
 /// Options for the greedy summarizer.
 struct GreedyOptions {
   /// Heap maintenance strategy. kEager is the paper's Algorithm 2: after a

@@ -43,18 +43,20 @@ KMedianModel BuildKMedianModel(const CoverageGraph& graph, int k,
     int y_root = lp.AddVariable(0.0, 1.0, root_cost * target_weight, false,
                                 StrFormat("yroot_%d", w));
     std::vector<std::pair<int, double>> assignment{{y_root, 1.0}};
-    for (const CoverageGraph::Edge& e : graph.CoveringOf(w)) {
-      if (e.weight >= root_cost) continue;  // dominated by the root
-      note_cost(e.weight * target_weight);
-      int y = lp.AddVariable(0.0, kLpInfinity, e.weight * target_weight,
-                             false, StrFormat("y_%d_%d", e.endpoint, w));
+    const CoverageGraph::EdgeLanes lanes = graph.BackwardLanesOf(w);
+    for (size_t i = 0; i < lanes.size; ++i) {
+      const double distance = static_cast<double>(lanes.distance[i]);
+      if (distance >= root_cost) continue;  // dominated by the root
+      const int32_t u = lanes.endpoint[i];
+      note_cost(distance * target_weight);
+      int y = lp.AddVariable(0.0, kLpInfinity, distance * target_weight,
+                             false, StrFormat("y_%d_%d", u, w));
       assignment.emplace_back(y, 1.0);
-      OSRS_CHECK(
-          lp.AddConstraint(
-                {{y, 1.0},
-                 {model.x_vars[static_cast<size_t>(e.endpoint)], -1.0}},
-                ConstraintSense::kLessEqual, 0.0)
-              .ok());
+      OSRS_CHECK(lp.AddConstraint(
+                       {{y, 1.0},
+                        {model.x_vars[static_cast<size_t>(u)], -1.0}},
+                       ConstraintSense::kLessEqual, 0.0)
+                     .ok());
     }
     OSRS_CHECK(lp.AddConstraint(std::move(assignment),
                                 ConstraintSense::kEqual, 1.0)

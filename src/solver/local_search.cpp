@@ -1,8 +1,10 @@
 #include "solver/local_search.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,29 +20,37 @@ obs::Counter* SolvesCounter() {
 
 /// First- and second-best coverage of every target under a selection, with
 /// the owner of the best. The implicit root is folded in as owner -1.
+/// Arena-backed: spans are allocated once per solve and refilled per pass.
+/// Distances are float (integral hop counts, exact); the swap deltas below
+/// compute in double over the same values the old double state held.
 struct CoverageState {
-  std::vector<double> best1;
-  std::vector<int> owner1;   // selected candidate index, or -1 for the root
-  std::vector<double> best2;
+  std::span<float> best1;
+  std::span<int32_t> owner1;  // selected candidate index, or -1 for the root
+  std::span<float> best2;
+
+  void Allocate(Arena& arena, size_t num_targets) {
+    best1 = arena.AllocateArray<float>(num_targets);
+    best2 = arena.AllocateArray<float>(num_targets);
+    owner1 = arena.AllocateArray<int32_t>(num_targets);
+  }
 
   void Rebuild(const CoverageGraph& graph, const std::vector<int>& selected) {
-    const size_t n = static_cast<size_t>(graph.num_targets());
-    best1.resize(n);
-    best2.resize(n);
-    owner1.assign(n, -1);
-    for (size_t w = 0; w < n; ++w) {
-      best1[w] = graph.root_distance(static_cast<int>(w));
-      best2[w] = best1[w];  // the root never leaves, so it backstops both
-    }
+    std::copy(graph.root_distances_f32(),
+              graph.root_distances_f32() + best1.size(), best1.begin());
+    // The root never leaves, so it backstops both.
+    std::copy(best1.begin(), best1.end(), best2.begin());
+    std::fill(owner1.begin(), owner1.end(), int32_t{-1});
     for (int u : selected) {
-      for (const CoverageGraph::Edge& e : graph.EdgesOf(u)) {
-        size_t w = static_cast<size_t>(e.endpoint);
-        if (e.weight < best1[w]) {
+      const CoverageGraph::EdgeLanes lanes = graph.ForwardLanesOf(u);
+      for (size_t i = 0; i < lanes.size; ++i) {
+        size_t w = static_cast<size_t>(lanes.endpoint[i]);
+        const float d = lanes.distance[i];
+        if (d < best1[w]) {
           best2[w] = best1[w];
-          best1[w] = e.weight;
+          best1[w] = d;
           owner1[w] = u;
-        } else if (e.weight < best2[w]) {
-          best2[w] = e.weight;
+        } else if (d < best2[w]) {
+          best2[w] = d;
         }
       }
     }
@@ -55,6 +65,12 @@ LocalSearchSummarizer::LocalSearchSummarizer(LocalSearchOptions options)
 Result<SummaryResult> LocalSearchSummarizer::Summarize(
     const CoverageGraph& graph, int k, const ExecutionBudget& budget) {
   Stopwatch watch;
+  // The frame opens before the greedy seed solve: greedy's own frame nests
+  // inside it (LIFO) and rewinds first, leaving this solve's scratch
+  // intact. Nothing arena-backed escapes into the result.
+  Arena& arena = PerThreadSolveArena();
+  ArenaFrame frame(arena);
+
   auto seed = greedy_.Summarize(graph, k, budget);
   OSRS_RETURN_IF_ERROR(seed.status());
   if (seed->approximate) {
@@ -65,16 +81,22 @@ Result<SummaryResult> LocalSearchSummarizer::Summarize(
   std::vector<int> selected = seed->selected;
   double cost = seed->cost;
 
-  std::vector<bool> is_selected(static_cast<size_t>(graph.num_candidates()),
-                                false);
-  for (int u : selected) is_selected[static_cast<size_t>(u)] = true;
+  const size_t num_targets = static_cast<size_t>(graph.num_targets());
+  const size_t num_candidates = static_cast<size_t>(graph.num_candidates());
+  std::span<uint8_t> is_selected = arena.AllocateArray<uint8_t>(num_candidates);
+  std::fill(is_selected.begin(), is_selected.end(), uint8_t{0});
+  for (int u : selected) is_selected[static_cast<size_t>(u)] = 1;
 
   CoverageState state;
+  state.Allocate(arena, num_targets);
   int64_t swaps_applied = 0;
   // Scratch: distance from the incoming candidate to each target (∞ when
   // not adjacent); reset sparsely between candidates.
-  std::vector<double> in_distance(static_cast<size_t>(graph.num_targets()),
-                                  kInfiniteDistance);
+  constexpr float kNotAdjacent = std::numeric_limits<float>::infinity();
+  std::span<float> in_distance = arena.AllocateArray<float>(num_targets);
+  std::fill(in_distance.begin(), in_distance.end(), kNotAdjacent);
+  // Scratch for the exact post-swap cost recomputation.
+  std::span<float> cost_scratch = arena.AllocateArray<float>(num_targets);
 
   // Non-OK once the budget fires mid-polish; the greedy-seeded solution in
   // `selected` stays valid at every point, so it becomes the incumbent.
@@ -97,28 +119,34 @@ Result<SummaryResult> LocalSearchSummarizer::Summarize(
         budget_status = budget.Check(swaps_applied);
         if (!budget_status.ok()) break;
       }
-      if (is_selected[static_cast<size_t>(u_in)]) continue;
-      for (const CoverageGraph::Edge& e : graph.EdgesOf(u_in)) {
-        in_distance[static_cast<size_t>(e.endpoint)] = e.weight;
+      if (is_selected[static_cast<size_t>(u_in)] != 0) continue;
+      const CoverageGraph::EdgeLanes in_lanes = graph.ForwardLanesOf(u_in);
+      for (size_t i = 0; i < in_lanes.size; ++i) {
+        in_distance[static_cast<size_t>(in_lanes.endpoint[i])] =
+            in_lanes.distance[i];
       }
       for (size_t out_pos = 0; out_pos < selected.size(); ++out_pos) {
         const int u_out = selected[out_pos];
         // Delta over targets adjacent to u_in or owned by u_out; all other
         // targets keep their current coverage.
         double delta = 0.0;
-        for (const CoverageGraph::Edge& e : graph.EdgesOf(u_in)) {
-          size_t w = static_cast<size_t>(e.endpoint);
-          double base = state.owner1[w] == u_out ? state.best2[w]
-                                                 : state.best1[w];
-          double now = std::min(base, static_cast<double>(e.weight));
-          delta += (now - state.best1[w]) * graph.target_weight(e.endpoint);
+        for (size_t i = 0; i < in_lanes.size; ++i) {
+          size_t w = static_cast<size_t>(in_lanes.endpoint[i]);
+          double base = static_cast<double>(
+              state.owner1[w] == u_out ? state.best2[w] : state.best1[w]);
+          double now =
+              std::min(base, static_cast<double>(in_lanes.distance[i]));
+          delta += (now - static_cast<double>(state.best1[w])) *
+                   graph.target_weight(in_lanes.endpoint[i]);
         }
-        for (const CoverageGraph::Edge& e : graph.EdgesOf(u_out)) {
-          size_t w = static_cast<size_t>(e.endpoint);
+        const CoverageGraph::EdgeLanes out_lanes = graph.ForwardLanesOf(u_out);
+        for (size_t i = 0; i < out_lanes.size; ++i) {
+          size_t w = static_cast<size_t>(out_lanes.endpoint[i]);
           if (state.owner1[w] != u_out) continue;
-          if (in_distance[w] < kInfiniteDistance) continue;  // counted above
-          delta += (state.best2[w] - state.best1[w]) *
-                   graph.target_weight(e.endpoint);
+          if (in_distance[w] < kNotAdjacent) continue;  // counted above
+          delta += (static_cast<double>(state.best2[w]) -
+                    static_cast<double>(state.best1[w])) *
+                   graph.target_weight(out_lanes.endpoint[i]);
         }
         if (delta < best_delta) {
           best_delta = delta;
@@ -126,17 +154,18 @@ Result<SummaryResult> LocalSearchSummarizer::Summarize(
           best_in = u_in;
         }
       }
-      for (const CoverageGraph::Edge& e : graph.EdgesOf(u_in)) {
-        in_distance[static_cast<size_t>(e.endpoint)] = kInfiniteDistance;
+      for (size_t i = 0; i < in_lanes.size; ++i) {
+        in_distance[static_cast<size_t>(in_lanes.endpoint[i])] = kNotAdjacent;
       }
     }
 
     if (best_in < 0) break;  // local optimum
-    is_selected[static_cast<size_t>(selected[best_out_pos])] = false;
-    is_selected[static_cast<size_t>(best_in)] = true;
+    is_selected[static_cast<size_t>(selected[best_out_pos])] = 0;
+    is_selected[static_cast<size_t>(best_in)] = 1;
     selected[best_out_pos] = best_in;
     ++swaps_applied;
-    cost = graph.CostOfSelection(selected);  // exact, avoids delta drift
+    // Exact recomputation (avoids delta drift), allocation-free.
+    cost = graph.CostOfSelection(std::span<const int>(selected), cost_scratch);
   }
 
   obs::TraceStat(obs::Stat::kSwapsApplied, swaps_applied);

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -60,18 +61,28 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
                                       LpStatusToString(lp.status)));
   }
 
+  // Per-solve scratch below (opening weights, per-trial draws, cost
+  // scratch) is arena-backed; only the winning selection is copied out
+  // into the result before the frame rewinds.
+  Arena& arena = PerThreadSolveArena();
+  ArenaFrame frame(arena);
+  const size_t num_facilities = model.x_vars.size();
+
   // Fractional opening weights q(p) ∝ x_p (Algorithm 1, line 2).
-  std::vector<double> base_weights(model.x_vars.size());
-  for (size_t u = 0; u < model.x_vars.size(); ++u) {
+  std::span<double> base_weights = arena.AllocateArray<double>(num_facilities);
+  for (size_t u = 0; u < num_facilities; ++u) {
     double x = lp.values[static_cast<size_t>(model.x_vars[u])];
     base_weights[u] = x > 1e-12 ? x : 0.0;
   }
+  std::span<float> cost_scratch = arena.AllocateArray<float>(
+      static_cast<size_t>(graph.num_targets()));
 
   obs::TraceSpan rounding_span(obs::Phase::kRoundingTrials);
   if (options_.strategy == RoundingStrategy::kTopK) {
     // Deterministic rounding: open the k largest fractional facilities.
-    std::vector<int> order(base_weights.size());
-    for (size_t u = 0; u < order.size(); ++u) order[u] = static_cast<int>(u);
+    std::span<int32_t> order = arena.AllocateArray<int32_t>(num_facilities);
+    for (size_t u = 0; u < num_facilities; ++u)
+      order[u] = static_cast<int32_t>(u);
     std::sort(order.begin(), order.end(), [&base_weights](int a, int b) {
       double wa = base_weights[static_cast<size_t>(a)];
       double wb = base_weights[static_cast<size_t>(b)];
@@ -95,6 +106,13 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
   SummaryResult best;
   bool have_best = false;
   int64_t trials_done = 0;
+  // Trial scratch, reused across every draw (copied / reset in place —
+  // the former per-trial vector copies were the dominant allocation churn
+  // of a rounding solve).
+  std::span<double> weights = arena.AllocateArray<double>(num_facilities);
+  std::span<int32_t> selected =
+      arena.AllocateArray<int32_t>(static_cast<size_t>(k));
+  std::span<uint8_t> chosen = arena.AllocateArray<uint8_t>(num_facilities);
   for (int trial = 0; trial < std::max(1, options_.trials); ++trial) {
     Status budget_status = budget.Check(lp.iterations + trial);
     if (!budget_status.ok()) {
@@ -107,9 +125,8 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
       best.stop_reason = budget_status.code();
       break;
     }
-    std::vector<double> weights = base_weights;
-    std::vector<int> selected;
-    selected.reserve(static_cast<size_t>(k));
+    std::copy(base_weights.begin(), base_weights.end(), weights.begin());
+    size_t num_selected = 0;
     // Sample without replacement (Algorithm 1, lines 4-6). If the LP opens
     // fewer than k candidates fractionally, the support runs dry; the
     // remaining slots are filled uniformly from the unchosen candidates,
@@ -118,24 +135,30 @@ Result<SummaryResult> RandomizedRoundingSummarizer::Summarize(
       double total = 0.0;
       for (double w : weights) total += w;
       if (total <= 0.0) break;
-      size_t pick = rng.NextDiscrete(weights);
-      selected.push_back(static_cast<int>(pick));
+      size_t pick = rng.NextDiscrete(std::span<const double>(weights));
+      selected[num_selected++] = static_cast<int32_t>(pick);
       weights[pick] = 0.0;
     }
-    if (static_cast<int>(selected.size()) < k) {
-      std::vector<bool> chosen(model.x_vars.size(), false);
-      for (int u : selected) chosen[static_cast<size_t>(u)] = true;
-      std::vector<size_t> order = rng.SampleWithoutReplacement(
-          model.x_vars.size(), model.x_vars.size());
-      for (size_t u : order) {
-        if (static_cast<int>(selected.size()) >= k) break;
-        if (!chosen[u]) selected.push_back(static_cast<int>(u));
+    if (static_cast<int>(num_selected) < k) {
+      std::fill(chosen.begin(), chosen.end(), uint8_t{0});
+      for (size_t s = 0; s < num_selected; ++s) {
+        chosen[static_cast<size_t>(selected[s])] = 1;
+      }
+      auto uniform_order =
+          rng.SampleWithoutReplacement(num_facilities, num_facilities);
+      for (size_t u : uniform_order) {
+        if (static_cast<int>(num_selected) >= k) break;
+        if (chosen[u] == 0) selected[num_selected++] = static_cast<int32_t>(u);
       }
     }
-    double cost = graph.CostOfSelection(selected);
+    double cost = graph.CostOfSelection(
+        std::span<const int32_t>(selected.data(), num_selected),
+        cost_scratch);
     ++trials_done;
     if (!have_best || cost < best.cost) {
-      best.selected = std::move(selected);
+      best.selected.assign(selected.begin(),
+                           selected.begin() +
+                               static_cast<std::ptrdiff_t>(num_selected));
       best.cost = cost;
       have_best = true;
     }

@@ -1,0 +1,229 @@
+// Stress tests of IndexedMaxHeap under adversarial update sequences:
+// decrease-to-equal keys (tie-break churn), repeated pop + re-update of the
+// surviving ids, and all-zero gain vectors. Every sequence is checked
+// against a brute-force reference model with the same priority order
+// (key descending, id ascending), covering both the owning and the
+// arena-backed constructors.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "common/indexed_heap.h"
+#include "common/rng.h"
+
+namespace osrs {
+namespace {
+
+/// Brute-force model of the heap's contract: a key array plus an alive set,
+/// with max = smallest id among the largest keys.
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(std::vector<double> keys)
+      : keys_(std::move(keys)), alive_(keys_.size(), true),
+        live_(keys_.size()) {}
+
+  bool empty() const { return live_ == 0; }
+  size_t size() const { return live_; }
+  bool Contains(int id) const {
+    return id >= 0 && static_cast<size_t>(id) < keys_.size() &&
+           alive_[static_cast<size_t>(id)];
+  }
+  double KeyOf(int id) const { return keys_[static_cast<size_t>(id)]; }
+
+  int PeekMax() const {
+    int best = -1;
+    for (size_t id = 0; id < keys_.size(); ++id) {
+      if (!alive_[id]) continue;
+      if (best < 0 || keys_[id] > keys_[static_cast<size_t>(best)]) {
+        best = static_cast<int>(id);
+      }
+    }
+    return best;
+  }
+
+  int PopMax() {
+    int top = PeekMax();
+    alive_[static_cast<size_t>(top)] = false;
+    --live_;
+    return top;
+  }
+
+  void UpdateKey(int id, double new_key) {
+    keys_[static_cast<size_t>(id)] = new_key;
+  }
+
+ private:
+  std::vector<double> keys_;
+  std::vector<bool> alive_;
+  size_t live_;
+};
+
+/// Drains both structures completely, asserting identical pop order.
+void ExpectSameDrain(IndexedMaxHeap& heap, ReferenceModel& model) {
+  while (!model.empty()) {
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap.PeekMax(), model.PeekMax());
+    ASSERT_EQ(heap.PopMax(), model.PopMax());
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMaxHeapStress, AllZeroGainsPopInIdOrder) {
+  // Degenerate but real: a fully-covered instance where every candidate
+  // has zero marginal gain. The tie-break must produce ids ascending.
+  IndexedMaxHeap heap(std::vector<double>(37, 0.0));
+  for (int expected = 0; expected < 37; ++expected) {
+    EXPECT_EQ(heap.PeekMax(), expected);
+    EXPECT_DOUBLE_EQ(heap.KeyOf(expected), 0.0);
+    EXPECT_EQ(heap.PopMax(), expected);
+    EXPECT_FALSE(heap.Contains(expected));
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMaxHeapStress, DecreaseToEqualKeysKeepsTotalOrder) {
+  // Adversarial pattern from the greedy solver: after a pick, neighbor
+  // gains collapse onto the *same* value as the current maximum. Equal
+  // keys must still pop by ascending id, regardless of the order the
+  // updates arrived in.
+  const size_t n = 64;
+  std::vector<double> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<double>(n - i);
+  IndexedMaxHeap heap(keys);
+  ReferenceModel model(keys);
+  // Collapse ids in a scrambled order onto the key of the current max.
+  Rng rng(0xDEC2EBULL);
+  std::vector<int> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  rng.Shuffle(order);
+  const double plateau = heap.KeyOf(heap.PeekMax());
+  for (int id : order) {
+    heap.UpdateKey(id, plateau);
+    model.UpdateKey(id, plateau);
+  }
+  ExpectSameDrain(heap, model);
+}
+
+TEST(IndexedMaxHeapStress, RepeatedPopThenReUpdateSurvivors) {
+  // Pop the max, then immediately re-update surviving ids to the popped
+  // key (the closest legal analogue of pop/push of the same index —
+  // popped ids stay out by contract). Contains() must stay false for
+  // every popped id throughout.
+  const size_t n = 48;
+  std::vector<double> keys(n);
+  Rng rng(0x9071EULL);
+  for (auto& key : keys) key = rng.NextDouble(0.0, 8.0);
+  IndexedMaxHeap heap(keys);
+  ReferenceModel model(keys);
+  std::vector<int> popped;
+  while (!model.empty()) {
+    int top = model.PopMax();
+    ASSERT_EQ(heap.PopMax(), top);
+    popped.push_back(top);
+    for (int id : popped) EXPECT_FALSE(heap.Contains(id));
+    // Nudge up to three survivors onto the key the popped id held.
+    double crest = model.empty() ? 0.0 : model.KeyOf(model.PeekMax());
+    for (int bump = 0; bump < 3 && !model.empty(); ++bump) {
+      int id = static_cast<int>(rng.NextUint64(n));
+      if (!model.Contains(id)) continue;
+      heap.UpdateKey(id, crest);
+      model.UpdateKey(id, crest);
+    }
+    if (!model.empty()) EXPECT_EQ(heap.PeekMax(), model.PeekMax());
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMaxHeapStress, RandomizedOpSequencesMatchReference) {
+  // Mixed adversarial workload over many seeds: random increases,
+  // decreases, decrease-to-current-max (equal-key collisions), zeroing,
+  // and pops, with PeekMax cross-checked after every operation.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed * 0x51D5EEDULL);
+    const size_t n = 8 + rng.NextUint64(56);
+    std::vector<double> keys(n);
+    for (auto& key : keys) {
+      // Coarse grid so exact collisions are common, not vanishing.
+      key = static_cast<double>(rng.NextUint64(6));
+    }
+    IndexedMaxHeap heap(keys);
+    ReferenceModel model(keys);
+    for (int step = 0; step < 400 && !model.empty(); ++step) {
+      switch (rng.NextUint64(5)) {
+        case 0: {  // pop
+          ASSERT_EQ(heap.PopMax(), model.PopMax());
+          break;
+        }
+        case 1: {  // decrease-to-equal: collide with the current max key
+          int id = static_cast<int>(rng.NextUint64(n));
+          if (!model.Contains(id)) break;
+          double crest = model.KeyOf(model.PeekMax());
+          heap.UpdateKey(id, crest);
+          model.UpdateKey(id, crest);
+          break;
+        }
+        case 2: {  // zero out (gain exhausted)
+          int id = static_cast<int>(rng.NextUint64(n));
+          if (!model.Contains(id)) break;
+          heap.UpdateKey(id, 0.0);
+          model.UpdateKey(id, 0.0);
+          break;
+        }
+        default: {  // random re-key on the same coarse grid
+          int id = static_cast<int>(rng.NextUint64(n));
+          if (!model.Contains(id)) break;
+          double key = static_cast<double>(rng.NextUint64(6));
+          heap.UpdateKey(id, key);
+          model.UpdateKey(id, key);
+          break;
+        }
+      }
+      ASSERT_EQ(heap.size(), model.size());
+      if (!model.empty()) {
+        ASSERT_EQ(heap.PeekMax(), model.PeekMax()) << "seed=" << seed;
+        EXPECT_DOUBLE_EQ(heap.KeyOf(heap.PeekMax()),
+                         model.KeyOf(model.PeekMax()));
+      }
+    }
+    ExpectSameDrain(heap, model);
+  }
+}
+
+TEST(IndexedMaxHeapStress, ArenaBackedFormMatchesOwningForm) {
+  // The greedy solver uses the arena constructor; replay one adversarial
+  // sequence through both storage forms and demand identical behavior.
+  Rng rng(0xA2E4AULL);
+  const size_t n = 40;
+  std::vector<double> keys(n);
+  for (auto& key : keys) key = static_cast<double>(rng.NextUint64(5));
+
+  Arena arena;
+  ArenaFrame frame(arena);
+  std::span<double> arena_keys = arena.AllocateArray<double>(n);
+  std::copy(keys.begin(), keys.end(), arena_keys.begin());
+
+  IndexedMaxHeap owned(keys);
+  IndexedMaxHeap arena_heap(arena_keys, arena);
+  for (int step = 0; step < 300 && !owned.empty(); ++step) {
+    if (rng.NextUint64(4) == 0) {
+      ASSERT_EQ(owned.PopMax(), arena_heap.PopMax());
+    } else {
+      int id = static_cast<int>(rng.NextUint64(n));
+      if (!owned.Contains(id)) continue;
+      double key = static_cast<double>(rng.NextUint64(5));
+      owned.UpdateKey(id, key);
+      arena_heap.UpdateKey(id, key);
+    }
+    ASSERT_EQ(owned.size(), arena_heap.size());
+    if (!owned.empty()) ASSERT_EQ(owned.PeekMax(), arena_heap.PeekMax());
+  }
+  while (!owned.empty()) ASSERT_EQ(owned.PopMax(), arena_heap.PopMax());
+  EXPECT_TRUE(arena_heap.empty());
+}
+
+}  // namespace
+}  // namespace osrs

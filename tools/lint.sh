@@ -31,7 +31,14 @@
 #      diagnostics go through the structured OSRS_LOG macros
 #      (src/common/slog.h) so every event is one parseable JSON line; the
 #      sanctioned exceptions are the logger's own stderr sink and the
-#      OSRS_CHECK abort path in common/logging.h.
+#      OSRS_CHECK abort path in common/logging.h;
+#  10. no raw allocation in solver hot paths: `new T[...]` / malloc-family
+#      calls, and arithmetic-element std::vector scratch
+#      (std::vector<double|float|intN_t|uint8_t|size_t>) are banned in
+#      src/solver/ — per-solve scratch comes from the per-thread Arena
+#      (src/common/arena.h), so steady-state solves allocate nothing (see
+#      DESIGN.md, "Performance architecture"). std::vector<int> stays
+#      allowed: selections escape into SummaryResult as owned vectors.
 #
 # Build trees (build*/ at any depth) and anything they generate are
 # excluded from every check.
@@ -138,6 +145,19 @@ done < <(grep -rn --include='*.h' --include='*.cpp' -E \
   'std::cerr|fprintf\s*\(\s*stderr' \
   src | not_build \
   | grep -vE '^src/common/(slog\.(h|cpp)|logging\.h):' \
+  | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
+
+# -- 10. raw allocation in solver hot paths ----------------------------------
+# Solver scratch is arena-backed (common/arena.h, one bump allocator per
+# worker thread): raw new[]/malloc and arithmetic-element std::vector
+# locals in src/solver reintroduce the per-solve churn this layout removed.
+# Owned result vectors (std::vector<int> selections) are the sanctioned
+# escape type.
+while IFS= read -r match; do
+  fail "raw allocation in src/solver (use the per-solve Arena): $match"
+done < <(grep -rn --include='*.h' --include='*.cpp' -E \
+  '\bnew\s+[A-Za-z_][A-Za-z0-9_:<>, ]*\[|\b(malloc|calloc|realloc)\s*\(|std::vector<\s*(double|float|u?int(8|16|32|64)_t|size_t)\s*>' \
+  src/solver | not_build \
   | grep -vE '^[^:]+:[0-9]+: *(//|/\*|\*)' || true)
 
 # -- 8. clang-tidy (optional) ------------------------------------------------
