@@ -6,7 +6,9 @@
 # thread-safety stage (OSRS_THREAD_SAFETY=ON build of the concurrent core
 # plus the negative-compile harness, skipped when clang++ is not
 # installed), an observability stage (live `osrs_serve --drive` metrics
-# export validated by tools/check_openmetrics.sh), an OSRS_SIMD=OFF build
+# export validated by tools/check_openmetrics.sh), a crash-recovery stage
+# (store-site fault schedule, a kill -9 mid-journal, then a clean restart
+# that must recover the committed prefix), an OSRS_SIMD=OFF build
 # running the solver bit-identity diff plus the tier-1 solver tests on the
 # scalar fallback, OSRS_OBS=OFF, OSRS_LOGGING=OFF, and OSRS_FAILPOINTS=OFF
 # builds proving the telemetry, logging, and fault layers compile out, the
@@ -122,6 +124,62 @@ echo "== observability stage: live metrics export + format validation =="
 ./build/tools/osrs_serve --drive 200 --clients 4 --scale 0.02 \
     --slow-ms 50 --metrics-file build/metrics_export.prom > /dev/null 2>&1
 ./tools/check_openmetrics.sh build/metrics_export.prom
+
+echo "== crash-recovery stage: store faults, kill -9, clean restart =="
+# Three acceptance checks for the durability layer on the real binary:
+#  (a) a mutating --drive run under a probabilistic fault schedule over
+#      every store site (write/fsync/rename/read/replay) must never die
+#      on a signal — journal failures poison-and-compact, snapshot
+#      failures roll back, recovery failures are surfaced as status.
+#      A non-zero *exit code* is tolerated here (the in-process restart
+#      self-test legitimately fails when a fault lands inside it);
+#  (b) a journal-heavy interval-fsync run is SIGKILLed mid-write,
+#      leaving whatever torn tail the timing produced on disk;
+#  (c) a clean run over the same state dir must then recover the
+#      committed prefix and pass its own drain + restart self-test —
+#      no crash our own writers produced may ever surface as kDataLoss.
+CRASH_STATE=build/crash_state
+rm -rf "$CRASH_STATE" && mkdir -p "$CRASH_STATE"
+set +e
+OSRS_FAILPOINTS='osrs.store.write=error(unavailable):prob(0.05,23);osrs.store.fsync=error(unavailable):prob(0.05,29);osrs.store.rename=error(unavailable):prob(0.02,31);osrs.store.read=error(unavailable):prob(0.02,37);osrs.store.replay=error(unavailable):prob(0.02,41)' \
+    ./build/tools/osrs_serve --drive 200 --clients 4 --scale 0.02 \
+    --mutate-every 4 --state-dir "$CRASH_STATE" \
+    > /dev/null 2> build/crash_faulted.log
+FAULTED_EXIT=$?
+set -e
+if [[ "$FAULTED_EXIT" -ge 126 ]]; then
+  echo "ci.sh: faulted durability run died on a signal" \
+       "(exit $FAULTED_EXIT, log build/crash_faulted.log)" >&2
+  exit 1
+fi
+./build/tools/osrs_serve --drive 1000000 --clients 4 --scale 0.02 \
+    --mutate-every 2 --fsync-policy interval --fsync-interval-ms 50 \
+    --state-dir "$CRASH_STATE" > /dev/null 2>&1 &
+CRASH_PID=$!
+sleep 1
+kill -9 "$CRASH_PID" 2> /dev/null || true
+wait "$CRASH_PID" 2> /dev/null || true
+./build/tools/osrs_serve --drive 100 --clients 4 --scale 0.02 \
+    --mutate-every 10 --state-dir "$CRASH_STATE" \
+    > /dev/null 2> build/crash_recover.log
+if ! grep -q 'osrs_serve: recovered {' build/crash_recover.log; then
+  echo "ci.sh: post-crash run did not report recovery" \
+       "(log build/crash_recover.log)" >&2
+  exit 1
+fi
+if ! grep -q 'restart check passed' build/crash_recover.log; then
+  echo "ci.sh: post-crash restart self-test failed" \
+       "(log build/crash_recover.log)" >&2
+  exit 1
+fi
+
+echo "== store bench smoke =="
+# CI-sized sanity run of the durability bench: snapshot write/recover
+# scaling, per-policy journal append latency, and the serve-overhead
+# comparison all run end to end and the JSON report is written. The <2%
+# overhead bar is gated on the full-size run only (BENCH_store.json);
+# the smoke request count is too small for a stable p99.
+./build/bench/bench_store --smoke --out=build/BENCH_store_smoke.json
 
 echo "== OSRS_SIMD=OFF build + solver diff + tier-1 solver tests =="
 # The scalar fallback must be a first-class configuration, not a degraded

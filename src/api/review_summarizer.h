@@ -41,6 +41,14 @@ class CorpusEpoch {
     return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
+  /// Sets the counter to a recovered value. Only for startup recovery,
+  /// before any consumer can observe the epoch — epochs must never move
+  /// backwards once serving begins (cache keys and journal records both
+  /// assume monotonicity).
+  void Restore(uint64_t value) {
+    epoch_.store(value, std::memory_order_release);
+  }
+
  private:
   std::atomic<uint64_t> epoch_{0};
 };

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -36,6 +38,10 @@ bool StatusCodeIsRetryable(StatusCode code) {
     case StatusCode::kResourceExhausted:
     case StatusCode::kInternal:
       return true;
+    // kDataLoss is deliberately in the permanent bucket (not merely
+    // default-covered): corrupt bytes re-read identically, so a retry can
+    // never succeed — it only delays surfacing the loss. chaos_test pins
+    // this with an injected data_loss schedule.
     default:
       return false;
   }

@@ -26,6 +26,12 @@ enum class StatusCode {
   /// A dependency (file system, allocator pressure, transient I/O) was
   /// temporarily unusable; the operation may well succeed if retried.
   kUnavailable,
+  /// Durable data is unrecoverably corrupt or truncated: a snapshot failed
+  /// its checksum, a journal frame is mangled mid-file, a header names an
+  /// unknown format version. Non-retryable — re-reading corrupt bytes
+  /// yields the same corrupt bytes; the caller must fall back to an older
+  /// snapshot, re-derive the state, or surface the loss to an operator.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -36,8 +42,10 @@ const char* StatusCodeToString(StatusCode code);
 /// kUnavailable (I/O hiccup), kResourceExhausted (allocation spike or work
 /// budget on a shared machine), kInternal (includes exceptions isolated by
 /// the batch worker boundary). Everything else is permanent — retrying an
-/// kInvalidArgument burns budget to fail identically, and
-/// kDeadlineExceeded / kCancelled mean the caller's budget itself is gone.
+/// kInvalidArgument burns budget to fail identically, kDeadlineExceeded /
+/// kCancelled mean the caller's budget itself is gone, and kDataLoss means
+/// the bytes on disk are corrupt: a retry re-reads the same corruption, so
+/// retrying it can only mask the loss while burning budget.
 bool StatusCodeIsRetryable(StatusCode code);
 
 /// Result of a fallible operation: either OK or a code plus message.
@@ -87,6 +95,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "fault/failpoint.h"
+#include "store/atomic_file.h"
 
 namespace osrs {
 namespace {
@@ -161,22 +162,15 @@ Result<Corpus> LoadCorpus(std::string_view text) {
 }
 
 Status WriteTextFile(const std::string& path, std::string_view contents) {
+  // The osrs.io.write failpoint keeps its historical position — before
+  // anything touches the filesystem — so existing chaos specs behave
+  // unchanged. The write itself goes through the durability layer's
+  // atomic temp + fsync + rename, which upgrades this function's
+  // contract: on any failure (injected osrs.store.* faults included) the
+  // previous file contents survive intact; a torn corpus file can no
+  // longer exist.
   OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.io.write"));
-  errno = 0;
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (file == nullptr) {
-    return Status::Unavailable(StrFormat("cannot open '%s' for writing: %s",
-                                         path.c_str(), ErrnoDetail().c_str()));
-  }
-  errno = 0;
-  size_t written = std::fwrite(contents.data(), 1, contents.size(), file.get());
-  if (written != contents.size()) {
-    return Status::Unavailable(
-        StrFormat("short write to '%s' (%zu of %zu bytes): %s", path.c_str(),
-                  written, contents.size(), ErrnoDetail().c_str()));
-  }
-  return Status::OK();
+  return store::AtomicWriteFile(path, contents);
 }
 
 Result<std::string> ReadTextFile(const std::string& path) {

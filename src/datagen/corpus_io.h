@@ -42,6 +42,11 @@ Result<Corpus> LoadCorpusFromFile(const std::string& path);
 /// traffic through these so fault-injection runs and coded-Status error
 /// reporting cover tool I/O too (e.g. osrs_stats --registry, the
 /// osrs_serve metrics exporter).
+///
+/// WriteTextFile is atomic and durable (store/atomic_file.h: temp file +
+/// fsync + rename): on ANY failure — including injected osrs.store.*
+/// faults and real crashes — the previous contents of `path` survive
+/// intact; readers can never observe a torn file.
 Status WriteTextFile(const std::string& path, std::string_view contents);
 Result<std::string> ReadTextFile(const std::string& path);
 

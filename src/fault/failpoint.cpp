@@ -48,6 +48,7 @@ bool ParseStatusCodeName(std::string_view name, StatusCode* out) {
       {"deadline_exceeded", StatusCode::kDeadlineExceeded},
       {"cancelled", StatusCode::kCancelled},
       {"unavailable", StatusCode::kUnavailable},
+      {"data_loss", StatusCode::kDataLoss},
   };
   for (const Entry& entry : kEntries) {
     if (entry.name == name) {

@@ -85,13 +85,14 @@ std::string ServerCounters::ToJson() const {
       "{\"submitted\":%lld,\"admitted\":%lld,\"rejected\":%lld,"
       "\"completed\":%lld,\"shed\":%lld,\"failed\":%lld,"
       "\"coalesced\":%lld,\"solves\":%lld,\"cache_hits\":%lld,"
-      "\"degraded\":%lld,\"epoch_bumps\":%lld}",
+      "\"degraded\":%lld,\"epoch_bumps\":%lld,\"watchdog_stalls\":%lld}",
       static_cast<long long>(submitted), static_cast<long long>(admitted),
       static_cast<long long>(rejected), static_cast<long long>(completed),
       static_cast<long long>(shed), static_cast<long long>(failed),
       static_cast<long long>(coalesced), static_cast<long long>(solves),
       static_cast<long long>(cache_hits), static_cast<long long>(degraded),
-      static_cast<long long>(epoch_bumps));
+      static_cast<long long>(epoch_bumps),
+      static_cast<long long>(watchdog_stalls));
 }
 
 /// One in-flight solve plus every request attached to it. The first
@@ -136,34 +137,165 @@ SummaryServer::SummaryServer(const Ontology* ontology, std::vector<Item> items,
       cache_(options_.cache_capacity),
       solve_cost_(LatencyBounds()),
       trace_ring_(options_.trace_ring_capacity) {
-  for (Item& item : items) {
-    std::string id = item.id;
-    items_[std::move(id)] = std::make_shared<const Item>(std::move(item));
+  // Recovery runs before any worker exists: the first admitted request
+  // must already see the committed durable state.
+  if (!options_.state_dir.empty()) RecoverState(&items);
+  {
+    MutexLock lock(items_mutex_);
+    for (Item& item : items) {
+      std::string id = item.id;
+      items_[std::move(id)] = std::make_shared<const Item>(std::move(item));
+    }
+  }
+  // First boot (or first boot with a fresh state dir): make the initial
+  // corpus durable immediately so a crash before the first mutation still
+  // recovers the served items, not an empty store.
+  if (store_ != nullptr && !recovery_info_.found_snapshot) {
+    Status status = store_->Compact(CaptureState());
+    if (!status.ok()) {
+      OSRS_LOG(slog::Level::kWarn, "serve",
+               "initial state snapshot failed; will retry on next mutation",
+               {"detail", status.ToString()});
+    }
   }
   workers_.reserve(static_cast<size_t>(num_workers_));
+  worker_states_.reserve(static_cast<size_t>(num_workers_));
   for (int w = 0; w < num_workers_; ++w) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    worker_states_.push_back(std::make_unique<WorkerState>());
+  }
+  for (int w = 0; w < num_workers_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  if (options_.watchdog_stall_threshold_ms > 0.0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
 SummaryServer::~SummaryServer() { Stop(); }
 
+void SummaryServer::RecoverState(std::vector<Item>* initial_items) {
+  store::StateStoreOptions store_options;
+  store_options.dir = options_.state_dir;
+  store_options.fsync_policy = options_.fsync_policy;
+  store_options.fsync_interval_ms = options_.fsync_interval_ms;
+  store_options.compact_threshold_bytes =
+      options_.journal_compact_threshold_bytes;
+  auto store = std::make_unique<store::StateStore>(std::move(store_options));
+
+  store::SnapshotData recovered;
+  Result<store::RecoveryInfo> info = store->Recover(&recovered);
+  if (!info.ok()) {
+    // Surface, don't mask: a kDataLoss here means committed durable bytes
+    // are corrupt, and silently serving without them (or atop them) would
+    // be worse than refusing. The server still constructs — the caller
+    // decides whether a non-OK recovery_status() is fatal (osrs_serve
+    // exits) — but persistence stays off so nothing overwrites evidence.
+    recovery_status_ = info.status();
+    OSRS_LOG(slog::Level::kError, "serve", "state recovery failed",
+             {"state_dir", options_.state_dir},
+             {"detail", recovery_status_.ToString()});
+    return;
+  }
+  recovery_info_ = *info;
+  store_ = std::move(store);
+  // Recovered state overlays the constructor-supplied corpus: the caller
+  // passes the cold base corpus, the store holds every mutation that was
+  // committed on top of it before the crash/restart.
+  std::unordered_map<std::string, size_t> index;
+  for (size_t i = 0; i < initial_items->size(); ++i) {
+    index[(*initial_items)[i].id] = i;
+  }
+  for (Item& item : recovered.items) {
+    auto it = index.find(item.id);
+    if (it != index.end()) {
+      (*initial_items)[it->second] = std::move(item);
+    } else {
+      initial_items->push_back(std::move(item));
+    }
+  }
+  epoch_.Restore(recovered.epoch);
+  OSRS_LOG(slog::Level::kInfo, "serve", "state recovered",
+           {"state_dir", options_.state_dir},
+           {"generation", recovery_info_.generation},
+           {"snapshot_items", recovery_info_.snapshot_items},
+           {"journal_records", recovery_info_.journal_records_replayed},
+           {"truncated_tail_bytes", recovery_info_.truncated_tail_bytes},
+           {"epoch", recovery_info_.epoch});
+}
+
+store::SnapshotData SummaryServer::CaptureState() {
+  store::SnapshotData state;
+  {
+    MutexLock lock(items_mutex_);
+    state.items.reserve(items_.size());
+    for (const auto& [id, item] : items_) state.items.push_back(*item);
+  }
+  state.epoch = epoch_.value();
+  return state;
+}
+
+void SummaryServer::JournalMutation(const Item* item, uint64_t epoch_after) {
+  if (store_ == nullptr) return;
+  Status status = item != nullptr
+                      ? store_->AppendUpdateItem(*item, epoch_after)
+                      : store_->AppendBumpEpoch(epoch_after);
+  if (!status.ok()) {
+    OSRS_LOG(slog::Level::kWarn, "serve", "journal append failed",
+             {"code", StatusCodeToString(status.code())},
+             {"detail", status.message()});
+    ServeCounter("osrs.serve.journal_errors")->Increment();
+  }
+  // Compaction both bounds replay time (size threshold) and self-heals a
+  // poisoned journal: the fresh snapshot carries the full in-memory state,
+  // so the mutation that failed to journal above is durable after all.
+  if (store_->ShouldCompact()) {
+    Status compacted = store_->Compact(CaptureState());
+    if (!compacted.ok()) {
+      OSRS_LOG(slog::Level::kWarn, "serve", "journal compaction failed",
+               {"code", StatusCodeToString(compacted.code())},
+               {"detail", compacted.message()});
+      ServeCounter("osrs.serve.journal_errors")->Increment();
+    } else {
+      ServeCounter("osrs.serve.compactions")->Increment();
+    }
+  }
+}
+
 uint64_t SummaryServer::BumpEpoch() {
+  MutexLock mutation_lock(mutation_mutex_);
   uint64_t next = epoch_.Bump();
   {
     MutexLock lock(counters_mutex_);
     ++counters_.epoch_bumps;
   }
+  JournalMutation(nullptr, next);
   return next;
 }
 
 void SummaryServer::UpdateItem(Item item) {
+  MutexLock mutation_lock(mutation_mutex_);
+  auto snapshot = std::make_shared<const Item>(std::move(item));
   {
     MutexLock lock(items_mutex_);
-    std::string id = item.id;
-    items_[std::move(id)] = std::make_shared<const Item>(std::move(item));
+    items_[snapshot->id] = snapshot;
   }
-  BumpEpoch();
+  uint64_t next = epoch_.Bump();
+  {
+    MutexLock lock(counters_mutex_);
+    ++counters_.epoch_bumps;
+  }
+  JournalMutation(snapshot.get(), next);
+}
+
+Status SummaryServer::ForceSnapshot() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "persistence is disabled (no state_dir configured)");
+  }
+  MutexLock mutation_lock(mutation_mutex_);
+  OSRS_RETURN_IF_ERROR(store_->Compact(CaptureState()));
+  ServeCounter("osrs.serve.compactions")->Increment();
+  return Status::OK();
 }
 
 ServeResponse SummaryServer::Serve(const ServeRequest& request) {
@@ -233,12 +365,14 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
     return response;
   };
 
-  // A stopped server rejects everything, cache hits included — Stop()
-  // promises no request started after it observes server state.
+  // A stopped or draining server rejects everything, cache hits included —
+  // Stop() promises no request started after it observes server state, and
+  // Drain() promises the admitted set stops growing the moment it begins.
   {
     MutexLock lock(mutex_);
-    if (stopping_) {
-      return reject(Status::Unavailable("server is stopped"));
+    if (stopping_ || draining_) {
+      return reject(Status::Unavailable(
+          draining_ ? "server is draining" : "server is stopped"));
     }
   }
 
@@ -312,7 +446,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
   size_t admission_span = trace.BeginSpan(obs::RequestSpanKind::kAdmission);
   {
     ReleasableMutexLock lock(mutex_);
-    if (stopping_) {
+    if (stopping_ || draining_) {
       lock.Release();
       trace.EndSpan(admission_span);
       return reject(Status::Unavailable("server is stopping"));
@@ -415,7 +549,7 @@ ServeResponse SummaryServer::ServeImpl(const ServeRequest& request) {
   return response;
 }
 
-void SummaryServer::WorkerLoop() {
+void SummaryServer::WorkerLoop(int worker_index) {
   for (;;) {
     std::shared_ptr<Flight> flight;
     {
@@ -426,11 +560,51 @@ void SummaryServer::WorkerLoop() {
       queue_.pop_front();
       QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
     }
-    ProcessFlight(flight);
+    ProcessFlight(flight, worker_index);
   }
 }
 
-void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
+void SummaryServer::WatchdogLoop() {
+  // Fires at most once per (worker, solve generation): a genuinely wedged
+  // solve gets one cancellation and one log line, not one per poll.
+  std::vector<uint64_t> last_fired(worker_states_.size(), 0);
+  int64_t threshold_ns = static_cast<int64_t>(
+      options_.watchdog_stall_threshold_ms * 1e6);
+  for (;;) {
+    {
+      MutexLock lock(watchdog_mutex_);
+      if (watchdog_stop_) return;
+      watchdog_cv_.WaitForMs(watchdog_mutex_,
+                             std::max(options_.watchdog_poll_ms, 1.0));
+      if (watchdog_stop_) return;
+    }
+    int64_t now_ns = watchdog_clock_.ElapsedNanos();
+    for (size_t w = 0; w < worker_states_.size(); ++w) {
+      WorkerState& state = *worker_states_[w];
+      // Read the generation BEFORE the start time: if the worker moves to
+      // a new solve between the two reads, the stale generation makes the
+      // dedup check fail harmlessly rather than cancelling the new solve.
+      uint64_t generation = state.generation.load(std::memory_order_acquire);
+      int64_t start_ns = state.solve_start_ns.load(std::memory_order_acquire);
+      if (start_ns < 0 || generation == last_fired[w]) continue;
+      if (now_ns - start_ns < threshold_ns) continue;
+      last_fired[w] = generation;
+      state.cancel.Cancel();
+      {
+        MutexLock lock(counters_mutex_);
+        ++counters_.watchdog_stalls;
+      }
+      ServeCounter("osrs.serve.watchdog_stalls")->Increment();
+      OSRS_LOG(slog::Level::kWarn, "serve", "watchdog cancelled stalled solve",
+               {"worker", static_cast<uint64_t>(w)},
+               {"stalled_ms", static_cast<double>(now_ns - start_ns) * 1e-6},
+               {"threshold_ms", options_.watchdog_stall_threshold_ms});
+    }
+  }
+}
+
+void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight,
+                                  int worker_index) {
   double queue_ms = flight->queued.ElapsedMillis();
   QueueMsHistogram()->Observe(queue_ms);
   // The queue wait is only measurable now, so it enters the trace as an
@@ -490,11 +664,24 @@ void SummaryServer::ProcessFlight(const std::shared_ptr<Flight>& flight) {
   }
 
   InflightGauge()->Increment();
+  // Publish progress for the watchdog: bump the generation, then the
+  // start time (the watchdog reads them in the opposite order, so a torn
+  // pair fails its dedup check instead of cancelling the wrong solve),
+  // and thread this worker's CancellationFlag into the solve's budget.
+  WorkerState& worker_state = *worker_states_[static_cast<size_t>(
+      worker_index)];
+  worker_state.cancel.Reset();
+  ExecutionBudget budget = flight->budget;
+  budget.AddCancellation(&worker_state.cancel);
+  worker_state.generation.fetch_add(1, std::memory_order_acq_rel);
+  worker_state.solve_start_ns.store(watchdog_clock_.ElapsedNanos(),
+                                    std::memory_order_release);
   Stopwatch solve_watch;
   size_t solve_span = flight->trace.BeginSpan(obs::RequestSpanKind::kSolve);
   Result<ItemSummary> solved =
-      GuardedSolve(*item, flight->cache_key.k, flight->budget);
+      GuardedSolve(*item, flight->cache_key.k, budget);
   flight->trace.EndSpan(solve_span);
+  worker_state.solve_start_ns.store(-1, std::memory_order_release);
   double solve_ms = solve_watch.ElapsedMillis();
   InflightGauge()->Decrement();
   SolveMsHistogram()->Observe(solve_ms);
@@ -599,6 +786,7 @@ Result<ItemSummary> SummaryServer::GuardedSolve(const Item& item, int k,
 void SummaryServer::CompleteFlight(const std::shared_ptr<Flight>& flight,
                                    ServeResponse response) {
   int requests;
+  bool drained_empty;
   {
     // Remove from the coalescing map first: after this no request can
     // attach, so the request count is final.
@@ -606,7 +794,9 @@ void SummaryServer::CompleteFlight(const std::shared_ptr<Flight>& flight,
     auto it = flights_.find(flight->coalesce_key);
     if (it != flights_.end() && it->second == flight) flights_.erase(it);
     requests = flight->requests;
+    drained_empty = flights_.empty() && queue_.empty();
   }
+  if (drained_empty) drain_cv_.NotifyAll();
   {
     MutexLock lock(counters_mutex_);
     switch (response.outcome) {
@@ -693,6 +883,60 @@ void SummaryServer::Stop() {
   for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
+  {
+    MutexLock lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.NotifyAll();
+  if (watchdog_.joinable()) watchdog_.join();
+  // Final fsync of whatever the journal holds: Stop() is also the
+  // destructor's path, and mutations journaled under kInterval may still
+  // be inside the fsync window.
+  if (store_ != nullptr) {
+    Status status = store_->Close();
+    if (!status.ok()) {
+      OSRS_LOG(slog::Level::kWarn, "serve", "journal close failed",
+               {"detail", status.ToString()});
+    }
+  }
+}
+
+bool SummaryServer::Drain(double deadline_ms) {
+  if (deadline_ms <= 0.0) deadline_ms = options_.drain_deadline_ms;
+  {
+    MutexLock lock(mutex_);
+    // Stop admitting; workers keep consuming the queue. Idempotent: a
+    // second Drain just waits alongside the first.
+    draining_ = true;
+  }
+  bool drained;
+  {
+    Stopwatch waited;
+    MutexLock lock(mutex_);
+    while (!(flights_.empty() && queue_.empty())) {
+      double remaining_ms = deadline_ms - waited.ElapsedMillis();
+      if (remaining_ms <= 0.0) break;
+      drain_cv_.WaitForMs(mutex_, remaining_ms);
+    }
+    drained = flights_.empty() && queue_.empty();
+  }
+  if (!drained) {
+    OSRS_LOG(slog::Level::kWarn, "serve",
+             "drain deadline expired; shedding the remainder",
+             {"deadline_ms", deadline_ms});
+  }
+  // Stop() sheds whatever the deadline cut off (kUnavailable), joins the
+  // workers and the watchdog, and closes the journal. The final snapshot
+  // comes after, so it captures a fully quiesced state.
+  Stop();
+  if (store_ != nullptr) {
+    Status status = store_->Compact(CaptureState());
+    if (!status.ok()) {
+      OSRS_LOG(slog::Level::kWarn, "serve", "final drain snapshot failed",
+               {"detail", status.ToString()});
+    }
+  }
+  return drained;
 }
 
 ServerCounters SummaryServer::counters() const {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "api/review_summarizer.h"
+#include "common/execution_budget.h"
 #include "common/stopwatch.h"
 #include "common/sync.h"
 #include "core/model.h"
@@ -46,6 +47,7 @@
 #include "obs/request_trace.h"
 #include "ontology/ontology.h"
 #include "serve/summary_cache.h"
+#include "store/state_store.h"
 
 namespace osrs::serve {
 
@@ -84,6 +86,26 @@ struct ServeOptions {
   /// Requests whose total latency exceeds this emit their full span tree
   /// as one structured "slow request" log event; <= 0 disables.
   double slow_request_threshold_ms = 0.0;
+  /// Durability: directory for the snapshot + journal pair (see
+  /// store/state_store.h). Empty disables persistence entirely. The
+  /// directory must exist; construction recovers the committed state from
+  /// it before any worker starts.
+  std::string state_dir;
+  /// When a journal record counts as committed (store/journal.h).
+  store::FsyncPolicy fsync_policy = store::FsyncPolicy::kEveryRecord;
+  /// Max ms between journal fsyncs under FsyncPolicy::kInterval.
+  uint64_t fsync_interval_ms = 50;
+  /// Journal size that triggers automatic compaction into a fresh
+  /// snapshot; 0 disables size-based compaction.
+  uint64_t journal_compact_threshold_bytes = 8ull << 20;
+  /// Default deadline for Drain() when the caller passes <= 0.
+  double drain_deadline_ms = 5000.0;
+  /// Watchdog: a solve running longer than this is cancelled through its
+  /// worker's CancellationFlag (the solver returns its degraded incumbent
+  /// or kCancelled); <= 0 disables the watchdog thread.
+  double watchdog_stall_threshold_ms = 0.0;
+  /// How often the watchdog samples worker progress.
+  double watchdog_poll_ms = 20.0;
 };
 
 /// One summary request. The item must have been loaded into the server.
@@ -152,6 +174,7 @@ struct ServerCounters {
   int64_t cache_hits = 0;  // exact-epoch hits
   int64_t degraded = 0;    // responses with degraded == true
   int64_t epoch_bumps = 0;
+  int64_t watchdog_stalls = 0;  // solves cancelled by the stall watchdog
 
   std::string ToJson() const;
 };
@@ -178,18 +201,49 @@ class SummaryServer {
 
   /// Invalidates every cached summary by advancing the corpus epoch —
   /// O(1), no cache traversal. In-flight solves complete under the epoch
-  /// they started with and cache as already-stale entries.
-  uint64_t BumpEpoch() OSRS_EXCLUDES(counters_mutex_);
+  /// they started with and cache as already-stale entries. With
+  /// persistence on, the bump is journaled before this returns.
+  uint64_t BumpEpoch()
+      OSRS_EXCLUDES(mutation_mutex_, items_mutex_, counters_mutex_);
   uint64_t epoch() const { return epoch_.value(); }
 
   /// Replaces (or adds) one item and bumps the epoch — the minimal
   /// "reviews arrived" mutation the future incremental engine will do
-  /// in-place.
-  void UpdateItem(Item item) OSRS_EXCLUDES(items_mutex_, counters_mutex_);
+  /// in-place. With persistence on, the mutation is journaled (committed
+  /// per the fsync policy) before this returns.
+  void UpdateItem(Item item)
+      OSRS_EXCLUDES(mutation_mutex_, items_mutex_, counters_mutex_);
 
   /// Stops accepting requests, fails whatever is still queued with
-  /// kUnavailable, and joins the workers. Idempotent.
-  void Stop() OSRS_EXCLUDES(mutex_, counters_mutex_);
+  /// kUnavailable, and joins the workers (watchdog included). Idempotent.
+  void Stop() OSRS_EXCLUDES(mutex_, counters_mutex_, watchdog_mutex_);
+
+  /// Graceful drain: stops admitting new requests, waits for every
+  /// admitted flight to complete (up to `deadline_ms`; <= 0 uses
+  /// ServeOptions::drain_deadline_ms), then stops the workers — shedding
+  /// with kUnavailable whatever the deadline cut off — and writes a final
+  /// snapshot when persistence is on. Returns true when everything
+  /// admitted completed within the deadline. Idempotent; safe to race
+  /// with Stop().
+  bool Drain(double deadline_ms = 0.0)
+      OSRS_EXCLUDES(mutex_, items_mutex_, counters_mutex_, mutation_mutex_,
+                    watchdog_mutex_);
+
+  /// Compacts the journal into a fresh snapshot of the current state now
+  /// (the osrs_serve `snapshot` verb). kFailedPrecondition when
+  /// persistence is disabled.
+  Status ForceSnapshot()
+      OSRS_EXCLUDES(mutex_, items_mutex_, mutation_mutex_);
+
+  /// OK when persistence is off or recovery succeeded; the recovery
+  /// failure (kDataLoss for corrupt durable state) otherwise. A server
+  /// with a failed recovery starts empty and does not persist — callers
+  /// that care (osrs_serve does) must check before serving traffic.
+  const Status& recovery_status() const { return recovery_status_; }
+  /// What startup recovery found (valid when recovery_status() is OK and
+  /// persistence is on).
+  const store::RecoveryInfo& recovery_info() const { return recovery_info_; }
+  bool persistence_enabled() const { return store_ != nullptr; }
 
   ServerCounters counters() const OSRS_EXCLUDES(counters_mutex_);
   /// The most recent completed request traces, oldest first (bounded by
@@ -208,13 +262,36 @@ class SummaryServer {
  private:
   struct Flight;
 
+  /// Per-worker progress the watchdog samples. The solve start time is a
+  /// nanosecond offset on the shared watchdog clock (-1 = idle);
+  /// `generation` increments per solve so the watchdog fires at most once
+  /// per stalled solve. Atomics, not a mutex: the watchdog must read
+  /// while the worker is wedged inside a solve.
+  struct WorkerState {
+    std::atomic<int64_t> solve_start_ns{-1};
+    std::atomic<uint64_t> generation{0};
+    CancellationFlag cancel;
+  };
+
   static int ResolveWorkerCount(int requested);
 
   ServeResponse ServeImpl(const ServeRequest& request)
       OSRS_EXCLUDES(mutex_, items_mutex_, counters_mutex_, cost_mutex_);
-  void WorkerLoop() OSRS_EXCLUDES(mutex_);
-  void ProcessFlight(const std::shared_ptr<Flight>& flight)
+  void WorkerLoop(int worker_index) OSRS_EXCLUDES(mutex_);
+  void ProcessFlight(const std::shared_ptr<Flight>& flight, int worker_index)
       OSRS_EXCLUDES(mutex_, items_mutex_, counters_mutex_, cost_mutex_);
+  void WatchdogLoop() OSRS_EXCLUDES(watchdog_mutex_, counters_mutex_);
+  /// Recovers committed state from options_.state_dir into items_/epoch_
+  /// (overlaying `initial_items`) and persists the merged initial state.
+  void RecoverState(std::vector<Item>* initial_items)
+      OSRS_EXCLUDES(items_mutex_);
+  /// Snapshot of the current corpus (items + epoch) for compaction.
+  store::SnapshotData CaptureState() OSRS_EXCLUDES(items_mutex_);
+  /// Journals one mutation and auto-compacts when due; never fails the
+  /// in-memory mutation — persistence trouble is logged and the journal
+  /// self-heals through compaction on the next mutation.
+  void JournalMutation(const Item* item, uint64_t epoch_after)
+      OSRS_REQUIRES(mutation_mutex_) OSRS_EXCLUDES(items_mutex_);
   /// Removes the flight from the coalescing map, applies per-request
   /// accounting (once per attached request), fills the flight's response,
   /// and wakes every waiter.
@@ -245,6 +322,17 @@ class SummaryServer {
   CorpusEpoch epoch_;
   SummaryCache cache_;
 
+  /// Serializes corpus mutations with their journal appends so the
+  /// journal's record order matches epoch order exactly (replay must
+  /// reproduce the same final state).
+  mutable Mutex mutation_mutex_;
+  /// Null when persistence is off (no --state-dir) or recovery failed.
+  /// Set once during construction, so the pointer itself is read without
+  /// a lock; the StateStore serializes its own internals.
+  std::unique_ptr<store::StateStore> store_;
+  Status recovery_status_;
+  store::RecoveryInfo recovery_info_;
+
   /// Queue + coalescing state under one mutex. workers_ lives here too:
   /// Stop() swaps the thread vector out under the lock so two concurrent
   /// Stop() calls (or Stop racing the destructor) cannot both join —
@@ -255,8 +343,24 @@ class SummaryServer {
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
       OSRS_GUARDED_BY(mutex_);
   bool stopping_ OSRS_GUARDED_BY(mutex_) = false;
+  /// Drain mode: admission rejects (kUnavailable) but workers keep
+  /// draining the queue, unlike stopping_ which also stops the workers.
+  bool draining_ OSRS_GUARDED_BY(mutex_) = false;
+  /// Notified whenever flights_ empties (a flight completed); Drain waits
+  /// on it under mutex_.
+  CondVar drain_cv_;
   /// Per-worker ReviewSummarizer instances live in WorkerLoop.
   std::vector<std::thread> workers_ OSRS_GUARDED_BY(mutex_);
+
+  /// Stall watchdog. The states vector is sized at construction and never
+  /// resized, so workers and the watchdog index it without a lock; the
+  /// mutex exists only for the watchdog's interruptible sleep.
+  Stopwatch watchdog_clock_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+  mutable Mutex watchdog_mutex_;
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ OSRS_GUARDED_BY(watchdog_mutex_) = false;
+  std::thread watchdog_;
 
   /// Solve-cost estimate feeding admission and shedding. Kept as a plain
   /// snapshot under its own mutex so the policy works even when the

@@ -1,0 +1,161 @@
+#include "store/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+#include "fault/failpoint.h"
+
+namespace osrs::store {
+namespace {
+
+std::string ErrnoDetail() {
+  int saved = errno;
+  return StrFormat("%s (errno %d)", std::strerror(saved), saved);
+}
+
+std::string ParentDirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Writes `contents` to the open file in bounded chunks, evaluating the
+/// osrs.store.write failpoint before each chunk — an injection mid-payload
+/// leaves a genuinely torn file, the same artifact a crash leaves.
+Status WriteChunked(std::FILE* file, const std::string& path,
+                    std::string_view contents) {
+  constexpr size_t kChunk = 1 << 18;  // 256 KiB
+  size_t offset = 0;
+  do {
+    OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.store.write"));
+    size_t n = std::min(kChunk, contents.size() - offset);
+    errno = 0;
+    if (std::fwrite(contents.data() + offset, 1, n, file) != n) {
+      return Status::Unavailable(StrFormat("short write to '%s': %s",
+                                           path.c_str(),
+                                           ErrnoDetail().c_str()));
+    }
+    offset += n;
+  } while (offset < contents.size());
+  return Status::OK();
+}
+
+Status FsyncFile(std::FILE* file, const std::string& path) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.store.fsync"));
+  errno = 0;
+  if (std::fflush(file) != 0 || ::fsync(::fileno(file)) != 0) {
+    return Status::Unavailable(StrFormat("fsync '%s' failed: %s",
+                                         path.c_str(),
+                                         ErrnoDetail().c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncParentDir(const std::string& path) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.store.fsync"));
+  std::string dir = ParentDirOf(path);
+  errno = 0;
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Unavailable(StrFormat("open dir '%s' failed: %s",
+                                         dir.c_str(), ErrnoDetail().c_str()));
+  }
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Status::Unavailable(StrFormat("fsync dir '%s' failed: %s",
+                                         dir.c_str(), ErrnoDetail().c_str()));
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       WriteStage* stage_out) {
+  if (stage_out != nullptr) *stage_out = WriteStage::kNone;
+  std::string tmp = path + ".tmp";
+  errno = 0;
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Unavailable(StrFormat("cannot open '%s' for writing: %s",
+                                         tmp.c_str(), ErrnoDetail().c_str()));
+  }
+  Status status = WriteChunked(file, tmp, contents);
+  if (status.ok()) status = FsyncFile(file, tmp);
+  std::fclose(file);
+  if (status.ok()) {
+    status = OSRS_FAILPOINT("osrs.store.rename");
+    if (status.ok()) {
+      errno = 0;
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        status = Status::Unavailable(StrFormat("rename '%s' -> '%s': %s",
+                                               tmp.c_str(), path.c_str(),
+                                               ErrnoDetail().c_str()));
+      }
+    }
+  }
+  if (!status.ok()) {
+    // The attempt never made the new contents visible; removing the temp
+    // restores the exact pre-call state. (A real crash would leave the
+    // temp behind — readers ignore *.tmp, so both worlds look identical.)
+    (void)std::remove(tmp.c_str());
+    return status;
+  }
+  if (stage_out != nullptr) *stage_out = WriteStage::kRenamed;
+  // The rename is visible; making the directory entry durable is the last
+  // step. A failure here is the one ambiguous stage (new file present but
+  // possibly not crash-durable) — stage_out lets callers poison
+  // themselves rather than continue against an uncertain generation.
+  OSRS_RETURN_IF_ERROR(SyncParentDir(path));
+  if (stage_out != nullptr) *stage_out = WriteStage::kDurable;
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.store.read"));
+  errno = 0;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrFormat("cannot open '%s': %s", path.c_str(),
+                                        ErrnoDetail().c_str()));
+    }
+    return Status::Unavailable(StrFormat("cannot open '%s': %s", path.c_str(),
+                                         ErrnoDetail().c_str()));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t got;
+  errno = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, got);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::Unavailable(StrFormat("read error on '%s': %s",
+                                         path.c_str(), ErrnoDetail().c_str()));
+  }
+  return contents;
+}
+
+Status RemoveFile(const std::string& path) {
+  errno = 0;
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Unavailable(StrFormat("remove '%s' failed: %s",
+                                         path.c_str(), ErrnoDetail().c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace osrs::store

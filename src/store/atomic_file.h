@@ -1,0 +1,68 @@
+#ifndef OSRS_STORE_ATOMIC_FILE_H_
+#define OSRS_STORE_ATOMIC_FILE_H_
+
+// Atomic durable file replacement — the one primitive every durable
+// artifact in the tree goes through (snapshots, the corpus text format,
+// metrics exports). The contract: after AtomicWriteFile returns OK the
+// file at `path` contains exactly `contents` and survives a crash; after
+// it returns an error the previous file (or absence of one) is still
+// observable and no partial write ever is. Achieved the standard way:
+//
+//   write <path>.tmp  ->  fsync(tmp)  ->  rename(tmp, path)  ->  fsync(dir)
+//
+// rename(2) is atomic on POSIX filesystems, so a crash at any instant
+// leaves either the old file or the new one, never a blend. The
+// kill-point chaos suite drives every stage through the failpoints
+//
+//   osrs.store.write   evaluated per write chunk (a mid-payload failure
+//                      leaves a partial temp file — exactly what a crash
+//                      mid-write leaves — which readers never look at)
+//   osrs.store.fsync   before each fsync (temp file and directory)
+//   osrs.store.rename  before the rename
+//
+// and recovery must come out bit-exact (tests/store_recovery_test.cpp).
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace osrs::store {
+
+/// Stage reached by an AtomicWriteFile attempt — what a caller that must
+/// reason about crash-ambiguity needs to know. Everything before kRenamed
+/// is clean (the old file is intact); a failure at or after kRenamed means
+/// the new contents are visible but their directory entry may not be
+/// durable yet.
+enum class WriteStage {
+  kNone,     // nothing observable happened
+  kRenamed,  // new contents visible; dir entry possibly not yet durable
+  kDurable,  // fully durable
+};
+
+/// Atomically replaces `path` with `contents` (temp + fsync + rename +
+/// directory fsync). On failure the temp file is removed when possible and
+/// `stage_out` (optional) reports how far the attempt got. I/O failures
+/// are kUnavailable with errno context; injected failpoint statuses pass
+/// through as-is.
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       WriteStage* stage_out = nullptr);
+
+/// Reads the whole file, mirroring corpus_io::ReadTextFile's failure
+/// contract (missing file = kNotFound, everything else kUnavailable) but
+/// honoring the durability layer's own `osrs.store.read` failpoint so
+/// chaos schedules can hit recovery reads without also failing unrelated
+/// corpus traffic.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// fsyncs the directory containing `path` so a created/renamed/unlinked
+/// entry is durable. Evaluates the `osrs.store.fsync` failpoint.
+Status SyncParentDir(const std::string& path);
+
+/// Removes `path`, ignoring a missing file. Used by compaction to drop
+/// superseded snapshot/journal generations.
+Status RemoveFile(const std::string& path);
+
+}  // namespace osrs::store
+
+#endif  // OSRS_STORE_ATOMIC_FILE_H_

@@ -1,0 +1,308 @@
+#include "store/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/strings.h"
+#include "fault/failpoint.h"
+#include "store/atomic_file.h"
+#include "store/wire.h"
+
+namespace osrs::store {
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+// Frames large enough to be absurd are treated as corruption rather than
+// attempted as allocations. The largest legitimate payload is one encoded
+// Item; 1 GiB is orders of magnitude past anything the corpus produces.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+std::string ErrnoDetail() {
+  int saved = errno;
+  return StrFormat("%s (errno %d)", std::strerror(saved), saved);
+}
+
+uint64_t MonotonicMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status Corrupt(const std::string& origin, uint64_t offset,
+               const std::string& what) {
+  return Status::DataLoss(StrFormat("journal '%s' at offset %llu: %s",
+                                    origin.c_str(),
+                                    static_cast<unsigned long long>(offset),
+                                    what.c_str()));
+}
+
+}  // namespace
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "always") return FsyncPolicy::kEveryRecord;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  if (name == "never") return FsyncPolicy::kNever;
+  return Status::InvalidArgument(StrFormat(
+      "unknown fsync policy '%s' (want always|interval|never)", name.c_str()));
+}
+
+std::string EncodeUpdateItemPayload(const Item& item, uint64_t epoch_after) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(JournalRecordType::kUpdateItem));
+  w.PutU64(epoch_after);
+  EncodeItem(item, &w);
+  return w.Take();
+}
+
+std::string EncodeBumpEpochPayload(uint64_t epoch_after) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(JournalRecordType::kBumpEpoch));
+  w.PutU64(epoch_after);
+  return w.Take();
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status JournalWriter::Open(const std::string& path, uint64_t existing_bytes) {
+  OSRS_CHECK_MSG(file_ == nullptr, "JournalWriter::Open while already open");
+  // "ab" appends at EOF; replay already validated `existing_bytes`, and a
+  // torn tail beyond it must be cut off before appending or the torn bytes
+  // would corrupt the interior of the file.
+  errno = 0;
+  std::FILE* probe = std::fopen(path.c_str(), "ab");
+  if (probe == nullptr) {
+    return Status::Unavailable(StrFormat("cannot open journal '%s': %s",
+                                         path.c_str(), ErrnoDetail().c_str()));
+  }
+  std::fclose(probe);
+  errno = 0;
+  if (::truncate(path.c_str(), static_cast<off_t>(existing_bytes)) != 0) {
+    return Status::Unavailable(StrFormat("truncate journal '%s' to %llu: %s",
+                                         path.c_str(),
+                                         static_cast<unsigned long long>(
+                                             existing_bytes),
+                                         ErrnoDetail().c_str()));
+  }
+  errno = 0;
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Unavailable(StrFormat("cannot open journal '%s': %s",
+                                         path.c_str(), ErrnoDetail().c_str()));
+  }
+  path_ = path;
+  bytes_written_ = existing_bytes;
+  poisoned_ = false;
+  last_sync_ms_ = MonotonicMs();
+  return Status::OK();
+}
+
+Status JournalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status status = Status::OK();
+  if (!poisoned_ && policy_ != FsyncPolicy::kNever) status = Sync();
+  std::fclose(file_);
+  file_ = nullptr;
+  return status;
+}
+
+Status JournalWriter::AppendUpdateItem(const Item& item,
+                                       uint64_t epoch_after) {
+  return AppendRecord(EncodeUpdateItemPayload(item, epoch_after));
+}
+
+Status JournalWriter::AppendBumpEpoch(uint64_t epoch_after) {
+  return AppendRecord(EncodeBumpEpochPayload(epoch_after));
+}
+
+Status JournalWriter::AppendRecord(const std::string& payload) {
+  if (poisoned_) {
+    return Status::DataLoss(StrFormat(
+        "journal '%s' is poisoned by an earlier torn write; compact to a "
+        "fresh generation before appending",
+        path_.c_str()));
+  }
+  OSRS_CHECK_MSG(file_ != nullptr, "AppendRecord on closed journal");
+
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32c(payload.data(), payload.size()));
+  std::string header = frame.Take();
+
+  // The write failpoint sits BETWEEN header and payload: an injection
+  // leaves a genuinely torn record on disk — the same artifact a crash
+  // mid-append leaves — which replay must drop as an uncommitted tail.
+  errno = 0;
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    poisoned_ = true;
+    return Status::Unavailable(StrFormat("journal '%s' header write: %s",
+                                         path_.c_str(),
+                                         ErrnoDetail().c_str()));
+  }
+  Status injected = OSRS_FAILPOINT("osrs.store.write");
+  if (!injected.ok()) {
+    // Flush the torn header so the on-disk file really is torn (a crash
+    // would not have left it buffered in userspace), then poison.
+    (void)std::fflush(file_);
+    poisoned_ = true;
+    return injected;
+  }
+  errno = 0;
+  if (std::fwrite(payload.data(), 1, payload.size(), file_) !=
+      payload.size()) {
+    (void)std::fflush(file_);
+    poisoned_ = true;
+    return Status::Unavailable(StrFormat("journal '%s' payload write: %s",
+                                         path_.c_str(),
+                                         ErrnoDetail().c_str()));
+  }
+
+  uint64_t record_bytes = header.size() + payload.size();
+  Status sync_status = MaybeSync();
+  if (!sync_status.ok()) {
+    // The record reached the OS but its durability is unknown. Undo it —
+    // truncate back to the pre-record offset — so the committed prefix and
+    // the on-disk bytes agree exactly. Only if the undo itself fails is
+    // the writer left poisoned.
+    (void)std::fflush(file_);
+    errno = 0;
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(bytes_written_)) !=
+            0 ||
+        std::fseek(file_, 0, SEEK_END) != 0) {
+      poisoned_ = true;
+    }
+    return sync_status;
+  }
+  bytes_written_ += record_bytes;
+  return Status::OK();
+}
+
+Status JournalWriter::MaybeSync() {
+  switch (policy_) {
+    case FsyncPolicy::kEveryRecord:
+      return Sync();
+    case FsyncPolicy::kInterval: {
+      uint64_t now = MonotonicMs();
+      if (now - last_sync_ms_ >= fsync_interval_ms_) return Sync();
+      // Still flush to the OS so a process crash (not machine crash)
+      // loses nothing; only the fsync is deferred.
+      errno = 0;
+      if (std::fflush(file_) != 0) {
+        return Status::Unavailable(StrFormat("journal '%s' flush: %s",
+                                             path_.c_str(),
+                                             ErrnoDetail().c_str()));
+      }
+      return Status::OK();
+    }
+    case FsyncPolicy::kNever:
+      errno = 0;
+      if (std::fflush(file_) != 0) {
+        return Status::Unavailable(StrFormat("journal '%s' flush: %s",
+                                             path_.c_str(),
+                                             ErrnoDetail().c_str()));
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  OSRS_CHECK_MSG(file_ != nullptr, "Sync on closed journal");
+  OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.store.fsync"));
+  errno = 0;
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::Unavailable(StrFormat("journal '%s' fsync: %s",
+                                         path_.c_str(),
+                                         ErrnoDetail().c_str()));
+  }
+  last_sync_ms_ = MonotonicMs();
+  return Status::OK();
+}
+
+Result<ReplayResult> ReplayJournalBytes(const std::string& bytes,
+                                        const std::string& origin) {
+  ReplayResult result;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    size_t record_start = off;
+    size_t avail = bytes.size() - off;
+    // Any defect in the FINAL record is a torn tail from a crash
+    // mid-append — truncate, don't fail. The same defect with more bytes
+    // after it means committed interior bytes are wrong — kDataLoss.
+    if (avail < kFrameHeaderBytes) {
+      result.truncated_tail_bytes = avail;
+      break;
+    }
+    uint32_t payload_len = 0, payload_crc = 0;
+    {
+      ByteReader header(std::string_view(bytes.data() + off, 8));
+      header.GetU32(&payload_len);
+      header.GetU32(&payload_crc);
+    }
+    if (payload_len > kMaxPayloadBytes) {
+      return Corrupt(origin, record_start, "implausible record length");
+    }
+    if (avail - kFrameHeaderBytes < payload_len) {
+      result.truncated_tail_bytes = avail;
+      break;
+    }
+    std::string_view payload(bytes.data() + off + kFrameHeaderBytes,
+                             payload_len);
+    if (Crc32c(payload.data(), payload.size()) != payload_crc) {
+      if (off + kFrameHeaderBytes + payload_len == bytes.size()) {
+        result.truncated_tail_bytes = avail;
+        break;
+      }
+      return Corrupt(origin, record_start, "record checksum mismatch");
+    }
+    OSRS_RETURN_IF_ERROR(OSRS_FAILPOINT("osrs.store.replay"));
+
+    ByteReader r(payload);
+    uint8_t raw_type = 0;
+    uint64_t epoch_after = 0;
+    if (!r.GetU8(&raw_type) || !r.GetU64(&epoch_after)) {
+      return Corrupt(origin, record_start, "short record payload");
+    }
+    JournalRecord record;
+    record.epoch_after = epoch_after;
+    switch (static_cast<JournalRecordType>(raw_type)) {
+      case JournalRecordType::kUpdateItem:
+        record.type = JournalRecordType::kUpdateItem;
+        if (!DecodeItem(&r, &record.item) || r.remaining() != 0) {
+          return Corrupt(origin, record_start, "malformed UpdateItem record");
+        }
+        break;
+      case JournalRecordType::kBumpEpoch:
+        record.type = JournalRecordType::kBumpEpoch;
+        if (r.remaining() != 0) {
+          return Corrupt(origin, record_start, "malformed BumpEpoch record");
+        }
+        break;
+      default:
+        return Corrupt(
+            origin, record_start,
+            StrFormat("unknown record type %u", unsigned{raw_type}));
+    }
+    result.records.push_back(std::move(record));
+    off += kFrameHeaderBytes + payload_len;
+  }
+  result.valid_bytes = off;
+  return result;
+}
+
+Result<ReplayResult> ReplayJournal(const std::string& path) {
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return ReplayJournalBytes(*bytes, path);
+}
+
+}  // namespace osrs::store

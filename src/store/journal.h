@@ -1,0 +1,136 @@
+#ifndef OSRS_STORE_JOURNAL_H_
+#define OSRS_STORE_JOURNAL_H_
+
+// Append-only epoch-mutation journal. Between snapshots, every corpus
+// mutation (item upsert, epoch bump) appends one CRC-framed record; on
+// startup the journal is replayed atop the newest valid snapshot to
+// reconstruct the committed state. Record framing (little-endian):
+//
+//   u32 payload_len | u32 payload_crc (CRC32C) | payload bytes
+//   payload: u8 type | u64 epoch_after | type-specific body
+//     type 1 (kUpdateItem): wire::EncodeItem bytes
+//     type 2 (kBumpEpoch):  empty body
+//
+// Crash semantics, the whole point of the framing:
+//   - A record is COMMITTED only once Append returns OK. A torn tail
+//     (partial final record — short header, short payload, or CRC
+//     mismatch at the very end) is what a crash mid-append leaves; replay
+//     silently truncates it, never fails. Corruption BEFORE the final
+//     record means bytes that were committed are now wrong → kDataLoss.
+//   - On a failed append the writer poisons itself: a torn write leaves
+//     bytes whose length we no longer trust, so continuing to append
+//     would corrupt the interior of the file. The owner must recover
+//     (compact to a fresh snapshot) before journaling again.
+//   - On an fsync failure the writer ftruncates back to the pre-record
+//     offset before reporting the error, so the committed prefix and the
+//     on-disk bytes agree exactly even in the failure path. If even the
+//     truncate fails the writer poisons itself as above.
+//
+// Fsync policy trades durability window against throughput:
+//   kEveryRecord  fsync before Append returns — zero-loss, slowest
+//   kInterval     fsync when `fsync_interval_ms` has elapsed since the
+//                 last one — bounded loss window, near-zero overhead
+//   kNever        leave it to the OS — benchmarks and tests only
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace osrs::store {
+
+enum class FsyncPolicy {
+  kEveryRecord,
+  kInterval,
+  kNever,
+};
+
+/// Parses "always" / "interval" / "never" (the --fsync-policy flag values).
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+
+enum class JournalRecordType : uint8_t {
+  kUpdateItem = 1,
+  kBumpEpoch = 2,
+};
+
+/// One replayed mutation. `item` is meaningful only for kUpdateItem.
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kBumpEpoch;
+  uint64_t epoch_after = 0;
+  Item item;
+};
+
+/// What a replay found. `truncated_tail_bytes` > 0 means a torn final
+/// record was dropped (normal after a crash, worth logging, not an error).
+struct ReplayResult {
+  std::vector<JournalRecord> records;
+  uint64_t truncated_tail_bytes = 0;
+  uint64_t valid_bytes = 0;
+};
+
+/// Appends CRC-framed mutation records to one journal file. Not
+/// thread-safe; the owner (StateStore) serializes appends.
+class JournalWriter {
+ public:
+  JournalWriter(FsyncPolicy policy, uint64_t fsync_interval_ms)
+      : policy_(policy), fsync_interval_ms_(fsync_interval_ms) {}
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens `path` for appending, creating it if absent. `existing_bytes`
+  /// is the validated length from replay — appends continue from there.
+  Status Open(const std::string& path, uint64_t existing_bytes);
+
+  /// Closes the current file (final fsync under kInterval) if open.
+  Status Close();
+
+  Status AppendUpdateItem(const Item& item, uint64_t epoch_after);
+  Status AppendBumpEpoch(uint64_t epoch_after);
+
+  /// Forces an fsync now regardless of policy (used before snapshots).
+  Status Sync();
+
+  /// True once a torn write or failed truncate-undo made further appends
+  /// unsafe. The owner must compact to a fresh generation to clear it.
+  bool poisoned() const { return poisoned_; }
+  bool open() const { return file_ != nullptr; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Status AppendRecord(const std::string& payload);
+  Status MaybeSync();
+
+  FsyncPolicy policy_;
+  uint64_t fsync_interval_ms_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+  bool poisoned_ = false;
+  // Monotonic ms timestamp of the last fsync, for kInterval.
+  uint64_t last_sync_ms_ = 0;
+};
+
+/// Builds the framed payload for an UpdateItem/BumpEpoch record —
+/// exposed so tests can craft exact byte sequences.
+std::string EncodeUpdateItemPayload(const Item& item, uint64_t epoch_after);
+std::string EncodeBumpEpochPayload(uint64_t epoch_after);
+
+/// Replays `bytes` (an entire journal file). Evaluates the
+/// `osrs.store.replay` failpoint once per record. Torn tails truncate;
+/// interior corruption returns kDataLoss.
+Result<ReplayResult> ReplayJournalBytes(const std::string& bytes,
+                                        const std::string& origin);
+
+/// Reads `path` and replays it. kNotFound passes through for a missing
+/// file (a fresh directory has no journal yet).
+Result<ReplayResult> ReplayJournal(const std::string& path);
+
+}  // namespace osrs::store
+
+#endif  // OSRS_STORE_JOURNAL_H_

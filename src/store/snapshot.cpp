@@ -1,0 +1,161 @@
+#include "store/snapshot.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "common/crc32c.h"
+#include "common/strings.h"
+#include "store/atomic_file.h"
+#include "store/wire.h"
+
+namespace osrs::store {
+namespace {
+
+constexpr std::string_view kMagic = "OSRSSNP1";
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kSectionItems = 1;
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8;  // magic, version, n, epoch
+constexpr size_t kSectionHeaderBytes = 4 + 4 + 8;  // type, crc, len
+
+Status Corrupt(const std::string& origin, const std::string& what) {
+  return Status::DataLoss(
+      StrFormat("snapshot '%s': %s", origin.c_str(), what.c_str()));
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+Status ParseItemsSection(std::string_view payload, const std::string& origin,
+                         std::vector<Item>* items) {
+  ByteReader section(payload);
+  uint64_t count = 0;
+  if (!section.GetU64(&count)) return Corrupt(origin, "truncated item count");
+  // Each item encodes to >= 8 bytes (id length + review count), so a
+  // larger count cannot fit the remaining payload.
+  if (count > section.remaining() / 8 + 1) {
+    return Corrupt(origin, "implausible item count");
+  }
+  items->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Item item;
+    if (!DecodeItem(&section, &item)) {
+      return Corrupt(origin, "malformed item record");
+    }
+    items->push_back(std::move(item));
+  }
+  if (section.remaining() != 0) {
+    return Corrupt(origin, "trailing bytes in items section");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SnapshotWriter::Serialize(const SnapshotData& data) {
+  // Canonical item order so equal states serialize to equal bytes.
+  std::vector<const Item*> ordered;
+  ordered.reserve(data.items.size());
+  for (const Item& item : data.items) ordered.push_back(&item);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Item* a, const Item* b) { return a->id < b->id; });
+
+  ByteWriter items_section;
+  items_section.PutU64(ordered.size());
+  for (const Item* item : ordered) EncodeItem(*item, &items_section);
+  std::string items_payload = items_section.Take();
+
+  // The magic goes in raw (no length prefix) so the header has fixed
+  // offsets; its CRC covers everything before the crc field itself.
+  ByteWriter out;
+  for (char c : kMagic) out.PutU8(static_cast<uint8_t>(c));
+  out.PutU32(kVersion);
+  out.PutU32(1);  // num_sections
+  out.PutU64(data.epoch);
+  out.PutU32(Crc32c(out.bytes().data(), out.bytes().size()));
+
+  out.PutU32(kSectionItems);
+  out.PutU32(Crc32c(items_payload.data(), items_payload.size()));
+  out.PutU64(items_payload.size());
+  std::string result = out.Take();
+  result += items_payload;
+  return result;
+}
+
+Status SnapshotWriter::Write(const std::string& path,
+                             const SnapshotData& data) const {
+  return AtomicWriteFile(path, Serialize(data));
+}
+
+Result<SnapshotData> SnapshotReader::Parse(const std::string& bytes,
+                                           const std::string& origin) {
+  if (bytes.size() < kHeaderBytes + 4) {
+    return Corrupt(origin, "truncated header");
+  }
+  if (std::string_view(bytes.data(), kMagic.size()) != kMagic) {
+    return Corrupt(origin, "bad magic");
+  }
+  uint32_t version = LoadU32(bytes.data() + 8);
+  uint32_t num_sections = LoadU32(bytes.data() + 12);
+  uint64_t epoch = LoadU64(bytes.data() + 16);
+  uint32_t header_crc = LoadU32(bytes.data() + kHeaderBytes);
+  if (Crc32c(bytes.data(), kHeaderBytes) != header_crc) {
+    return Corrupt(origin, "header checksum mismatch");
+  }
+  if (version != kVersion) {
+    return Corrupt(origin, StrFormat("unsupported version %u", version));
+  }
+
+  SnapshotData data;
+  data.epoch = epoch;
+  bool saw_items = false;
+  size_t off = kHeaderBytes + 4;
+  for (uint32_t s = 0; s < num_sections; ++s) {
+    if (bytes.size() - off < kSectionHeaderBytes) {
+      return Corrupt(origin, "truncated section header");
+    }
+    uint32_t type = LoadU32(bytes.data() + off);
+    uint32_t payload_crc = LoadU32(bytes.data() + off + 4);
+    uint64_t payload_len = LoadU64(bytes.data() + off + 8);
+    off += kSectionHeaderBytes;
+    if (payload_len > bytes.size() - off) {
+      return Corrupt(origin, "truncated section payload");
+    }
+    std::string_view payload(bytes.data() + off, payload_len);
+    off += payload_len;
+    if (Crc32c(payload.data(), payload.size()) != payload_crc) {
+      return Corrupt(origin,
+                     StrFormat("section %u checksum mismatch", type));
+    }
+    if (type == kSectionItems) {
+      if (saw_items) return Corrupt(origin, "duplicate items section");
+      saw_items = true;
+      OSRS_RETURN_IF_ERROR(ParseItemsSection(payload, origin, &data.items));
+    }
+    // Unknown section types are skipped (their checksum already verified)
+    // so a future writer can append sections without breaking this reader.
+  }
+  if (off != bytes.size()) return Corrupt(origin, "trailing bytes");
+  if (!saw_items) return Corrupt(origin, "missing items section");
+  return data;
+}
+
+Result<SnapshotData> SnapshotReader::Read(const std::string& path) const {
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return Parse(*bytes, path);
+}
+
+}  // namespace osrs::store

@@ -1,0 +1,68 @@
+#ifndef OSRS_STORE_SNAPSHOT_H_
+#define OSRS_STORE_SNAPSHOT_H_
+
+// Atomic checksummed snapshots of the served corpus state. A snapshot is
+// the full (items, epoch) state at one instant, written through the
+// atomic-file primitive so it is either fully present or absent — never
+// torn. The on-disk layout (all integers little-endian):
+//
+//   header  "OSRSSNP1" | u32 version | u32 num_sections | u64 epoch
+//           | u32 header_crc                      (CRC32C of the 24 bytes)
+//   section u32 type | u32 payload_crc | u64 payload_len | payload bytes
+//           ... repeated num_sections times, no trailing bytes allowed
+//
+// Section type 1 (items): u64 item_count + wire::EncodeItem records in
+// ascending id order — the canonical order, so two snapshots of equal
+// state are byte-identical and the recovery tests can compare bytes.
+//
+// Every read-side defect — bad magic, unknown version, CRC mismatch,
+// truncation mid-section, trailing garbage — is kDataLoss: non-retryable,
+// the bytes themselves are wrong. A missing file stays kNotFound and an
+// I/O hiccup stays kUnavailable, so recovery policy can tell "nothing
+// there" / "try again" / "corrupt" apart.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace osrs::store {
+
+/// The durable state a snapshot captures.
+struct SnapshotData {
+  uint64_t epoch = 0;
+  /// Canonical order: ascending id. SnapshotWriter sorts on write, so
+  /// callers may pass any order.
+  std::vector<Item> items;
+};
+
+/// Serializes SnapshotData and writes it atomically (temp + fsync +
+/// rename + dir fsync via atomic_file.h, under the osrs.store.* failpoints).
+class SnapshotWriter {
+ public:
+  /// Serializes `data` into the format above.
+  static std::string Serialize(const SnapshotData& data);
+
+  /// Atomically writes `data` to `path`. After OK the snapshot is durable;
+  /// after an error the previous `path` contents (if any) are untouched.
+  Status Write(const std::string& path, const SnapshotData& data) const;
+};
+
+/// Reads and fully validates one snapshot file.
+class SnapshotReader {
+ public:
+  /// Parses the serialized format (section CRCs, structure) without I/O.
+  static Result<SnapshotData> Parse(const std::string& bytes,
+                                    const std::string& origin);
+
+  /// Reads `path` (osrs.store.read failpoint) and parses it. kNotFound for
+  /// a missing file, kUnavailable for I/O trouble, kDataLoss for any
+  /// validation failure.
+  Result<SnapshotData> Read(const std::string& path) const;
+};
+
+}  // namespace osrs::store
+
+#endif  // OSRS_STORE_SNAPSHOT_H_

@@ -1,0 +1,276 @@
+#include "store/state_store.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/slog.h"
+#include "common/strings.h"
+#include "store/atomic_file.h"
+
+namespace osrs::store {
+namespace {
+
+constexpr std::string_view kSnapshotPrefix = "snapshot-";
+constexpr std::string_view kSnapshotSuffix = ".osnap";
+constexpr std::string_view kJournalPrefix = "journal-";
+constexpr std::string_view kJournalSuffix = ".wal";
+
+std::string GenName(std::string_view prefix, uint64_t gen,
+                    std::string_view suffix) {
+  return StrFormat("%s%016llx%s", std::string(prefix).c_str(),
+                   static_cast<unsigned long long>(gen),
+                   std::string(suffix).c_str());
+}
+
+/// Parses "<prefix><16 hex>suffix" into a generation; false otherwise.
+bool ParseGenName(const std::string& name, std::string_view prefix,
+                  std::string_view suffix, uint64_t* gen) {
+  if (name.size() != prefix.size() + 16 + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(prefix.size() + 16, suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 16; ++i) {
+    char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *gen = value;
+  return true;
+}
+
+Result<std::vector<uint64_t>> ListSnapshotGenerations(const std::string& dir) {
+  errno = 0;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    int saved = errno;
+    return Status::Unavailable(StrFormat("cannot open state dir '%s': %s "
+                                         "(errno %d)",
+                                         dir.c_str(), std::strerror(saved),
+                                         saved));
+  }
+  std::vector<uint64_t> generations;
+  while (struct dirent* entry = ::readdir(handle)) {
+    uint64_t gen = 0;
+    if (ParseGenName(entry->d_name, kSnapshotPrefix, kSnapshotSuffix, &gen)) {
+      generations.push_back(gen);
+    }
+  }
+  ::closedir(handle);
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+}  // namespace
+
+std::string RecoveryInfo::ToJson() const {
+  return StrFormat(
+      "{\"generation\":%llu,\"found_snapshot\":%s,\"snapshot_items\":%llu,"
+      "\"journal_records_replayed\":%llu,\"truncated_tail_bytes\":%llu,"
+      "\"epoch\":%llu}",
+      static_cast<unsigned long long>(generation),
+      found_snapshot ? "true" : "false",
+      static_cast<unsigned long long>(snapshot_items),
+      static_cast<unsigned long long>(journal_records_replayed),
+      static_cast<unsigned long long>(truncated_tail_bytes),
+      static_cast<unsigned long long>(epoch));
+}
+
+StateStore::StateStore(StateStoreOptions options)
+    : options_(std::move(options)),
+      journal_(options_.fsync_policy, options_.fsync_interval_ms) {}
+
+StateStore::~StateStore() { (void)Close(); }
+
+std::string StateStore::SnapshotPath(uint64_t gen) const {
+  return options_.dir + "/" + GenName(kSnapshotPrefix, gen, kSnapshotSuffix);
+}
+
+std::string StateStore::JournalPath(uint64_t gen) const {
+  return options_.dir + "/" + GenName(kJournalPrefix, gen, kJournalSuffix);
+}
+
+Result<RecoveryInfo> StateStore::Recover(SnapshotData* state_out) {
+  MutexLock lock(mutex_);
+  OSRS_CHECK_MSG(!recovered_, "StateStore::Recover called twice");
+
+  Result<std::vector<uint64_t>> generations =
+      ListSnapshotGenerations(options_.dir);
+  if (!generations.ok()) return generations.status();
+
+  RecoveryInfo info;
+  SnapshotData state;
+  if (generations->empty()) {
+    // Fresh directory: commit an empty generation-1 snapshot immediately
+    // so "the committed state" is well-defined from the first instant.
+    generation_ = 1;
+    state.epoch = 0;
+    OSRS_RETURN_IF_ERROR(
+        SnapshotWriter().Write(SnapshotPath(generation_), state));
+    info.generation = generation_;
+  } else {
+    // Newest snapshot wins. It was written atomically, so a corrupt one
+    // means real bit rot, not a crash artifact — surface kDataLoss rather
+    // than silently falling back to an older state and resurrecting
+    // already-superseded data.
+    generation_ = generations->back();
+    Result<SnapshotData> snapshot =
+        SnapshotReader().Read(SnapshotPath(generation_));
+    if (!snapshot.ok()) return snapshot.status();
+    state = std::move(*snapshot);
+    info.found_snapshot = true;
+    info.generation = generation_;
+    info.snapshot_items = state.items.size();
+
+    Result<ReplayResult> replay = ReplayJournal(JournalPath(generation_));
+    if (!replay.ok() && replay.status().code() != StatusCode::kNotFound) {
+      return replay.status();
+    }
+    if (replay.ok()) {
+      info.journal_records_replayed = replay->records.size();
+      info.truncated_tail_bytes = replay->truncated_tail_bytes;
+      for (JournalRecord& record : replay->records) {
+        state.epoch = record.epoch_after;
+        if (record.type == JournalRecordType::kUpdateItem) {
+          auto it = std::find_if(state.items.begin(), state.items.end(),
+                                 [&](const Item& existing) {
+                                   return existing.id == record.item.id;
+                                 });
+          if (it != state.items.end()) {
+            *it = std::move(record.item);
+          } else {
+            state.items.push_back(std::move(record.item));
+          }
+        }
+      }
+      OSRS_RETURN_IF_ERROR(
+          journal_.Open(JournalPath(generation_), replay->valid_bytes));
+    }
+    // Older generations should have been deleted by the compaction that
+    // superseded them; a crash between rename and delete leaves them.
+    // Clean up now — the newest generation is authoritative.
+    for (size_t i = 0; i + 1 < generations->size(); ++i) {
+      (void)RemoveFile(SnapshotPath((*generations)[i]));
+      (void)RemoveFile(JournalPath((*generations)[i]));
+    }
+  }
+  if (!journal_.open()) {
+    OSRS_RETURN_IF_ERROR(journal_.Open(JournalPath(generation_), 0));
+  }
+  info.epoch = state.epoch;
+  recovered_ = true;
+  if (state_out != nullptr) *state_out = std::move(state);
+  return info;
+}
+
+Status StateStore::AppendUpdateItem(const Item& item, uint64_t epoch_after) {
+  MutexLock lock(mutex_);
+  OSRS_CHECK_MSG(recovered_, "StateStore append before Recover");
+  if (persistence_failed_) {
+    return Status::DataLoss(
+        "state store persistence failed earlier; compact to recover");
+  }
+  return journal_.AppendUpdateItem(item, epoch_after);
+}
+
+Status StateStore::AppendBumpEpoch(uint64_t epoch_after) {
+  MutexLock lock(mutex_);
+  OSRS_CHECK_MSG(recovered_, "StateStore append before Recover");
+  if (persistence_failed_) {
+    return Status::DataLoss(
+        "state store persistence failed earlier; compact to recover");
+  }
+  return journal_.AppendBumpEpoch(epoch_after);
+}
+
+bool StateStore::ShouldCompact() {
+  MutexLock lock(mutex_);
+  if (!recovered_) return false;
+  if (journal_.poisoned() || persistence_failed_) return true;
+  return options_.compact_threshold_bytes > 0 &&
+         journal_.bytes_written() >= options_.compact_threshold_bytes;
+}
+
+Status StateStore::Compact(const SnapshotData& state) {
+  MutexLock lock(mutex_);
+  OSRS_CHECK_MSG(recovered_, "StateStore::Compact before Recover");
+  return CompactLocked(state);
+}
+
+Status StateStore::CompactLocked(const SnapshotData& state) {
+  uint64_t next_gen = generation_ + 1;
+  // Order is the invariant: the new snapshot must be DURABLE before
+  // anything of the old generation is touched, so a crash at any point
+  // leaves at least one complete generation recoverable.
+  WriteStage stage = WriteStage::kNone;
+  Status status = AtomicWriteFile(SnapshotPath(next_gen),
+                                  SnapshotWriter::Serialize(state), &stage);
+  if (!status.ok()) {
+    if (stage == WriteStage::kRenamed) {
+      // The new snapshot is visible but its directory entry may not
+      // survive power loss. Journaling against EITHER generation now
+      // risks replaying against the wrong base; refuse further appends
+      // until a clean compaction succeeds.
+      persistence_failed_ = true;
+      OSRS_LOG(slog::Level::kWarn, "store",
+               "compaction post-rename failure left generation ambiguous",
+               {"detail", status.ToString()});
+    }
+    return status;
+  }
+
+  // Switch journals. A failure opening the new journal keeps the new
+  // snapshot (it is complete and newest, so recovery uses it) but marks
+  // persistence failed since mutations can no longer be journaled.
+  Status close_status = journal_.Close();
+  generation_ = next_gen;
+  Status open_status = journal_.Open(JournalPath(next_gen), 0);
+  if (!open_status.ok()) {
+    persistence_failed_ = true;
+    return open_status;
+  }
+  persistence_failed_ = false;
+  (void)close_status;  // old journal is superseded; its close errors moot
+
+  // Delete the superseded generation. Best effort: leftovers are cleaned
+  // by the next Recover, and the new snapshot already supersedes them.
+  (void)RemoveFile(SnapshotPath(next_gen - 1));
+  (void)RemoveFile(JournalPath(next_gen - 1));
+  (void)SyncParentDir(SnapshotPath(next_gen));
+  return Status::OK();
+}
+
+Status StateStore::Close() {
+  MutexLock lock(mutex_);
+  return journal_.Close();
+}
+
+bool StateStore::persistence_failed() {
+  MutexLock lock(mutex_);
+  return persistence_failed_;
+}
+
+uint64_t StateStore::journal_bytes() {
+  MutexLock lock(mutex_);
+  return journal_.bytes_written();
+}
+
+uint64_t StateStore::generation() {
+  MutexLock lock(mutex_);
+  return generation_;
+}
+
+}  // namespace osrs::store

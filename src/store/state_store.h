@@ -1,0 +1,134 @@
+#ifndef OSRS_STORE_STATE_STORE_H_
+#define OSRS_STORE_STATE_STORE_H_
+
+// Durable state directory: the snapshot + journal pair behind the serving
+// layer's --state-dir. One StateStore owns one directory laid out as
+//
+//   snapshot-<gen 16-hex>.osnap   full state as of generation <gen>
+//   journal-<gen 16-hex>.wal      mutations appended AFTER that snapshot
+//   *.tmp                         in-flight atomic writes; never read
+//
+// exactly one generation is live at a time. The lifecycle:
+//
+//   Recover     scan dir -> load newest snapshot -> replay its journal
+//               (torn tail truncated) -> open the journal for appending
+//   Append*     frame + append + fsync-per-policy one mutation record
+//   Compact     write snapshot gen+1 -> start empty journal gen+1 ->
+//               delete gen's files; bounds replay time and clears a
+//               poisoned journal
+//
+// Crash ordering in Compact is what makes recovery unambiguous: the new
+// snapshot becomes durable BEFORE the old generation is deleted, so every
+// instant has at least one complete generation on disk. A failure after
+// the new snapshot's rename but before its directory fsync is the one
+// ambiguous window; the store poisons itself (persistence_failed) rather
+// than journal against a generation that might vanish on power loss.
+//
+// Thread-safety: all public methods are safe to call concurrently; a
+// single internal mutex serializes appends and compaction so the journal
+// byte stream and the generation switch are race-free.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/model.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
+
+namespace osrs::store {
+
+struct StateStoreOptions {
+  /// Directory holding the snapshot/journal files. Must exist.
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryRecord;
+  /// Max ms between fsyncs under FsyncPolicy::kInterval.
+  uint64_t fsync_interval_ms = 50;
+  /// Journal size that triggers ShouldCompact(). 0 disables size-based
+  /// compaction (explicit Compact calls still work).
+  uint64_t compact_threshold_bytes = 8ull << 20;
+};
+
+/// What Recover reconstructed — surfaced through the server so operators
+/// (and the ci crash-recovery stage) can audit what a restart recovered.
+struct RecoveryInfo {
+  /// Generation whose snapshot seeded the state; 0 with found_snapshot
+  /// false means a fresh directory.
+  uint64_t generation = 0;
+  bool found_snapshot = false;
+  uint64_t snapshot_items = 0;
+  uint64_t journal_records_replayed = 0;
+  /// Bytes of torn final record dropped from the journal tail (normal
+  /// after a crash mid-append; the record was never committed).
+  uint64_t truncated_tail_bytes = 0;
+  /// Epoch after snapshot + replay.
+  uint64_t epoch = 0;
+
+  std::string ToJson() const;
+};
+
+class StateStore {
+ public:
+  explicit StateStore(StateStoreOptions options);
+  ~StateStore();
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  /// Scans the directory, loads the newest snapshot, replays its journal,
+  /// and opens the journal for appending. On a fresh directory writes an
+  /// empty generation-1 snapshot so there is always a committed state.
+  /// kDataLoss from a snapshot/journal interior means durable bytes are
+  /// corrupt — surfaced, not masked, because silently dropping committed
+  /// mutations would be worse than refusing to start.
+  Result<RecoveryInfo> Recover(SnapshotData* state_out)
+      OSRS_EXCLUDES(mutex_);
+
+  /// Journals one item upsert / epoch bump. OK means the record is
+  /// committed per the fsync policy. kDataLoss means the journal is
+  /// poisoned (torn write) — call Compact with the full state to recover.
+  Status AppendUpdateItem(const Item& item, uint64_t epoch_after)
+      OSRS_EXCLUDES(mutex_);
+  Status AppendBumpEpoch(uint64_t epoch_after) OSRS_EXCLUDES(mutex_);
+
+  /// True when the journal has grown past the compaction threshold or is
+  /// poisoned and needs a fresh generation.
+  bool ShouldCompact() OSRS_EXCLUDES(mutex_);
+
+  /// Writes `state` as the next generation's snapshot, switches to its
+  /// empty journal, and deletes the previous generation's files.
+  Status Compact(const SnapshotData& state) OSRS_EXCLUDES(mutex_);
+
+  /// Final fsync + close of the journal (e.g. on graceful shutdown).
+  Status Close() OSRS_EXCLUDES(mutex_);
+
+  /// True after a failure left durability ambiguous (post-rename dir-fsync
+  /// failure during compaction, or an unrecoverable journal). Appends are
+  /// refused until a successful Compact.
+  bool persistence_failed() OSRS_EXCLUDES(mutex_);
+
+  /// Current journal size in committed bytes (tests, metrics).
+  uint64_t journal_bytes() OSRS_EXCLUDES(mutex_);
+  uint64_t generation() OSRS_EXCLUDES(mutex_);
+
+  /// Path helpers, exposed for tests and tools that need to corrupt or
+  /// inspect specific generations.
+  std::string SnapshotPath(uint64_t gen) const;
+  std::string JournalPath(uint64_t gen) const;
+
+ private:
+  Status CompactLocked(const SnapshotData& state) OSRS_REQUIRES(mutex_);
+
+  const StateStoreOptions options_;
+
+  Mutex mutex_;
+  JournalWriter journal_ OSRS_GUARDED_BY(mutex_);
+  uint64_t generation_ OSRS_GUARDED_BY(mutex_) = 0;
+  bool recovered_ OSRS_GUARDED_BY(mutex_) = false;
+  bool persistence_failed_ OSRS_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace osrs::store
+
+#endif  // OSRS_STORE_STATE_STORE_H_

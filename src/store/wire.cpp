@@ -1,0 +1,139 @@
+#include "store/wire.h"
+
+#include <cstring>
+
+namespace osrs::store {
+
+void ByteWriter::PutF64(double v) {
+  // Bit pattern through memcpy (no type punning), then explicit
+  // little-endian byte order — NaN payloads and signed zeros round-trip
+  // exactly, which the bit-identity recovery contract requires.
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+bool ByteReader::Take(size_t n, const char** p) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *p = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::GetU8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool ByteReader::GetU32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool ByteReader::GetU64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool ByteReader::GetI32(int32_t* v) {
+  uint32_t raw = 0;
+  if (!GetU32(&raw)) return false;
+  *v = static_cast<int32_t>(raw);
+  return true;
+}
+
+bool ByteReader::GetF64(double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteReader::GetString(std::string* v) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) return false;
+  v->assign(p, len);
+  return true;
+}
+
+void EncodeItem(const Item& item, ByteWriter* w) {
+  w->PutString(item.id);
+  w->PutU32(static_cast<uint32_t>(item.reviews.size()));
+  for (const Review& review : item.reviews) {
+    w->PutF64(review.rating);
+    w->PutU32(static_cast<uint32_t>(review.sentences.size()));
+    for (const Sentence& sentence : review.sentences) {
+      w->PutString(sentence.text);
+      w->PutU32(static_cast<uint32_t>(sentence.pairs.size()));
+      for (const ConceptSentimentPair& pair : sentence.pairs) {
+        w->PutI32(pair.concept_id);
+        w->PutF64(pair.sentiment);
+      }
+    }
+  }
+}
+
+std::string EncodeItemToString(const Item& item) {
+  ByteWriter w;
+  EncodeItem(item, &w);
+  return w.Take();
+}
+
+bool DecodeItem(ByteReader* r, Item* item) {
+  item->reviews.clear();
+  if (!r->GetString(&item->id)) return false;
+  uint32_t num_reviews = 0;
+  if (!r->GetU32(&num_reviews)) return false;
+  // Every review costs at least 12 encoded bytes (rating + sentence
+  // count), so a count that exceeds remaining/12 is corrupt — reject it
+  // before reserving memory for it.
+  if (num_reviews > r->remaining() / 12 + 1) return false;
+  item->reviews.reserve(num_reviews);
+  for (uint32_t rv = 0; rv < num_reviews; ++rv) {
+    Review review;
+    if (!r->GetF64(&review.rating)) return false;
+    uint32_t num_sentences = 0;
+    if (!r->GetU32(&num_sentences)) return false;
+    if (num_sentences > r->remaining() / 8 + 1) return false;
+    review.sentences.reserve(num_sentences);
+    for (uint32_t s = 0; s < num_sentences; ++s) {
+      Sentence sentence;
+      if (!r->GetString(&sentence.text)) return false;
+      uint32_t num_pairs = 0;
+      if (!r->GetU32(&num_pairs)) return false;
+      if (num_pairs > r->remaining() / 12 + 1) return false;
+      sentence.pairs.reserve(num_pairs);
+      for (uint32_t p = 0; p < num_pairs; ++p) {
+        ConceptSentimentPair pair;
+        if (!r->GetI32(&pair.concept_id)) return false;
+        if (!r->GetF64(&pair.sentiment)) return false;
+        sentence.pairs.push_back(pair);
+      }
+      review.sentences.push_back(std::move(sentence));
+    }
+    item->reviews.push_back(std::move(review));
+  }
+  return true;
+}
+
+}  // namespace osrs::store

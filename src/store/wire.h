@@ -1,0 +1,89 @@
+#ifndef OSRS_STORE_WIRE_H_
+#define OSRS_STORE_WIRE_H_
+
+// Little-endian binary wire encoding of the durable state (src/store
+// snapshots and journal payloads). Deliberately binary with explicit
+// length prefixes — unlike the human-editable corpus text format
+// (datagen/corpus_io.h), durable state must round-trip arbitrary sentence
+// text (tabs and newlines included) and be byte-stable so the per-section
+// CRC32C checks mean something. Every multi-byte integer is written
+// little-endian through shifts (no memcpy of host-endian words), so a
+// snapshot written on any build reads identically on any other.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/model.h"
+
+namespace osrs::store {
+
+/// Append-only byte sink the encoders write through.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutF64(double v);
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked cursor over an encoded buffer. Every Get* returns false
+/// (and poisons the reader) on underrun, so decoders check once at the
+/// end instead of per field; a poisoned reader never advances again.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI32(int32_t* v);
+  bool GetF64(double* v);
+  bool GetString(std::string* v);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Take(size_t n, const char** p);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Appends the canonical encoding of `item` (id, reviews, sentences,
+/// concept-sentiment pairs) to `w`. Two Items with equal field values
+/// produce identical bytes — the bit-identity the recovery tests compare.
+void EncodeItem(const Item& item, ByteWriter* w);
+
+/// Convenience: the canonical encoding as a standalone string.
+std::string EncodeItemToString(const Item& item);
+
+/// Decodes one EncodeItem record. Returns false on underrun or a count
+/// field large enough to overrun the buffer (`r` is left poisoned).
+bool DecodeItem(ByteReader* r, Item* item);
+
+}  // namespace osrs::store
+
+#endif  // OSRS_STORE_WIRE_H_

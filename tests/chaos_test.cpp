@@ -428,6 +428,33 @@ TEST_F(RetryPolicyTest, PermanentFailureIsNeverRetried) {
   EXPECT_EQ(hits, 1) << "a permanent failure must not be re-attempted";
 }
 
+TEST_F(RetryPolicyTest, DataLossIsNeverRetried) {
+  // kDataLoss means durable bytes are corrupt (store/snapshot.h): no
+  // number of re-attempts can un-corrupt a file, so the retry policy must
+  // treat it as permanent even with a generous retry budget.
+  Ontology onto = BuildCellPhoneHierarchy();
+  std::vector<Item> items = {SmallItem(onto, "a")};
+
+  FailpointSpec spec;
+  spec.code = StatusCode::kDataLoss;
+  FailpointRegistry::Global().Get("osrs.coverage.alloc")->Arm(spec);
+
+  BatchSummarizerOptions options;
+  options.num_threads = 1;
+  options.retry_policy.max_retries = 5;
+  options.retry_policy.initial_backoff_ms = 0.01;
+  BatchSummarizer batch(&onto, options);
+  std::vector<BatchEntry> entries = batch.SummarizeAll(items, 2);
+  int64_t hits =
+      FailpointRegistry::Global().Get("osrs.coverage.alloc")->hits();
+  FailpointRegistry::Global().DisarmAll();
+
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(entries[0].retries, 0);
+  EXPECT_EQ(hits, 1) << "data loss must not be re-attempted";
+}
+
 TEST_F(RetryPolicyTest, DefaultPolicyNeverRetries) {
   Ontology onto = BuildCellPhoneHierarchy();
   std::vector<Item> items = {SmallItem(onto, "a")};
@@ -500,6 +527,7 @@ TEST_F(RetryPolicyTest, RetryableTaxonomyMatchesDocs) {
   EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kNotFound));
   EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kDeadlineExceeded));
   EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kCancelled));
+  EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kDataLoss));
 }
 
 // ---------------------------------------------------- annotation sites -----

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32c.h"
 #include "common/execution_budget.h"
 #include "common/indexed_heap.h"
 #include "common/math_util.h"
@@ -622,6 +623,48 @@ TEST(SlogTest, LogMacroEmitsWhenCompiledIn) {
   } else {
     EXPECT_TRUE(capture.text().empty());
   }
+}
+
+// -- CRC-32C (the checksum guarding src/store's on-disk bytes) -----------
+
+TEST(Crc32cTest, KnownVectors) {
+  // Published CRC-32C test vectors (RFC 3720 appendix B.4 / the values
+  // every Castagnoli implementation agrees on).
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("a", 1), 0xC1D04330u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, SeedChainingMatchesOnePass) {
+  // Crc32c(b, seed=Crc32c(a)) == Crc32c(a+b): the property the snapshot
+  // header relies on to checksum in pieces. Check every split point.
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t head = Crc32c(data.data(), split);
+    uint32_t chained = Crc32c(data.data() + split, data.size() - split, head);
+    EXPECT_EQ(chained, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlip) {
+  std::string data = "journal record payload bytes";
+  uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped.data(), flipped.size()), clean)
+          << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, StringViewOverloadMatchesPointerForm) {
+  std::string data = "overload equivalence";
+  EXPECT_EQ(Crc32c(std::string_view(data)), Crc32c(data.data(), data.size()));
 }
 
 }  // namespace

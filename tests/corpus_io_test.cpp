@@ -8,6 +8,7 @@
 
 #include "datagen/cellphone_corpus.h"
 #include "datagen/corpus_io.h"
+#include "fault/failpoint.h"
 #include "ontology/cellphone_hierarchy.h"
 
 namespace osrs {
@@ -60,6 +61,42 @@ TEST(CorpusIoTest, FileRoundTrip) {
   auto restored = LoadCorpusFromFile(path);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->items.size(), corpus.items.size());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, FailedWriteLeavesPreviousFileIntact) {
+  // WriteTextFile goes through the durability layer's atomic temp + fsync
+  // + rename (store/atomic_file.h), so a failure at ANY stage of the
+  // write must leave the previous contents observable — a torn corpus
+  // file can no longer exist. Inject a failure at each store-level stage
+  // and re-read the original after every one.
+  if (!fault::kCompiledIn)
+    GTEST_SKIP() << "failpoints compiled out (-DOSRS_FAILPOINTS=OFF)";
+  std::string path = testing::TempDir() + "/osrs_corpus_atomic.tsv";
+  ASSERT_TRUE(WriteTextFile(path, "original contents\n").ok());
+
+  for (const char* site :
+       {"osrs.store.write", "osrs.store.fsync", "osrs.store.rename"}) {
+    SCOPED_TRACE(site);
+    fault::FailpointSpec spec;
+    spec.code = StatusCode::kUnavailable;
+    spec.trigger = fault::FailTrigger::kOnce;
+    fault::FailpointRegistry::Global().Get(site)->Arm(spec);
+    Status failed = WriteTextFile(path, "replacement that must not land\n");
+    fault::FailpointRegistry::Global().DisarmAll();
+    ASSERT_FALSE(failed.ok());
+
+    auto contents = ReadTextFile(path);
+    ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+    EXPECT_EQ(*contents, "original contents\n")
+        << "failed write tore the previous file";
+  }
+
+  // And once the fault clears, the replacement goes through whole.
+  ASSERT_TRUE(WriteTextFile(path, "second version\n").ok());
+  auto contents = ReadTextFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "second version\n");
   std::remove(path.c_str());
 }
 

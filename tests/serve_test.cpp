@@ -5,6 +5,8 @@
 // (submitted == admitted + rejected; admitted == completed + shed + failed
 // once drained).
 
+#include <sys/stat.h>
+
 #include <set>
 #include <string>
 #include <thread>
@@ -22,6 +24,8 @@
 #include "ontology/ontology.h"
 #include "serve/server.h"
 #include "serve/summary_cache.h"
+#include "store/atomic_file.h"
+#include "store/state_store.h"
 
 namespace osrs::serve {
 namespace {
@@ -759,6 +763,153 @@ TEST_F(ServeTest, StructuredLogsEmitSlowAndShedEvents) {
   // string, so look for the bare kind token.
   EXPECT_NE(captured.find("queue_wait"), std::string::npos)
       << "the slow-request event must embed the span tree";
+}
+
+// ------------------------------------------------- durability & drain ------
+
+/// Fresh empty state directory for restart tests (clears generations a
+/// previous run of the binary may have left).
+std::string FreshServeStateDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/osrs_serve_state_" + tag;
+  (void)::mkdir(dir.c_str(), 0755);
+  store::StateStoreOptions naming_options;
+  naming_options.dir = dir;
+  store::StateStore naming(naming_options);
+  for (uint64_t gen = 0; gen < 64; ++gen) {
+    (void)store::RemoveFile(naming.SnapshotPath(gen));
+    (void)store::RemoveFile(naming.JournalPath(gen));
+  }
+  return dir;
+}
+
+TEST_F(ServeTest, RestartRecoversMutationsAndEpochWithColdCache) {
+  std::string dir = FreshServeStateDir("restart");
+  ServeOptions options;
+  options.num_threads = 1;
+  options.state_dir = dir;
+
+  std::string updated_fingerprint;
+  uint64_t epoch_before = 0;
+  {
+    SummaryServer server(&onto_, Items(1), options);
+    ASSERT_TRUE(server.recovery_status().ok())
+        << server.recovery_status().ToString();
+    server.UpdateItem(MakeItem(onto_, "item0", 0.3));
+    ServeRequest request;
+    request.item_id = "item0";
+    ServeResponse response = server.Serve(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    updated_fingerprint = Fingerprint(response.summary);
+    epoch_before = server.epoch();
+    ASSERT_TRUE(server.Drain(2000.0));
+  }
+
+  // Restart against the same state dir, constructor-seeded with the
+  // ORIGINAL (pre-update) corpus: recovery must overlay the journaled
+  // update and restore the epoch, so the server picks up exactly where
+  // the drained instance left off.
+  SummaryServer restarted(&onto_, Items(1), options);
+  ASSERT_TRUE(restarted.recovery_status().ok())
+      << restarted.recovery_status().ToString();
+  EXPECT_TRUE(restarted.persistence_enabled());
+  EXPECT_TRUE(restarted.recovery_info().found_snapshot);
+  EXPECT_EQ(restarted.epoch(), epoch_before) << "epoch continuity";
+
+  // The cache is COLD after restart: the first request must be a fresh
+  // solve at the recovered epoch — never a stale/degraded answer from a
+  // previous life — and must see the recovered (updated) reviews.
+  ServeRequest request;
+  request.item_id = "item0";
+  ServeResponse response = restarted.Serve(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.outcome, ServeOutcome::kSolved);
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(response.epoch, epoch_before);
+  EXPECT_EQ(restarted.cache_stats().stale_hits, 0u);
+  EXPECT_EQ(Fingerprint(response.summary), updated_fingerprint)
+      << "recovered reviews must produce the same summary the pre-restart "
+         "server served";
+}
+
+TEST_F(ServeTest, DrainCompletesWorkRejectsNewAndCollapsesJournal) {
+  std::string dir = FreshServeStateDir("drain");
+  ServeOptions options;
+  options.num_threads = 2;
+  options.state_dir = dir;
+  SummaryServer server(&onto_, Items(3), options);
+  ASSERT_TRUE(server.recovery_status().ok());
+
+  for (int i = 0; i < 3; ++i) {
+    server.UpdateItem(MakeItem(onto_, "item" + std::to_string(i), 0.2));
+    ServeRequest request;
+    request.item_id = "item" + std::to_string(i);
+    ASSERT_TRUE(server.Serve(request).status.ok());
+  }
+
+  EXPECT_TRUE(server.Drain(2000.0)) << "drain must finish within deadline";
+
+  // Post-drain admission is closed.
+  ServeRequest late;
+  late.item_id = "item0";
+  ServeResponse rejected = server.Serve(late);
+  EXPECT_NE(rejected.outcome, ServeOutcome::kSolved);
+  EXPECT_FALSE(rejected.status.ok());
+
+  // The accounting identities hold once drained: nothing in flight is
+  // unaccounted for.
+  ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.submitted, counters.admitted + counters.rejected);
+  EXPECT_EQ(counters.admitted,
+            counters.completed + counters.shed + counters.failed);
+
+  // Drain's final compaction collapsed the journal into a snapshot: a
+  // recovery replays zero records and sees every mutation in the snapshot.
+  store::StateStoreOptions store_options;
+  store_options.dir = dir;
+  store::StateStore store(store_options);
+  store::SnapshotData state;
+  Result<store::RecoveryInfo> info = store.Recover(&state);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->found_snapshot);
+  EXPECT_EQ(info->journal_records_replayed, 0u);
+  EXPECT_EQ(info->epoch, server.epoch());
+  EXPECT_EQ(state.items.size(), 3u);
+}
+
+TEST_F(ServeTest, WatchdogCancelsStalledSolveAndServerSurvives) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;  // no stale fallback: the stall is visible
+  options.watchdog_stall_threshold_ms = 5.0;
+  options.watchdog_poll_ms = 1.0;
+  SummaryServer server(&onto_, Items(1), options);
+
+  // Stall the solve (inside the watchdog's measured window) far past the
+  // threshold: the watchdog must fire and cancel it via the budget's
+  // cancellation flag.
+  fault::FailpointSpec spec;
+  spec.action = fault::FailAction::kDelay;
+  spec.delay_ms = 100.0;
+  spec.trigger = fault::FailTrigger::kOnce;
+  FailpointRegistry::Global().Get("osrs.serve.solve")->Arm(spec);
+
+  ServeRequest request;
+  request.item_id = "item0";
+  ServeResponse stalled = server.Serve(request);
+  FailpointRegistry::Global().DisarmAll();
+  EXPECT_GE(server.counters().watchdog_stalls, 1)
+      << "a 100ms solve against a 5ms threshold must trip the watchdog";
+
+  // The cancellation is scoped to the stalled flight: the next request
+  // solves normally on the same worker.
+  ServeResponse healthy = server.Serve(request);
+  ASSERT_TRUE(healthy.status.ok()) << healthy.status.ToString();
+  EXPECT_EQ(healthy.outcome, ServeOutcome::kSolved);
+  (void)stalled;
+
+  ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.admitted,
+            counters.completed + counters.shed + counters.failed);
 }
 
 }  // namespace

@@ -1,0 +1,507 @@
+// Kill-point chaos suite for the durability layer (src/store): randomized,
+// seed-reproducible failure schedules over every osrs.store.* failpoint
+// site, plus byte-level torn-tail and corruption attacks, asserting the
+// recovery contract from DESIGN.md ("Failure semantics v4"):
+//
+//   * recovery after ANY injected kill point reproduces exactly the
+//     committed prefix — the operations whose Append/Compact returned OK
+//     (bit-identical: both states serialize to the same snapshot bytes);
+//   * a torn journal tail (crash mid-append) is silently truncated, never
+//     an error, and never resurrects the uncommitted record;
+//   * corruption of committed bytes (snapshot or journal interior) is
+//     kDataLoss — surfaced, never masked, never a crash;
+//   * kDataLoss never escapes on valid files.
+//
+// Each schedule is driven by one seed: the op sequence, item contents,
+// armed site, and trigger offset all derive from mt19937_64(seed), so a
+// failing seed replays exactly.
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "fault/failpoint.h"
+#include "store/atomic_file.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
+#include "store/state_store.h"
+#include "store/wire.h"
+
+namespace osrs::store {
+namespace {
+
+using fault::FailpointRegistry;
+using fault::FailpointSpec;
+using fault::FailTrigger;
+
+/// Fresh empty directory under the test tempdir (recreated per call so a
+/// re-run of the binary never sees stale generations).
+std::string FreshStateDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/store_recovery_" + tag;
+  (void)::mkdir(dir.c_str(), 0755);
+  // A schedule can compact once per op, so clear well past the maximum
+  // generation a previous run of the binary could have reached.
+  for (uint64_t gen = 0; gen < 128; ++gen) {
+    StateStoreOptions options;
+    options.dir = dir;
+    StateStore naming(options);  // path helpers only; never recovered
+    (void)RemoveFile(naming.SnapshotPath(gen));
+    (void)RemoveFile(naming.JournalPath(gen));
+    (void)RemoveFile(naming.SnapshotPath(gen) + ".tmp");
+  }
+  return dir;
+}
+
+Item RandomItem(std::mt19937_64& rng) {
+  Item item;
+  item.id = "item-" + std::to_string(rng() % 8);
+  int reviews = 1 + static_cast<int>(rng() % 3);
+  for (int r = 0; r < reviews; ++r) {
+    Review review;
+    review.rating = static_cast<double>(rng() % 50) / 10.0;
+    int sentences = 1 + static_cast<int>(rng() % 2);
+    for (int s = 0; s < sentences; ++s) {
+      Sentence sentence;
+      sentence.text = "text " + std::to_string(rng());
+      int pairs = static_cast<int>(rng() % 3);
+      for (int p = 0; p < pairs; ++p) {
+        ConceptSentimentPair pair;
+        pair.concept_id = static_cast<int32_t>(rng() % 100);
+        pair.sentiment = static_cast<double>(rng() % 200) / 100.0 - 1.0;
+        sentence.pairs.push_back(pair);
+      }
+      review.sentences.push_back(std::move(sentence));
+    }
+    item.reviews.push_back(std::move(review));
+  }
+  return item;
+}
+
+/// The reference state a recovery must reproduce: items by id + epoch.
+struct Model {
+  std::map<std::string, Item> items;
+  uint64_t epoch = 0;
+
+  SnapshotData ToSnapshot() const {
+    SnapshotData data;
+    data.epoch = epoch;
+    for (const auto& [id, item] : items) data.items.push_back(item);
+    return data;
+  }
+
+  /// Canonical bytes — equality here is the bit-identity contract.
+  std::string Canonical() const {
+    return SnapshotWriter::Serialize(ToSnapshot());
+  }
+};
+
+std::string CanonicalOf(const SnapshotData& data) {
+  return SnapshotWriter::Serialize(data);
+}
+
+void ArmSite(const std::string& site, int64_t nth) {
+  FailpointSpec spec;
+  spec.action = fault::FailAction::kError;
+  spec.code = StatusCode::kUnavailable;
+  spec.trigger = FailTrigger::kEveryNth;
+  spec.n = nth;
+  FailpointRegistry::Global().Get(site)->Arm(spec);
+}
+
+/// One randomized kill-point schedule: build committed state, arm one
+/// store site at a random hit offset, mutate until the injection "kills"
+/// the process, then recover and compare against the committed prefix.
+void RunKillPointSchedule(uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+  std::string dir = FreshStateDir(std::to_string(seed));
+
+  StateStoreOptions options;
+  options.dir = dir;
+  options.fsync_policy =
+      rng() % 2 == 0 ? FsyncPolicy::kEveryRecord : FsyncPolicy::kInterval;
+  options.fsync_interval_ms = 10;
+  options.compact_threshold_bytes = 0;  // compaction is an explicit op here
+  Model committed;   // what recovery must reproduce
+  Model in_memory;   // what a server would hold (failed appends included)
+
+  {
+    StateStore store(options);
+    SnapshotData ignored;
+    Result<RecoveryInfo> info = store.Recover(&ignored);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+    // A committed base before any fault: a few mutations, sometimes a
+    // compaction, all with failpoints disarmed.
+    int base_ops = 1 + static_cast<int>(rng() % 4);
+    for (int i = 0; i < base_ops; ++i) {
+      Item item = RandomItem(rng);
+      uint64_t next_epoch = in_memory.epoch + 1;
+      ASSERT_TRUE(store.AppendUpdateItem(item, next_epoch).ok());
+      in_memory.items[item.id] = item;
+      in_memory.epoch = next_epoch;
+      committed = in_memory;
+    }
+    if (rng() % 3 == 0) {
+      ASSERT_TRUE(store.Compact(in_memory.ToSnapshot()).ok());
+    }
+
+    // Arm exactly one write-path site at a random upcoming hit.
+    static const char* kSites[] = {"osrs.store.write", "osrs.store.fsync",
+                                   "osrs.store.rename"};
+    std::string site = kSites[rng() % 3];
+    ArmSite(site, 1 + static_cast<int64_t>(rng() % 6));
+
+    // Mutate until the injection fires — the simulated kill point. Every
+    // op applies to in_memory first (as SummaryServer does) and joins the
+    // committed prefix only when the store call reports OK.
+    bool crashed = false;
+    for (int op = 0; op < 64 && !crashed; ++op) {
+      int kind = static_cast<int>(rng() % 8);
+      if (kind == 0) {
+        // Compaction from the in-memory state (the server's CaptureState).
+        Status status = store.Compact(in_memory.ToSnapshot());
+        if (status.ok()) {
+          committed = in_memory;
+        } else {
+          // Deterministic in-process crash ambiguity resolution: a
+          // post-rename failure left the NEW snapshot visible (recovery
+          // will use it); a pre-rename failure left the old generation
+          // untouched.
+          if (store.persistence_failed()) committed = in_memory;
+          crashed = true;
+        }
+      } else if (kind == 1) {
+        uint64_t next_epoch = in_memory.epoch + 1;
+        Status status = store.AppendBumpEpoch(next_epoch);
+        in_memory.epoch = next_epoch;
+        if (status.ok()) {
+          committed = in_memory;
+        } else {
+          crashed = true;
+        }
+      } else {
+        Item item = RandomItem(rng);
+        uint64_t next_epoch = in_memory.epoch + 1;
+        Status status = store.AppendUpdateItem(item, next_epoch);
+        in_memory.items[item.id] = item;
+        in_memory.epoch = next_epoch;
+        if (status.ok()) {
+          committed = in_memory;
+        } else {
+          crashed = true;
+        }
+      }
+    }
+    // The StateStore is destroyed here with whatever torn bytes the
+    // injection left — the moral equivalent of the process dying.
+  }
+
+  FailpointRegistry::Global().DisarmAll();
+
+  StateStore recovered_store(options);
+  SnapshotData recovered;
+  Result<RecoveryInfo> info = recovered_store.Recover(&recovered);
+  // Zero kDataLoss escapes: every file the schedule left behind is either
+  // valid or a legitimate torn tail, so recovery must succeed.
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(CanonicalOf(recovered), committed.Canonical())
+      << "recovered state diverges from the committed prefix "
+      << "(replayed " << info->journal_records_replayed << " records, "
+      << "truncated " << info->truncated_tail_bytes << " tail bytes)";
+  EXPECT_EQ(recovered.epoch, committed.epoch);
+}
+
+TEST(StoreRecoveryTest, RandomizedKillPointSchedules) {
+  // >= 150 distinct seed-reproducible schedules (acceptance floor); each
+  // covers one injected kill across the write/fsync/rename sites with
+  // random op mixes and fsync policies.
+  for (uint64_t seed = 1; seed <= 160; ++seed) {
+    RunKillPointSchedule(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// Torn tails from lost buffered bytes: truncate a valid journal at every
+/// byte offset and require recovery to yield exactly the records that
+/// still fit — never an error, never a partial record.
+TEST(StoreRecoveryTest, TornTailTruncationAtEveryOffset) {
+  std::mt19937_64 rng(4242);
+  std::vector<Item> items;
+  std::vector<std::string> frames;
+  std::string journal_bytes;
+  for (int i = 0; i < 4; ++i) {
+    Item item = RandomItem(rng);
+    item.id = "torn-" + std::to_string(i);  // distinct ids: count==prefix
+    items.push_back(item);
+    std::string payload =
+        EncodeUpdateItemPayload(item, static_cast<uint64_t>(i + 1));
+    ByteWriter frame;
+    frame.PutU32(static_cast<uint32_t>(payload.size()));
+    frame.PutU32(Crc32c(payload.data(), payload.size()));
+    std::string bytes = frame.Take() + payload;
+    frames.push_back(bytes);
+    journal_bytes += bytes;
+  }
+
+  std::vector<size_t> boundaries;  // cumulative frame ends
+  size_t end = 0;
+  for (const std::string& frame : frames) {
+    end += frame.size();
+    boundaries.push_back(end);
+  }
+
+  for (size_t cut = 0; cut <= journal_bytes.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    std::string truncated = journal_bytes.substr(0, cut);
+    Result<ReplayResult> replay = ReplayJournalBytes(truncated, "torn-test");
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    size_t expect_records = 0;
+    size_t expect_valid = 0;
+    for (size_t b = 0; b < boundaries.size(); ++b) {
+      if (boundaries[b] <= cut) {
+        expect_records = b + 1;
+        expect_valid = boundaries[b];
+      }
+    }
+    EXPECT_EQ(replay->records.size(), expect_records);
+    EXPECT_EQ(replay->valid_bytes, expect_valid);
+    EXPECT_EQ(replay->truncated_tail_bytes, cut - expect_valid);
+    for (size_t r = 0; r < replay->records.size(); ++r) {
+      EXPECT_EQ(EncodeItemToString(replay->records[r].item),
+                EncodeItemToString(items[r]));
+    }
+  }
+}
+
+/// Interior corruption — committed bytes that re-read differently — must
+/// be kDataLoss (non-retryable), not a truncation and not a crash.
+TEST(StoreRecoveryTest, InteriorJournalCorruptionIsDataLoss) {
+  std::mt19937_64 rng(9);
+  std::string journal_bytes;
+  for (int i = 0; i < 3; ++i) {
+    std::string payload =
+        EncodeUpdateItemPayload(RandomItem(rng), static_cast<uint64_t>(i + 1));
+    ByteWriter frame;
+    frame.PutU32(static_cast<uint32_t>(payload.size()));
+    frame.PutU32(Crc32c(payload.data(), payload.size()));
+    journal_bytes += frame.Take() + payload;
+  }
+  // Flip one byte inside the FIRST record's payload: later records are
+  // intact, so this cannot be a torn tail.
+  std::string corrupt = journal_bytes;
+  corrupt[10] = static_cast<char>(corrupt[10] ^ 0x40);
+  Result<ReplayResult> replay = ReplayJournalBytes(corrupt, "corrupt-test");
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(StatusCodeIsRetryable(replay.status().code()));
+}
+
+TEST(StoreRecoveryTest, SnapshotCorruptionIsDataLoss) {
+  std::mt19937_64 rng(11);
+  SnapshotData data;
+  data.epoch = 7;
+  for (int i = 0; i < 3; ++i) data.items.push_back(RandomItem(rng));
+  std::string bytes = SnapshotWriter::Serialize(data);
+
+  // Every single-byte flip anywhere in the file must be caught by one of
+  // the checksums/structure checks. (Exhaustive: the file is small.)
+  int failures = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    Result<SnapshotData> parsed = SnapshotReader::Parse(corrupt, "flip");
+    if (parsed.ok()) continue;  // impossible for CRC-covered bytes
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+    ++failures;
+  }
+  // All bytes are CRC-covered (header crc covers the header, section crc
+  // the payload, and lengths/counts are structure-checked), so every flip
+  // must have been rejected.
+  EXPECT_EQ(failures, static_cast<int>(bytes.size()));
+
+  // Truncations at every offset are kDataLoss too — a snapshot is atomic,
+  // so a short file is corruption, never a crash artifact.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<SnapshotData> parsed =
+        SnapshotReader::Parse(bytes.substr(0, cut), "trunc");
+    ASSERT_FALSE(parsed.ok()) << "cut=" << cut;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(StoreRecoveryTest, SnapshotRoundTripIsBitIdentical) {
+  std::mt19937_64 rng(21);
+  SnapshotData data;
+  data.epoch = 123456789;
+  for (int i = 0; i < 5; ++i) data.items.push_back(RandomItem(rng));
+  std::string bytes = SnapshotWriter::Serialize(data);
+  Result<SnapshotData> parsed = SnapshotReader::Parse(bytes, "roundtrip");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->epoch, data.epoch);
+  EXPECT_EQ(SnapshotWriter::Serialize(*parsed), bytes);
+}
+
+/// Transient read failures during recovery are kUnavailable (retryable) —
+/// distinct from corruption — and a retry after the fault clears succeeds.
+TEST(StoreRecoveryTest, TransientReadFaultIsRetryable) {
+  std::string dir = FreshStateDir("readfault");
+  StateStoreOptions options;
+  options.dir = dir;
+  {
+    StateStore store(options);
+    SnapshotData ignored;
+    ASSERT_TRUE(store.Recover(&ignored).ok());
+    Item item;
+    item.id = "x";
+    ASSERT_TRUE(store.AppendUpdateItem(item, 1).ok());
+  }
+
+  FailpointSpec spec;
+  spec.action = fault::FailAction::kError;
+  spec.code = StatusCode::kUnavailable;
+  spec.trigger = FailTrigger::kOnce;
+  FailpointRegistry::Global().Get("osrs.store.read")->Arm(spec);
+
+  StateStore store(options);
+  SnapshotData recovered;
+  Result<RecoveryInfo> info = store.Recover(&recovered);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(StatusCodeIsRetryable(info.status().code()));
+  FailpointRegistry::Global().DisarmAll();
+
+  StateStore retry(options);
+  info = retry.Recover(&recovered);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  ASSERT_EQ(recovered.items.size(), 1u);
+  EXPECT_EQ(recovered.items[0].id, "x");
+  EXPECT_EQ(recovered.epoch, 1u);
+}
+
+/// The replay failpoint models a fault while applying recovered records;
+/// it surfaces (recovery fails) rather than silently dropping records.
+TEST(StoreRecoveryTest, ReplayFaultSurfacesAndRetrySucceeds) {
+  std::string dir = FreshStateDir("replayfault");
+  StateStoreOptions options;
+  options.dir = dir;
+  {
+    StateStore store(options);
+    SnapshotData ignored;
+    ASSERT_TRUE(store.Recover(&ignored).ok());
+    for (int i = 0; i < 3; ++i) {
+      Item item;
+      item.id = "r" + std::to_string(i);
+      ASSERT_TRUE(
+          store.AppendUpdateItem(item, static_cast<uint64_t>(i + 1)).ok());
+    }
+  }
+
+  FailpointSpec spec;
+  spec.action = fault::FailAction::kError;
+  spec.code = StatusCode::kUnavailable;
+  spec.trigger = FailTrigger::kOnce;
+  FailpointRegistry::Global().Get("osrs.store.replay")->Arm(spec);
+
+  StateStore store(options);
+  SnapshotData recovered;
+  Result<RecoveryInfo> info = store.Recover(&recovered);
+  ASSERT_FALSE(info.ok());
+  FailpointRegistry::Global().DisarmAll();
+
+  StateStore retry(options);
+  info = retry.Recover(&recovered);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->journal_records_replayed, 3u);
+  EXPECT_EQ(recovered.items.size(), 3u);
+}
+
+/// A poisoned journal (torn write) refuses further appends with kDataLoss
+/// and heals through compaction.
+TEST(StoreRecoveryTest, PoisonedJournalHealsThroughCompaction) {
+  std::string dir = FreshStateDir("poison");
+  StateStoreOptions options;
+  options.dir = dir;
+  StateStore store(options);
+  SnapshotData ignored;
+  ASSERT_TRUE(store.Recover(&ignored).ok());
+
+  FailpointSpec spec;
+  spec.action = fault::FailAction::kError;
+  spec.code = StatusCode::kUnavailable;
+  spec.trigger = FailTrigger::kOnce;
+  FailpointRegistry::Global().Get("osrs.store.write")->Arm(spec);
+
+  Item item;
+  item.id = "poisoned";
+  EXPECT_FALSE(store.AppendUpdateItem(item, 1).ok());  // torn write
+  FailpointRegistry::Global().DisarmAll();
+
+  // The journal is now poisoned: appends refuse with kDataLoss, and
+  // ShouldCompact demands a fresh generation.
+  Status refused = store.AppendUpdateItem(item, 2);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(store.ShouldCompact());
+
+  SnapshotData state;
+  state.epoch = 2;
+  state.items.push_back(item);
+  ASSERT_TRUE(store.Compact(state).ok());
+  EXPECT_FALSE(store.ShouldCompact());
+  EXPECT_TRUE(store.AppendUpdateItem(item, 3).ok());
+}
+
+/// Leftover generations from a crash between compaction's rename and its
+/// deletes are cleaned up on recovery, newest snapshot winning.
+TEST(StoreRecoveryTest, RecoveryCleansSupersededGenerations) {
+  std::string dir = FreshStateDir("supersede");
+  StateStoreOptions options;
+  options.dir = dir;
+  uint64_t final_gen = 0;
+  {
+    StateStore store(options);
+    SnapshotData ignored;
+    ASSERT_TRUE(store.Recover(&ignored).ok());
+    SnapshotData state;
+    for (int c = 0; c < 3; ++c) {
+      Item item;
+      item.id = "gen-item";
+      item.reviews.emplace_back();
+      item.reviews.back().rating = c;
+      state.items = {item};
+      state.epoch = static_cast<uint64_t>(c + 1);
+      ASSERT_TRUE(store.Compact(state).ok());
+    }
+    final_gen = store.generation();
+    // Fabricate an undeleted older generation (crash between rename and
+    // delete): recovery must ignore and remove it.
+    ASSERT_TRUE(AtomicWriteFile(store.SnapshotPath(final_gen - 1),
+                                SnapshotWriter::Serialize(SnapshotData{}))
+                    .ok());
+  }
+  StateStore store(options);
+  SnapshotData recovered;
+  Result<RecoveryInfo> info = store.Recover(&recovered);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->generation, final_gen);
+  ASSERT_EQ(recovered.items.size(), 1u);
+  EXPECT_EQ(recovered.epoch, 3u);
+  EXPECT_DOUBLE_EQ(recovered.items[0].reviews[0].rating, 2.0);
+  // The fabricated stale generation is gone.
+  Result<std::string> stale = ReadFileBytes(store.SnapshotPath(final_gen - 1));
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace osrs::store

@@ -13,21 +13,36 @@
 //       stats               counters, cache stats, p50 solve cost
 //       metrics             the registry in OpenMetrics text format
 //       traces              recent request traces, one JSON line each
+//       snapshot            force journal compaction into a fresh snapshot
+//       drain               graceful drain (then the session ends)
 //       quit
 //   * --drive <n> — a closed-loop load driver: <n> requests issued from
 //     --clients concurrent client threads round-robin over the items,
 //     then the counters (and the accounting identity
 //     submitted == admitted + rejected, admitted == completed+shed+failed)
-//     are printed/checked. Exit 1 when the identity is violated.
+//     are printed/checked. Exit 1 when the identity is violated. With
+//     --state-dir the run finishes with a durability self-test: graceful
+//     drain (final snapshot), restart from the state dir alone, and a
+//     verification that the recovered epoch/items match and a fresh solve
+//     succeeds.
+//
+// Durability: --state-dir <dir> persists the corpus (checksummed
+// snapshots + an epoch-mutation journal, see store/state_store.h) and
+// recovers committed state on startup. SIGTERM/SIGINT trigger a graceful
+// drain — stop admitting, drain the queue within --drain-deadline-ms,
+// write a final snapshot — and exit 0.
 //
 // Metrics export: --metrics-file <path> writes an OpenMetrics snapshot of
 // the registry at exit (and, with --metrics-interval <sec>, periodically
 // from a background thread that also logs a structured delta report).
 //
-// Exit codes: 0 success, 1 accounting violation (--drive), 2 usage/IO.
+// Exit codes: 0 success, 1 accounting violation (--drive), 2 usage/IO
+// (corrupt durable state included).
 
+#include <csignal>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -43,6 +58,7 @@
 #include "obs/openmetrics.h"
 #include "obs/request_trace.h"
 #include "serve/server.h"
+#include "store/journal.h"
 
 namespace {
 
@@ -56,7 +72,8 @@ using osrs::serve::SummaryServer;
 struct CliOptions {
   std::string path;  // empty = synthetic corpus
   double scale = 0.05;
-  int64_t drive = -1;  // -1 = interactive
+  int64_t drive = -1;       // -1 = interactive
+  int64_t mutate_every = 0;  // --drive: mutate after every n requests; 0=off
   int clients = 8;
   int k = 5;
   bool json = false;
@@ -64,6 +81,24 @@ struct CliOptions {
   double metrics_interval = 0.0;  // seconds; <= 0 = export at exit only
   osrs::serve::ServeOptions serve;
 };
+
+/// Set by the SIGTERM/SIGINT handler; the main loop observes it after the
+/// interrupted read and runs the graceful-drain path. sig_atomic_t is the
+/// only type async-signal-safe to write from a handler.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void HandleShutdownSignal(int signum) { g_shutdown_signal = signum; }
+
+void InstallSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = &HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: the blocking stdin read must return (EINTR) so the
+  // drain actually starts instead of waiting for the next input line.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
 
 /// Periodic OpenMetrics exporter: every interval it snapshots the global
 /// registry, writes the rendered text to `path` (when set, through the
@@ -159,9 +194,24 @@ void PrintUsage(std::FILE* out) {
       "modes:\n"
       "  (default)           interactive stdin protocol:\n"
       "                        get <item-id> [k] | bump | stats |\n"
-      "                        metrics | traces | quit\n"
+      "                        metrics | traces | snapshot | drain | quit\n"
       "  --drive <n>         issue n requests from --clients threads,\n"
-      "                      print counters, verify accounting\n"
+      "                      print counters, verify accounting (with\n"
+      "                      --state-dir: drain, restart, verify recovery)\n"
+      "  --mutate-every <n>  in --drive mode, interleave one mutation\n"
+      "                      (item update or epoch bump, alternating)\n"
+      "                      per n requests — exercises the journal\n"
+      "\n"
+      "durability:\n"
+      "  --state-dir <dir>   persist snapshots + mutation journal in dir\n"
+      "                      (must exist); recover committed state at boot\n"
+      "  --fsync-policy <p>  always | interval | never (default always)\n"
+      "  --fsync-interval-ms <ms>\n"
+      "                      max fsync gap under the interval policy\n"
+      "  --compact-bytes <n> journal size triggering compaction\n"
+      "  --drain-deadline-ms <ms>\n"
+      "                      graceful-drain budget (SIGTERM/SIGINT, drain)\n"
+      "  --watchdog-ms <ms>  cancel solves stalled longer than ms (0=off)\n"
       "\n"
       "options:\n"
       "  --threads <n>       solver worker threads (default: hardware)\n"
@@ -232,7 +282,14 @@ void PrintStats(const SummaryServer& server, bool json) {
 int RunInteractive(SummaryServer& server, const CliOptions& options) {
   std::string line;
   char buffer[4096];
-  while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+  for (;;) {
+    if (std::fgets(buffer, sizeof(buffer), stdin) == nullptr) {
+      // EOF or a signal-interrupted read; either way the loop is done.
+      // The caller handles g_shutdown_signal (graceful drain).
+      std::clearerr(stdin);
+      break;
+    }
+    if (g_shutdown_signal != 0) break;
     line.assign(buffer);
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
       line.pop_back();
@@ -261,6 +318,22 @@ int RunInteractive(SummaryServer& server, const CliOptions& options) {
       }
       std::printf("# %zu trace(s)\n", traces.size());
       continue;
+    }
+    if (command == "snapshot") {
+      osrs::Status status = server.ForceSnapshot();
+      if (status.ok()) {
+        std::printf("snapshot written (journal compacted)\n");
+      } else {
+        std::printf("snapshot failed: %s\n", status.ToString().c_str());
+      }
+      continue;
+    }
+    if (command == "drain") {
+      bool drained = server.Drain();
+      std::printf("drain %s\n",
+                  drained ? "complete" : "deadline expired (remainder shed)");
+      // The server is stopped after a drain; the session is over.
+      break;
     }
     if (command == "get") {
       if (parts.size() < 2) {
@@ -295,21 +368,44 @@ int RunInteractive(SummaryServer& server, const CliOptions& options) {
       continue;
     }
     std::printf(
-        "error: unknown command '%s' (get/bump/stats/metrics/traces/quit)\n",
+        "error: unknown command '%s' "
+        "(get/bump/stats/metrics/traces/snapshot/drain/quit)\n",
         command.c_str());
   }
   return 0;
 }
 
 int RunDrive(SummaryServer& server, const std::vector<std::string>& item_ids,
-             const CliOptions& options) {
+             const osrs::Item& mutation_template, const CliOptions& options) {
   int clients = options.clients > 0 ? options.clients : 1;
   int64_t total = options.drive;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(clients));
   for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&server, &item_ids, &options, total, clients, c] {
+    threads.emplace_back([&server, &item_ids, &mutation_template, &options,
+                          total, clients, c] {
+      int64_t mutations = 0;
       for (int64_t i = c; i < total; i += clients) {
+        // Client 0 interleaves mutations with its load so --drive also
+        // exercises the journal write path (and, under ci fault
+        // schedules, journal failure handling) instead of only reads.
+        // Alternating update/bump covers both journal record types; the
+        // update rewrites an existing id so the restart self-test's
+        // snapshot_items count stays equal to the corpus size.
+        if (c == 0 && options.mutate_every > 0 &&
+            i % options.mutate_every == 0) {
+          if (++mutations % 2 == 0) {
+            server.BumpEpoch();
+          } else {
+            osrs::Item mutated = mutation_template;
+            if (!mutated.reviews.empty() &&
+                !mutated.reviews.front().sentences.empty()) {
+              mutated.reviews.front().sentences.front().text +=
+                  " [rev " + std::to_string(mutations) + "]";
+            }
+            server.UpdateItem(std::move(mutated));
+          }
+        }
         ServeRequest request;
         request.item_id = item_ids[static_cast<size_t>(i) % item_ids.size()];
         request.k = options.k;
@@ -359,6 +455,8 @@ int main(int argc, char** argv) {
     int64_t value = 0;
     if (arg == "--drive") {
       if (!next_int("--drive", &options.drive)) return 2;
+    } else if (arg == "--mutate-every") {
+      if (!next_int("--mutate-every", &options.mutate_every)) return 2;
     } else if (arg == "--threads") {
       if (!next_int("--threads", &value)) return 2;
       options.serve.num_threads = static_cast<int>(value);
@@ -382,6 +480,41 @@ int main(int argc, char** argv) {
       options.serve.cache_capacity = static_cast<size_t>(value);
     } else if (arg == "--no-stale") {
       options.serve.serve_stale_when_over_budget = false;
+    } else if (arg == "--state-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "osrs_serve: --state-dir needs a directory\n");
+        return 2;
+      }
+      options.serve.state_dir = argv[++i];
+    } else if (arg == "--fsync-policy") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "osrs_serve: --fsync-policy needs "
+                     "always|interval|never\n");
+        return 2;
+      }
+      auto policy = osrs::store::ParseFsyncPolicy(argv[++i]);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "osrs_serve: %s\n",
+                     policy.status().ToString().c_str());
+        return 2;
+      }
+      options.serve.fsync_policy = *policy;
+    } else if (arg == "--fsync-interval-ms") {
+      if (!next_int("--fsync-interval-ms", &value)) return 2;
+      options.serve.fsync_interval_ms = static_cast<uint64_t>(value);
+    } else if (arg == "--compact-bytes") {
+      if (!next_int("--compact-bytes", &value)) return 2;
+      options.serve.journal_compact_threshold_bytes =
+          static_cast<uint64_t>(value);
+    } else if (arg == "--drain-deadline-ms") {
+      if (!next_double("--drain-deadline-ms",
+                       &options.serve.drain_deadline_ms))
+        return 2;
+    } else if (arg == "--watchdog-ms") {
+      if (!next_double("--watchdog-ms",
+                       &options.serve.watchdog_stall_threshold_ms))
+        return 2;
     } else if (arg == "--metrics-file") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "osrs_serve: --metrics-file needs a path\n");
@@ -442,20 +575,72 @@ int main(int argc, char** argv) {
   std::vector<std::string> item_ids;
   item_ids.reserve(corpus.items.size());
   for (const osrs::Item& item : corpus.items) item_ids.push_back(item.id);
+  // Kept out of the server so --mutate-every can rewrite a real item
+  // (same id, tweaked text) after corpus.items is moved away.
+  osrs::Item mutation_template = corpus.items.front();
 
   osrs::obs::MetricsRegistry::Global().SetEnabled(true);
-  SummaryServer server(&corpus.ontology, std::move(corpus.items),
-                       options.serve);
+  InstallSignalHandlers();
+  auto server = std::make_unique<SummaryServer>(
+      &corpus.ontology, std::move(corpus.items), options.serve);
+  if (!server->recovery_status().ok()) {
+    // Corrupt durable state is kDataLoss — refuse to serve rather than
+    // silently run non-durable atop (or without) the committed state.
+    std::fprintf(stderr, "osrs_serve: state recovery failed: %s\n",
+                 server->recovery_status().ToString().c_str());
+    return 2;
+  }
+  if (server->persistence_enabled()) {
+    std::fprintf(stderr, "osrs_serve: recovered %s\n",
+                 server->recovery_info().ToJson().c_str());
+  }
   std::fprintf(stderr, "osrs_serve: %zu item(s), %d worker(s), queue %zu\n",
-               item_ids.size(), server.num_workers(),
+               item_ids.size(), server->num_workers(),
                options.serve.max_queue_depth);
 
   bool exporting =
       !options.metrics_file.empty() || options.metrics_interval > 0.0;
   MetricsExporter exporter(options.metrics_file, options.metrics_interval);
 
-  int code = options.drive >= 0 ? RunDrive(server, item_ids, options)
-                                : RunInteractive(server, options);
+  int code = options.drive >= 0
+                 ? RunDrive(*server, item_ids, mutation_template, options)
+                 : RunInteractive(*server, options);
+
+  if (g_shutdown_signal != 0) {
+    // Graceful shutdown: stop admitting, drain within the deadline, write
+    // the final snapshot (inside Drain), exit 0 — SIGTERM is routine
+    // operations, not an error.
+    bool drained = server->Drain();
+    std::fprintf(stderr, "osrs_serve: signal %d: drain %s\n",
+                 static_cast<int>(g_shutdown_signal),
+                 drained ? "complete" : "deadline expired");
+  } else if (code == 0 && options.drive >= 0 &&
+             server->persistence_enabled()) {
+    // Durability self-test: drain (final snapshot), restart from the state
+    // dir ALONE (no initial corpus), and verify the recovered state serves.
+    uint64_t epoch_before = server->epoch();
+    bool drained = server->Drain();
+    server.reset();
+    SummaryServer restarted(&corpus.ontology, {}, options.serve);
+    ServeRequest probe;
+    probe.item_id = item_ids[0];
+    probe.k = options.k;
+    ServeResponse response = restarted.Serve(probe);
+    bool ok = restarted.recovery_status().ok() &&
+              restarted.recovery_info().found_snapshot &&
+              restarted.recovery_info().snapshot_items == item_ids.size() &&
+              restarted.epoch() == epoch_before && response.status.ok() &&
+              response.outcome == ServeOutcome::kSolved;
+    std::fprintf(stderr,
+                 "osrs_serve: restart check %s (drain %s, recovered %s, "
+                 "epoch %llu -> %llu, probe %s)\n",
+                 ok ? "passed" : "FAILED", drained ? "complete" : "timeout",
+                 restarted.recovery_info().ToJson().c_str(),
+                 static_cast<unsigned long long>(epoch_before),
+                 static_cast<unsigned long long>(restarted.epoch()),
+                 ServeOutcomeToString(response.outcome));
+    if (!ok) code = 1;
+  }
 
   // Final flush: --drive runs (and interactive sessions) always leave one
   // complete snapshot behind, so ci can validate the exported format
